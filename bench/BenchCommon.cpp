@@ -1,0 +1,124 @@
+//===- bench/BenchCommon.cpp - Shared experiment harness ---------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "stats/Stats.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace marqsim;
+
+std::vector<ConfigSpec> marqsim::paperConfigs() {
+  return {{"Baseline", 1.0, 0.0, 0.0},
+          {"MarQSim-GC", 0.4, 0.6, 0.0},
+          {"MarQSim-GC-RP", 0.4, 0.3, 0.3}};
+}
+
+SweepResult marqsim::runConfigSweep(const Hamiltonian &H, double T,
+                                    const ConfigSpec &Config,
+                                    const SweepOptions &Opts,
+                                    const FidelityEvaluator *Eval) {
+  SweepResult Result;
+  Result.Config = Config;
+
+  Hamiltonian Prepared = H.splitLargeTerms();
+  TransitionMatrix P =
+      makeConfigMatrix(Prepared, Config.WQd, Config.WGc, Config.WRp,
+                       Opts.PerturbRounds, Opts.Seed ^ 0xC0FFEE);
+  HTTGraph Graph(Prepared, P);
+
+  for (size_t EIdx = 0; EIdx < Opts.Epsilons.size(); ++EIdx) {
+    double Eps = Opts.Epsilons[EIdx];
+    RunningStats CNOTs, Singles, Totals, Fids;
+    size_t N = 0;
+    for (unsigned Rep = 0; Rep < Opts.Reps; ++Rep) {
+      RNG Rng(Opts.Seed + 7919 * EIdx + Rep);
+      CompilationResult R = compileBySampling(Graph, T, Eps, Rng);
+      N = R.NumSamples;
+      CNOTs.add(static_cast<double>(R.Counts.CNOTs));
+      Singles.add(static_cast<double>(R.Counts.SingleQubit));
+      Totals.add(static_cast<double>(R.Counts.total()));
+      if (Eval)
+        Fids.add(Eval->fidelity(R.Schedule));
+    }
+    SweepPoint Point;
+    Point.Epsilon = Eps;
+    Point.NumSamples = N;
+    Point.MeanCNOTs = CNOTs.mean();
+    Point.StdCNOTs = CNOTs.stddev();
+    Point.MeanSingles = Singles.mean();
+    Point.MeanTotal = Totals.mean();
+    if (Eval) {
+      Point.MeanFidelity = Fids.mean();
+      Point.StdFidelity = Fids.stddev();
+      Point.HasFidelity = true;
+    }
+    Result.Points.push_back(Point);
+  }
+  return Result;
+}
+
+ReductionSummary marqsim::averageReduction(const SweepResult &Base,
+                                           const SweepResult &Opt) {
+  ReductionSummary Summary;
+  size_t Count = std::min(Base.Points.size(), Opt.Points.size());
+  if (Count == 0)
+    return Summary;
+  for (size_t I = 0; I < Count; ++I) {
+    const SweepPoint &B = Base.Points[I];
+    const SweepPoint &O = Opt.Points[I];
+    if (B.MeanCNOTs > 0)
+      Summary.CNOT += 1.0 - O.MeanCNOTs / B.MeanCNOTs;
+    if (B.MeanSingles > 0)
+      Summary.Single += 1.0 - O.MeanSingles / B.MeanSingles;
+    if (B.MeanTotal > 0)
+      Summary.Total += 1.0 - O.MeanTotal / B.MeanTotal;
+  }
+  Summary.CNOT /= static_cast<double>(Count);
+  Summary.Single /= static_cast<double>(Count);
+  Summary.Total /= static_cast<double>(Count);
+  return Summary;
+}
+
+void marqsim::printSweepTable(std::ostream &OS, const std::string &Title,
+                              const std::vector<SweepResult> &Results) {
+  OS << "== " << Title << " ==\n";
+  Table T({"config", "eps", "N", "CNOT(mean)", "CNOT(std)", "1q(mean)",
+           "total(mean)", "fidelity", "fid(std)"});
+  for (const SweepResult &R : Results)
+    for (const SweepPoint &P : R.Points) {
+      T.addRow({R.Config.Name, formatDouble(P.Epsilon),
+                std::to_string(P.NumSamples), formatDouble(P.MeanCNOTs),
+                formatDouble(P.StdCNOTs), formatDouble(P.MeanSingles),
+                formatDouble(P.MeanTotal),
+                P.HasFidelity ? formatDouble(P.MeanFidelity, 5) : "-",
+                P.HasFidelity ? formatDouble(P.StdFidelity, 3) : "-"});
+    }
+  T.print(OS);
+}
+
+void marqsim::applyCommonFlags(const CommandLine &CL, SweepOptions &Opts) {
+  if (CL.getBool("paper")) {
+    // The paper's epsilon list (Section 6.1) and repetition count.
+    Opts.Epsilons = {0.1, 0.067, 0.05, 0.04, 0.033, 0.0286, 0.025};
+    Opts.Reps = 20;
+    Opts.PerturbRounds = 100;
+  }
+  if (CL.has("eps")) {
+    Opts.Epsilons.clear();
+    std::stringstream SS(CL.getString("eps"));
+    std::string Item;
+    while (std::getline(SS, Item, ','))
+      if (!Item.empty())
+        Opts.Epsilons.push_back(std::strtod(Item.c_str(), nullptr));
+  }
+  Opts.Reps = static_cast<unsigned>(CL.getInt("reps", Opts.Reps));
+  Opts.Seed = static_cast<uint64_t>(CL.getInt("seed", Opts.Seed));
+  Opts.PerturbRounds =
+      static_cast<unsigned>(CL.getInt("rounds", Opts.PerturbRounds));
+}

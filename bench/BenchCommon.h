@@ -1,0 +1,106 @@
+//===- bench/BenchCommon.h - Shared experiment harness ----------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the table/figure harnesses: the paper's three
+/// experimental configurations (Section 6.1), epsilon sweeps with repeated
+/// randomized compilation, fidelity evaluation, and reduction summaries.
+///
+/// Every harness accepts:
+///   --paper         full-scale parameters (paper epsilon list, 20 reps,
+///                   100 perturbation rounds)
+///   --reps=K        repetitions per epsilon
+///   --seed=S        base RNG seed
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_BENCH_BENCHCOMMON_H
+#define MARQSIM_BENCH_BENCHCOMMON_H
+
+#include "core/Compiler.h"
+#include "core/TransitionBuilders.h"
+#include "sim/Fidelity.h"
+#include "support/CommandLine.h"
+#include "support/Table.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace marqsim {
+
+/// One experimental configuration: a named convex combination of
+/// Pqd / Pgc / Prp (paper Section 6.1).
+struct ConfigSpec {
+  std::string Name;
+  double WQd = 1.0;
+  double WGc = 0.0;
+  double WRp = 0.0;
+};
+
+/// The paper's three configurations: Baseline (qDrift + cancellation),
+/// MarQSim-GC (0.4/0.6), MarQSim-GC-RP (0.4/0.3/0.3).
+std::vector<ConfigSpec> paperConfigs();
+
+/// Sweep parameters shared by the figure harnesses.
+struct SweepOptions {
+  /// Target precisions; each maps to N = ceil(2 lambda^2 t^2 / eps).
+  std::vector<double> Epsilons = {0.1, 0.067, 0.05, 0.04};
+  /// Repeated compilations per epsilon (compilation is randomized).
+  unsigned Reps = 3;
+  /// Perturbation rounds for Prp (paper: 100).
+  unsigned PerturbRounds = 8;
+  /// Base seed; each (epsilon, rep) pair derives its own stream.
+  uint64_t Seed = 1;
+  /// Columns for fidelity estimation; 0 disables fidelity entirely.
+  size_t FidelityColumns = 0;
+};
+
+/// Aggregated measurements at one epsilon.
+struct SweepPoint {
+  double Epsilon = 0.0;
+  size_t NumSamples = 0;
+  double MeanCNOTs = 0.0;
+  double StdCNOTs = 0.0;
+  double MeanSingles = 0.0;
+  double MeanTotal = 0.0;
+  double MeanFidelity = 0.0;
+  double StdFidelity = 0.0;
+  bool HasFidelity = false;
+};
+
+/// The series of one configuration over the epsilon sweep.
+struct SweepResult {
+  ConfigSpec Config;
+  std::vector<SweepPoint> Points;
+};
+
+/// Runs the sweep for one configuration of \p H at evolution time \p T.
+/// \p Eval may be null (skips fidelity).
+SweepResult runConfigSweep(const Hamiltonian &H, double T,
+                           const ConfigSpec &Config, const SweepOptions &Opts,
+                           const FidelityEvaluator *Eval = nullptr);
+
+/// Gate reductions of \p Opt relative to \p Base, averaged over matched
+/// epsilon points (identical N by construction).
+struct ReductionSummary {
+  double CNOT = 0.0;
+  double Single = 0.0;
+  double Total = 0.0;
+};
+ReductionSummary averageReduction(const SweepResult &Base,
+                                  const SweepResult &Opt);
+
+/// Prints one benchmark's sweep series as an aligned table.
+void printSweepTable(std::ostream &OS, const std::string &Title,
+                     const std::vector<SweepResult> &Results);
+
+/// Applies --paper / --reps / --seed / --eps (comma list) to \p Opts.
+void applyCommonFlags(const CommandLine &CL, SweepOptions &Opts);
+
+} // namespace marqsim
+
+#endif // MARQSIM_BENCH_BENCHCOMMON_H

@@ -1,0 +1,111 @@
+//===- bench/bench_fig15_perturbation_spectra.cpp - Paper Fig. 15 ------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Fig. 15 ("Transition matrix spectra for Na+ ... with
+// different matrix combination configurations"): spectra of
+//   P1  = 0.4 Pqd + 0.6 Pgc        P1' = 0.4 Pqd + 0.3 Pgc + 0.3 Prp
+//   P2  = 0.2 Pqd + 0.8 Pgc        P2' = 0.2 Pqd + 0.4 Pgc + 0.4 Prp
+// and the standard deviation sigma of the sampled circuits' algorithmic
+// accuracy under each. The paper reports sigma reductions of 26% (P1' vs
+// P1) and 33% (P2' vs P2) and visibly flatter spectra with perturbation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "hamgen/Registry.h"
+#include "stats/Stats.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace marqsim;
+
+namespace {
+
+/// Prints the top eigenvalue magnitudes of \p P.
+void printTopSpectrum(const std::string &Label, const TransitionMatrix &P,
+                      size_t TopK) {
+  auto Eigs = P.spectrum();
+  std::cout << Label << ": |lambda| =";
+  for (size_t I = 0; I < std::min(TopK, Eigs.size()); ++I)
+    std::cout << " " << formatDouble(std::abs(Eigs[I]), 3);
+  std::cout << "\n";
+}
+
+/// Sigma of sampled-circuit accuracy across repetitions.
+double accuracySigma(const Hamiltonian &H, const TransitionMatrix &P,
+                     double T, double Eps, unsigned Reps,
+                     const FidelityEvaluator &Eval, uint64_t Seed) {
+  HTTGraph Graph(H, P);
+  RunningStats Stats;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    RNG Rng(Seed + Rep);
+    CompilationResult R = compileBySampling(Graph, T, Eps, Rng);
+    Stats.add(Eval.fidelity(R.Schedule));
+  }
+  return Stats.stddev();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  SweepOptions Opts;
+  Opts.Reps = 8;
+  applyCommonFlags(CL, Opts);
+  std::string Name = CL.getString("benchmark", "Na+");
+  double Eps = CL.getDouble("epsilon", 0.05);
+  size_t Columns = static_cast<size_t>(CL.getInt("columns", 16));
+
+  auto Spec = findBenchmark(Name);
+  if (!Spec) {
+    std::cerr << "unknown benchmark: " << Name << "\n";
+    return 1;
+  }
+  std::cout << "Fig. 15: spectra and sampling variance under random "
+               "perturbation ("
+            << Name << ")\n\n";
+
+  Hamiltonian H = makeBenchmark(*Spec).splitLargeTerms();
+  TransitionMatrix Pqd = buildQDrift(H);
+  TransitionMatrix Pgc = buildGateCancellation(H);
+  RNG PerturbRng(Opts.Seed ^ 0xF15);
+  TransitionMatrix Prp =
+      buildRandomPerturbation(H, Opts.PerturbRounds, PerturbRng);
+
+  TransitionMatrix P1 = TransitionMatrix::combine({&Pqd, &Pgc}, {0.4, 0.6});
+  TransitionMatrix P1p =
+      TransitionMatrix::combine({&Pqd, &Pgc, &Prp}, {0.4, 0.3, 0.3});
+  TransitionMatrix P2 = TransitionMatrix::combine({&Pqd, &Pgc}, {0.2, 0.8});
+  TransitionMatrix P2p =
+      TransitionMatrix::combine({&Pqd, &Pgc, &Prp}, {0.2, 0.4, 0.4});
+
+  std::cout << "(a) Pqd share 0.4\n";
+  printTopSpectrum("P1  = 0.4Pqd + 0.6Pgc          ", P1, 10);
+  printTopSpectrum("P1' = 0.4Pqd + 0.3Pgc + 0.3Prp ", P1p, 10);
+  std::cout << "\n(b) Pqd share 0.2\n";
+  printTopSpectrum("P2  = 0.2Pqd + 0.8Pgc          ", P2, 10);
+  printTopSpectrum("P2' = 0.2Pqd + 0.4Pgc + 0.4Prp ", P2p, 10);
+
+  FidelityEvaluator Eval(H, Spec->Time, Columns);
+  double S1 = accuracySigma(H, P1, Spec->Time, Eps, Opts.Reps, Eval, 10);
+  double S1p = accuracySigma(H, P1p, Spec->Time, Eps, Opts.Reps, Eval, 10);
+  double S2 = accuracySigma(H, P2, Spec->Time, Eps, Opts.Reps, Eval, 20);
+  double S2p = accuracySigma(H, P2p, Spec->Time, Eps, Opts.Reps, Eval, 20);
+
+  std::cout << "\nsampled-accuracy sigma (" << Opts.Reps
+            << " compilations, eps=" << formatDouble(Eps) << "):\n";
+  Table T({"config", "sigma", "sigma w/ Prp", "reduction"});
+  T.addRow({"Pqd share 0.4", formatDouble(S1, 5), formatDouble(S1p, 5),
+            S1 > 0 ? formatPercent(1.0 - S1p / S1) : "-"});
+  T.addRow({"Pqd share 0.2", formatDouble(S2, 5), formatDouble(S2p, 5),
+            S2 > 0 ? formatPercent(1.0 - S2p / S2) : "-"});
+  T.print(std::cout);
+  std::cout << "\nPaper reference: 26% (share 0.4) and 33% (share 0.2) "
+               "sigma reductions;\nperturbed spectra sit strictly below "
+               "their unperturbed counterparts.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===- bench/bench_fig16_time_sweep.cpp - Paper Fig. 16 ----------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Fig. 16 ("Compilation optimization effect with different
+// evolution times"): the Na+ and OH- workloads compiled by the three
+// configurations at t = pi/6, pi/3, pi/2, 3pi/4, with CNOT and total
+// reductions per evolution time. The paper's conclusion — the benefit
+// persists for longer simulations — should be visible as roughly constant
+// reduction percentages across t.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "hamgen/Registry.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace marqsim;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  SweepOptions Opts;
+  Opts.Epsilons = {0.1, 0.05};
+  applyCommonFlags(CL, Opts);
+
+  std::vector<double> Times = {M_PI / 6, M_PI / 3, M_PI / 2, 3 * M_PI / 4};
+  std::vector<std::string> Names = {"Na+", "OH-"};
+
+  std::cout << "Fig. 16: optimization effect vs evolution time\n\n";
+  Table Summary({"Benchmark", "t", "GC CNOT red.", "GC-RP CNOT red.",
+                 "GC-RP total red."});
+
+  for (const std::string &Name : Names) {
+    auto Spec = findBenchmark(Name);
+    if (!Spec)
+      continue;
+    Hamiltonian H = makeBenchmark(*Spec);
+    for (double T : Times) {
+      std::vector<SweepResult> Results;
+      for (const ConfigSpec &Config : paperConfigs())
+        Results.push_back(runConfigSweep(H, T, Config, Opts));
+      printSweepTable(std::cout,
+                      Name + " @ t=" + formatDouble(T, 3), Results);
+      ReductionSummary GC = averageReduction(Results[0], Results[1]);
+      ReductionSummary RP = averageReduction(Results[0], Results[2]);
+      Summary.addRow({Name, formatDouble(T, 3), formatPercent(GC.CNOT),
+                      formatPercent(RP.CNOT), formatPercent(RP.Total)});
+      std::cout << "\n";
+    }
+  }
+
+  std::cout << "== Summary ==\n";
+  Summary.print(std::cout);
+  std::cout << "\nPaper reference: GC CNOT reductions 21.8/24.7/17.9/24.8% "
+               "and GC-RP 20.2/25.9/22.7/18.7%\nfor t = pi/6, pi/3, pi/2, "
+               "3pi/4 — the benefit is not eroded by longer simulations.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+//===- examples/heisenberg_chain.cpp - Spin-lattice simulation ---------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// A condensed-matter workload: Heisenberg XXZ spin chain dynamics. This
+// example compares every compiler in the repository — deterministic Trotter
+// (first/second order, several term orders), randomized-order Trotter, the
+// qDrift baseline, and MarQSim — at a matched gate budget, reporting gate
+// counts and fidelity, plus staggered-magnetization dynamics from the best
+// compiled circuit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Baselines.h"
+#include "core/Compiler.h"
+#include "core/TransitionBuilders.h"
+#include "hamgen/Models.h"
+#include "sim/Evolution.h"
+#include "sim/Fidelity.h"
+#include "sim/StateVector.h"
+#include "support/Table.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace marqsim;
+
+namespace {
+
+double staggeredMagnetization(const StateVector &SV) {
+  const CVector &Amp = SV.amplitudes();
+  unsigned N = SV.numQubits();
+  double M = 0.0;
+  for (uint64_t X = 0; X < Amp.size(); ++X) {
+    double P = std::norm(Amp[X]);
+    double Sz = 0.0;
+    for (unsigned Q = 0; Q < N; ++Q) {
+      double Z = ((X >> Q) & 1) ? -0.5 : 0.5;
+      Sz += (Q % 2 ? -Z : Z);
+    }
+    M += P * Sz;
+  }
+  return M / N;
+}
+
+} // namespace
+
+int main() {
+  const unsigned N = 6;
+  Hamiltonian H = makeHeisenbergXXZ(N, 1.0, 1.0, 0.7, 0.25);
+  const double T = 1.0;
+  std::cout << "Heisenberg XXZ chain, " << N << " sites, " << H.numTerms()
+            << " terms, t=" << T << "\n\n";
+
+  FidelityEvaluator Eval(H, T, 16);
+  Table Out({"compiler", "steps", "CNOTs", "total", "fidelity"});
+
+  auto Report = [&](const std::string &Name, const CompilationResult &R) {
+    Out.addRow({Name, std::to_string(R.NumSamples),
+                std::to_string(R.Counts.CNOTs),
+                std::to_string(R.Counts.total()),
+                formatDouble(Eval.fidelity(R.Schedule), 5)});
+  };
+
+  const unsigned Reps = 24;
+  Report("Trotter1 (given order)",
+         compileTrotter1(H, T, Reps, TermOrderKind::Given));
+  Report("Trotter1 (lexicographic)",
+         compileTrotter1(H, T, Reps, TermOrderKind::Lexicographic));
+  Report("Trotter1 (greedy matched)",
+         compileTrotter1(H, T, Reps, TermOrderKind::GreedyMatched));
+  Report("Trotter2 (given order)",
+         compileTrotter2(H, T, Reps / 2, TermOrderKind::Given));
+  RNG TrotterRng(5);
+  Report("Random-order Trotter",
+         compileRandomOrderTrotter(H, T, Reps, TrotterRng));
+
+  // Randomized compilers at a matched sampling budget.
+  size_t Budget = Reps * H.numTerms();
+  double Eps = 2.0 * H.lambda() * H.lambda() * T * T /
+               static_cast<double>(Budget);
+  RNG QRng(6);
+  Report("qDrift baseline", compileQDrift(H, T, Eps, QRng));
+  TransitionMatrix P = makeConfigMatrix(H.splitLargeTerms(), 0.4, 0.6, 0.0);
+  HTTGraph G(H.splitLargeTerms(), P);
+  RNG MRng(6);
+  CompilationResult MarQ = compileBySampling(G, T, Eps, MRng);
+  Report("MarQSim-GC", MarQ);
+  Out.print(std::cout);
+
+  // Staggered magnetization from the Neel state under a tight-precision
+  // compiled schedule vs exact evolution. (The budget-matched run above
+  // uses a loose epsilon; per-circuit observables need a tighter one.)
+  std::cout << "\nStaggered magnetization from the Neel state |010101>\n"
+               "(MarQSim-GC at eps=0.005):\n";
+  RNG TightRng(8);
+  CompilationResult Tight = compileBySampling(G, T, 0.005, TightRng);
+  uint64_t Neel = 0b010101 & ((1ULL << N) - 1);
+  StateVector Compiled(N, Neel);
+  for (const ScheduledRotation &Step : Tight.Schedule)
+    Compiled.applyPauliExp(Step.String, Step.Tau);
+  CVector Basis(size_t(1) << N, Complex(0, 0));
+  Basis[Neel] = 1.0;
+  StateVector Exact(N, evolveExact(H, T, Basis));
+  StateVector Initial(N, Neel);
+
+  Table Mag({"state", "m_staggered"});
+  Mag.addRow({"initial", formatDouble(staggeredMagnetization(Initial), 5)});
+  Mag.addRow({"compiled(t)", formatDouble(staggeredMagnetization(Compiled),
+                                          5)});
+  Mag.addRow({"exact(t)", formatDouble(staggeredMagnetization(Exact), 5)});
+  Mag.print(std::cout);
+  return 0;
+}

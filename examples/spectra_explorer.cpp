@@ -1,0 +1,60 @@
+//===- examples/spectra_explorer.cpp - The determinism/randomness dial -------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// MarQSim's central dial is the convex weight between the fully random
+// qDrift matrix and the deterministic-leaning gate-cancellation matrix.
+// This example sweeps that dial on a molecular-like workload and prints,
+// for each setting:
+//   * |lambda_2| — the mixing/convergence indicator of Section 5.4,
+//   * the expected CNOTs per transition (Proposition 5.1), and
+//   * measured CNOTs and fidelity of a compiled circuit,
+// making the paper's trade-off (more determinism = fewer gates but slower
+// chain mixing) directly visible.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CNOTCountOracle.h"
+#include "core/Compiler.h"
+#include "core/TransitionBuilders.h"
+#include "hamgen/Molecular.h"
+#include "sim/Fidelity.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace marqsim;
+
+int main() {
+  Hamiltonian H = makeMolecularLike(8, 60, 5).rescaledToLambda(12.0)
+                      .splitLargeTerms();
+  const double T = 0.6, Eps = 0.05;
+  std::vector<double> Pi = H.stationaryDistribution();
+  std::cout << "Determinism/randomness dial on a molecular-like "
+               "Hamiltonian (8 qubits, 60 strings)\n\n";
+
+  TransitionMatrix Pgc = buildGateCancellation(H);
+  FidelityEvaluator Eval(H, T, 16);
+
+  Table Out({"Pqd share", "|lambda2|", "E[CNOT/trans]", "CNOTs", "fidelity"});
+  for (double Share : {1.0, 0.8, 0.6, 0.4, 0.2, 0.05}) {
+    TransitionMatrix P =
+        Share >= 1.0 ? buildQDrift(H) : combineWithQDrift(H, Pgc, Share);
+    HTTGraph G(H, P);
+    RNG Rng(11);
+    CompilationResult R = compileBySampling(G, T, Eps, Rng);
+    Out.addRow({formatDouble(Share), formatDouble(
+                    P.secondEigenvalueMagnitude(), 3),
+                formatDouble(expectedTransitionCNOTs(H, P, Pi), 4),
+                std::to_string(R.Counts.CNOTs),
+                formatDouble(Eval.fidelity(R.Schedule), 5)});
+  }
+  Out.print(std::cout);
+  std::cout << "\nReading the dial: lambda2 rises as the Pqd share falls "
+               "(slower mixing,\nlarger sampling variance) while the gate "
+               "cost drops — the reconciliation\nthe paper's Section 5 is "
+               "about.\n";
+  return 0;
+}

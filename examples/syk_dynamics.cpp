@@ -1,0 +1,70 @@
+//===- examples/syk_dynamics.cpp - SYK model time evolution ------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Quantum-field-theory workload: the Sachdev-Ye-Kitaev model built from
+// Majorana quadruples through our Jordan-Wigner machinery (the paper's
+// SYK-1 benchmark). The example compiles increasing evolution times with
+// MarQSim-GC-RP and tracks the return probability |<psi0|psi(t)>|^2 — the
+// scrambling signature SYK studies look at — against exact evolution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "core/TransitionBuilders.h"
+#include "hamgen/Models.h"
+#include "sim/Evolution.h"
+#include "sim/StateVector.h"
+#include "support/Table.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace marqsim;
+
+int main() {
+  const unsigned NumQubits = 6;
+  RNG Gen(2024);
+  Hamiltonian H =
+      makeSYK(NumQubits, /*NumTerms=*/120, /*J=*/1.0, Gen)
+          .rescaledToLambda(18.0)
+          .splitLargeTerms();
+  std::cout << "SYK-4 model: " << NumQubits << " qubits ("
+            << 2 * NumQubits << " Majorana modes), " << H.numTerms()
+            << " Pauli strings, lambda=" << formatDouble(H.lambda())
+            << "\n\n";
+
+  TransitionMatrix P = makeConfigMatrix(H, 0.4, 0.3, 0.3, 8);
+  HTTGraph G(H, P);
+
+  const uint64_t Initial = 0b010101; // a computational reference state
+  CVector Basis(size_t(1) << NumQubits, Complex(0, 0));
+  Basis[Initial] = 1.0;
+
+  Table T({"t", "N", "CNOTs", "return prob (compiled)",
+           "return prob (exact)"});
+  for (double Time : {0.05, 0.1, 0.15, 0.2}) {
+    RNG Rng(99);
+    CompilationResult R = compileBySampling(G, Time, /*Epsilon=*/0.02, Rng);
+
+    StateVector Compiled(NumQubits, Initial);
+    for (const ScheduledRotation &Step : R.Schedule)
+      Compiled.applyPauliExp(Step.String, Step.Tau);
+    double ReturnCompiled = std::norm(Compiled.amplitudes()[Initial]);
+
+    CVector Exact = evolveExact(H, Time, Basis);
+    double ReturnExact = std::norm(Exact[Initial]);
+
+    T.addRow({formatDouble(Time), std::to_string(R.NumSamples),
+              std::to_string(R.Counts.CNOTs),
+              formatDouble(ReturnCompiled, 5),
+              formatDouble(ReturnExact, 5)});
+  }
+  T.print(std::cout);
+  std::cout << "\nThe compiled return probabilities track the exact ones; "
+               "the deviation\nshrinks with epsilon (Theorem 4.1 bound "
+               "2 lambda^2 t^2 / N).\n";
+  return 0;
+}

@@ -1,0 +1,155 @@
+//===- circuit/Optimizer.cpp - Peephole gate cancellation -------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "circuit/Optimizer.h"
+
+#include <cmath>
+
+using namespace marqsim;
+
+/// Single-qubit gates diagonal in the Z basis.
+static bool isDiagonalKind(GateKind K) {
+  return K == GateKind::Z || K == GateKind::S || K == GateKind::Sdg ||
+         K == GateKind::Rz;
+}
+
+/// Single-qubit gates diagonal in the X basis.
+static bool isXAxisKind(GateKind K) {
+  return K == GateKind::X || K == GateKind::Rx;
+}
+
+static bool isYAxisKind(GateKind K) {
+  return K == GateKind::Y || K == GateKind::Ry;
+}
+
+bool marqsim::gatesCommute(const Gate &A, const Gate &B) {
+  if (!A.overlaps(B))
+    return true;
+  const bool ACx = A.isCNOT(), BCx = B.isCNOT();
+  if (!ACx && !BCx) {
+    // Same qubit (they overlap): commute iff both are rotations about the
+    // same axis (diagonal, X-type, or Y-type families).
+    if (isDiagonalKind(A.Kind) && isDiagonalKind(B.Kind))
+      return true;
+    if (isXAxisKind(A.Kind) && isXAxisKind(B.Kind))
+      return true;
+    if (isYAxisKind(A.Kind) && isYAxisKind(B.Kind))
+      return true;
+    return A.Kind == B.Kind && A.Angle == B.Angle;
+  }
+  if (ACx && BCx) {
+    // Overlapping CNOTs: sharing only the control or only the target
+    // commutes; a control of one on a target of the other does not.
+    if (A.Qubit0 == B.Qubit0 && A.Qubit1 == B.Qubit1)
+      return true;
+    if (A.Qubit0 == B.Qubit1 || A.Qubit1 == B.Qubit0)
+      return false;
+    return true; // share exactly one of {control,control} or {target,target}
+  }
+  // One CNOT, one single-qubit gate.
+  const Gate &Cx = ACx ? A : B;
+  const Gate &Single = ACx ? B : A;
+  if (Single.Qubit0 == Cx.Qubit0) // on the control
+    return isDiagonalKind(Single.Kind);
+  // On the target.
+  return isXAxisKind(Single.Kind);
+}
+
+bool marqsim::isInversePair(const Gate &A, const Gate &B) {
+  if (A.isCNOT() || B.isCNOT())
+    return A.isCNOT() && B.isCNOT() && A.Qubit0 == B.Qubit0 &&
+           A.Qubit1 == B.Qubit1;
+  if (A.Qubit0 != B.Qubit0)
+    return false;
+  switch (A.Kind) {
+  case GateKind::H:
+  case GateKind::X:
+  case GateKind::Y:
+  case GateKind::Z:
+    return B.Kind == A.Kind; // self-inverse
+  case GateKind::S:
+    return B.Kind == GateKind::Sdg;
+  case GateKind::Sdg:
+    return B.Kind == GateKind::S;
+  case GateKind::Rx:
+  case GateKind::Ry:
+  case GateKind::Rz:
+    // Exact opposite angles; near-zero merges are handled separately.
+    return B.Kind == A.Kind && A.Angle == -B.Angle;
+  case GateKind::CNOT:
+    break;
+  }
+  return false;
+}
+
+/// True if \p A and \p B are equal-kind rotations on the same qubit, whose
+/// angles can be summed into one gate.
+static bool isMergeablePair(const Gate &A, const Gate &B) {
+  return isRotationGate(A.Kind) && A.Kind == B.Kind && A.Qubit0 == B.Qubit0;
+}
+
+static Circuit runOnePass(const Circuit &In, const OptimizerOptions &Opts,
+                          bool &Changed) {
+  std::vector<Gate> Out;
+  Out.reserve(In.size());
+
+  for (const Gate &Incoming : In.gates()) {
+    Gate Cur = Incoming;
+    // Drop no-op rotations immediately.
+    if (isRotationGate(Cur.Kind) &&
+        std::fabs(Cur.Angle) <= Opts.AngleTolerance) {
+      Changed = true;
+      continue;
+    }
+    bool Consumed = false;
+    size_t Scan = Out.size();
+    while (Scan > 0) {
+      Gate &Prev = Out[Scan - 1];
+      if (!Prev.overlaps(Cur)) {
+        --Scan;
+        continue;
+      }
+      if (isInversePair(Prev, Cur)) {
+        Out.erase(Out.begin() + static_cast<long>(Scan) - 1);
+        Consumed = true;
+        Changed = true;
+        break;
+      }
+      if (isMergeablePair(Prev, Cur)) {
+        Prev.Angle += Cur.Angle;
+        if (std::fabs(Prev.Angle) <= Opts.AngleTolerance)
+          Out.erase(Out.begin() + static_cast<long>(Scan) - 1);
+        Consumed = true;
+        Changed = true;
+        break;
+      }
+      if (Opts.UseCommutation && gatesCommute(Prev, Cur)) {
+        --Scan;
+        continue;
+      }
+      break;
+    }
+    if (!Consumed)
+      Out.push_back(Cur);
+  }
+
+  Circuit Result(In.numQubits());
+  for (const Gate &G : Out)
+    Result.append(G);
+  return Result;
+}
+
+Circuit marqsim::optimizeCircuit(const Circuit &In,
+                                 const OptimizerOptions &Opts) {
+  Circuit Current = In;
+  for (unsigned Pass = 0; Pass < Opts.MaxPasses; ++Pass) {
+    bool Changed = false;
+    Current = runOnePass(Current, Opts, Changed);
+    if (!Changed)
+      break;
+  }
+  return Current;
+}

@@ -1,0 +1,54 @@
+//===- circuit/Optimizer.h - Peephole gate cancellation ---------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A peephole gate-cancellation pass over the circuit IR.
+///
+/// The pass repeatedly eliminates inverse pairs (H-H, CNOT-CNOT, S-Sdg, ...)
+/// and merges consecutive rotations of equal kind on the same qubit, looking
+/// through gates that commute with the candidate (diagonal gates slide over
+/// CNOT controls, X-type gates over CNOT targets, ladder CNOTs over each
+/// other, ...). It serves two roles in the reproduction:
+///   * the baseline configuration "qDrift + gate cancellation [22]" applies
+///     exactly this pass to the randomly ordered snippet stream, and
+///   * it independently validates the emitter's cancellation accounting
+///     (the emitter never emits pairs this pass could remove).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_CIRCUIT_OPTIMIZER_H
+#define MARQSIM_CIRCUIT_OPTIMIZER_H
+
+#include "circuit/Circuit.h"
+
+namespace marqsim {
+
+/// Options for the peephole pass.
+struct OptimizerOptions {
+  /// Slide candidates over commuting gates; disabling restricts
+  /// cancellation to literally adjacent pairs.
+  bool UseCommutation = true;
+
+  /// Rotations with |angle| below this are deleted outright.
+  double AngleTolerance = 1e-12;
+
+  /// Upper bound on fixpoint sweeps (the pass converges in 2-3 in practice).
+  unsigned MaxPasses = 8;
+};
+
+/// Returns true if gates \p A and \p B commute as operators. Exact for the
+/// gate alphabet of this IR (conservative never returns a false positive).
+bool gatesCommute(const Gate &A, const Gate &B);
+
+/// Returns true if \p A followed by \p B is the identity.
+bool isInversePair(const Gate &A, const Gate &B);
+
+/// Runs the peephole cancellation pass and returns the optimized circuit.
+Circuit optimizeCircuit(const Circuit &In, const OptimizerOptions &Opts = {});
+
+} // namespace marqsim
+
+#endif // MARQSIM_CIRCUIT_OPTIMIZER_H

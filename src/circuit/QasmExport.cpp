@@ -1,0 +1,55 @@
+//===- circuit/QasmExport.cpp - OpenQASM 2.0 export ---------------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "circuit/QasmExport.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+using namespace marqsim;
+
+/// OpenQASM spells rotation angles in full precision decimal.
+static std::string angleText(double Angle) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", Angle);
+  return Buf;
+}
+
+void marqsim::exportQasm(const Circuit &C, std::ostream &OS) {
+  OS << "OPENQASM 2.0;\n";
+  OS << "include \"qelib1.inc\";\n";
+  OS << "qreg q[" << C.numQubits() << "];\n";
+  for (const Gate &G : C.gates()) {
+    switch (G.Kind) {
+    case GateKind::H:
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+    case GateKind::S:
+      OS << gateKindName(G.Kind) << " q[" << G.Qubit0 << "];\n";
+      break;
+    case GateKind::Sdg:
+      OS << "sdg q[" << G.Qubit0 << "];\n";
+      break;
+    case GateKind::Rx:
+    case GateKind::Ry:
+    case GateKind::Rz:
+      OS << gateKindName(G.Kind) << "(" << angleText(G.Angle) << ") q["
+         << G.Qubit0 << "];\n";
+      break;
+    case GateKind::CNOT:
+      OS << "cx q[" << G.Qubit0 << "],q[" << G.Qubit1 << "];\n";
+      break;
+    }
+  }
+}
+
+std::string marqsim::toQasm(const Circuit &C) {
+  std::ostringstream OS;
+  exportQasm(C, OS);
+  return OS.str();
+}

@@ -1,0 +1,33 @@
+//===- circuit/QasmExport.h - OpenQASM 2.0 export ---------------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes circuits as OpenQASM 2.0, the interchange format of the
+/// quantum toolchains the paper builds on (Qiskit et al.), so compiled
+/// simulation circuits can be consumed by external stacks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_CIRCUIT_QASMEXPORT_H
+#define MARQSIM_CIRCUIT_QASMEXPORT_H
+
+#include "circuit/Circuit.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace marqsim {
+
+/// Writes \p C as an OpenQASM 2.0 program to \p OS (header, one register
+/// named "q", one instruction per line).
+void exportQasm(const Circuit &C, std::ostream &OS);
+
+/// Convenience overload returning the program text.
+std::string toQasm(const Circuit &C);
+
+} // namespace marqsim
+
+#endif // MARQSIM_CIRCUIT_QASMEXPORT_H

@@ -1,0 +1,53 @@
+//===- core/CNOTCountOracle.cpp - Pairwise CNOT cost oracle ------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CNOTCountOracle.h"
+
+using namespace marqsim;
+
+unsigned marqsim::cnotCountBetween(const PauliString &Prev,
+                                   const PauliString &Next) {
+  if (Prev == Next)
+    return 0; // identical terms merge their rotation angles
+  unsigned KPrev = Prev.weight();
+  unsigned KNext = Next.weight();
+  unsigned Ladder = (KPrev ? KPrev - 1 : 0) + (KNext ? KNext - 1 : 0);
+  unsigned Matched = Prev.matchedOps(Next);
+  if (Matched == 0)
+    return Ladder;
+  assert(2 * (Matched - 1) <= Ladder && "oracle cancellation exceeds supply");
+  return Ladder - 2 * (Matched - 1);
+}
+
+std::vector<std::vector<unsigned>>
+marqsim::cnotCostTable(const Hamiltonian &H) {
+  const size_t N = H.numTerms();
+  std::vector<std::vector<unsigned>> Table(N, std::vector<unsigned>(N, 0));
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = 0; J < N; ++J)
+      Table[I][J] = cnotCountBetween(H.term(I).String, H.term(J).String);
+  return Table;
+}
+
+double marqsim::expectedTransitionCNOTs(const Hamiltonian &H,
+                                        const TransitionMatrix &P,
+                                        const std::vector<double> &Pi) {
+  assert(P.size() == H.numTerms() && Pi.size() == H.numTerms() &&
+         "size mismatch in expected-cost computation");
+  double Acc = 0.0;
+  for (size_t I = 0; I < P.size(); ++I) {
+    if (Pi[I] == 0.0)
+      continue;
+    for (size_t J = 0; J < P.size(); ++J) {
+      double PIJ = P.at(I, J);
+      if (PIJ == 0.0)
+        continue;
+      Acc += Pi[I] * PIJ *
+             cnotCountBetween(H.term(I).String, H.term(J).String);
+    }
+  }
+  return Acc;
+}

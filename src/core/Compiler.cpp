@@ -1,0 +1,91 @@
+//===- core/Compiler.cpp - Compilation as Markov-chain sampling --------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+
+#include "core/TransitionBuilders.h"
+
+#include <cmath>
+
+using namespace marqsim;
+
+size_t marqsim::qdriftSampleCount(double Lambda, double T, double Epsilon) {
+  assert(Lambda > 0.0 && "lambda must be positive");
+  assert(Epsilon > 0.0 && "target precision must be positive");
+  double N = std::ceil(2.0 * Lambda * Lambda * T * T / Epsilon);
+  return std::max<size_t>(1, static_cast<size_t>(N));
+}
+
+CompilationResult marqsim::materializeSequence(const Hamiltonian &H,
+                                               std::vector<size_t> Sequence,
+                                               double TauStep,
+                                               const CompilationOptions &Opts) {
+  CompilationResult R;
+  R.NumSamples = Sequence.size();
+  R.Lambda = H.lambda();
+  R.Tau = TauStep;
+
+  // Merge runs of identical samples: exp(i tau P) exp(i tau P) folds into a
+  // single rotation with doubled time parameter (paper Section 5.2).
+  R.Schedule.reserve(Sequence.size());
+  for (size_t Index : Sequence) {
+    assert(Index < H.numTerms() && "sampled index out of range");
+    const PauliTerm &Term = H.term(Index);
+    double Tau = Term.Coeff >= 0.0 ? TauStep : -TauStep;
+    if (!R.Schedule.empty() && R.Schedule.back().String == Term.String)
+      R.Schedule.back().Tau += Tau;
+    else
+      R.Schedule.emplace_back(Term.String, Tau);
+  }
+  R.Sequence = std::move(Sequence);
+
+  R.Circ = emitSchedule(R.Schedule, H.numQubits(), Opts.Emit, &R.Stats);
+  R.Counts = R.Circ.counts();
+  return R;
+}
+
+CompilationResult marqsim::compileBySampling(const HTTGraph &Graph, double T,
+                                             double Epsilon, RNG &Rng,
+                                             const CompilationOptions &Opts) {
+  const Hamiltonian &H = Graph.hamiltonian();
+  assert(!H.empty() && "cannot compile an empty Hamiltonian");
+  const double Lambda = H.lambda();
+  const size_t N = qdriftSampleCount(Lambda, T, Epsilon);
+  const double TauStep = Lambda * T / static_cast<double>(N);
+
+  std::vector<size_t> Sequence(N);
+  if (Opts.UseCDFSampler) {
+    // CDF-based walk (ablation): same chain, O(log n) draws.
+    std::vector<CDFSampler> Rows;
+    Rows.reserve(Graph.numStates());
+    for (size_t I = 0; I < Graph.numStates(); ++I) {
+      std::vector<double> Row(Graph.transitionMatrix().row(I),
+                              Graph.transitionMatrix().row(I) +
+                                  Graph.numStates());
+      Rows.emplace_back(Row);
+    }
+    CDFSampler Initial(Graph.stationary());
+    size_t State = Initial.sample(Rng);
+    Sequence[0] = State;
+    for (size_t K = 1; K < N; ++K) {
+      State = Rows[State].sample(Rng);
+      Sequence[K] = State;
+    }
+  } else {
+    MarkovChainSampler Sampler(Graph.transitionMatrix(), Graph.stationary());
+    for (size_t K = 0; K < N; ++K)
+      Sequence[K] = Sampler.next(Rng);
+  }
+
+  return materializeSequence(H, std::move(Sequence), TauStep, Opts);
+}
+
+CompilationResult marqsim::compileQDrift(const Hamiltonian &H, double T,
+                                         double Epsilon, RNG &Rng,
+                                         const CompilationOptions &Opts) {
+  HTTGraph Graph = HTTGraph::withQDriftMatrix(H);
+  return compileBySampling(Graph, T, Epsilon, Rng, Opts);
+}

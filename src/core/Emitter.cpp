@@ -1,0 +1,147 @@
+//===- core/Emitter.cpp - Schedule-to-circuit lowering -----------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Emitter.h"
+
+using namespace marqsim;
+
+/// Mask of qubits where \p A and \p B carry the same non-identity operator.
+static uint64_t matchedMask(const PauliString &A, const PauliString &B) {
+  uint64_t SameX = ~(A.xMask() ^ B.xMask());
+  uint64_t SameZ = ~(A.zMask() ^ B.zMask());
+  return SameX & SameZ & A.supportMask() & B.supportMask();
+}
+
+/// Number of basis-change gates for operator \p K (H costs 1, the Y pair
+/// costs 2, Z/I cost 0) — used only for cancellation statistics.
+static unsigned basisGateCount(PauliOpKind K) {
+  switch (K) {
+  case PauliOpKind::I:
+  case PauliOpKind::Z:
+    return 0;
+  case PauliOpKind::X:
+    return 1;
+  case PauliOpKind::Y:
+    return 2;
+  }
+  return 0;
+}
+
+static unsigned highestBit(uint64_t Mask) {
+  assert(Mask != 0 && "highestBit of zero mask");
+  return 63 - __builtin_clzll(Mask);
+}
+
+Circuit marqsim::emitSchedule(const std::vector<ScheduledRotation> &Schedule,
+                              unsigned NumQubits, const EmitOptions &Opts,
+                              EmitStats *Stats) {
+  Circuit C(NumQubits);
+  if (Stats)
+    *Stats = EmitStats();
+
+  // Normalize: drop identity strings (global phase only) and fold runs of
+  // equal strings into one rotation (paper Section 5.2: CNOT_count(i,i)=0).
+  std::vector<ScheduledRotation> Steps;
+  Steps.reserve(Schedule.size());
+  for (const ScheduledRotation &Step : Schedule) {
+    if (Step.String.isIdentity())
+      continue;
+    if (!Steps.empty() && Steps.back().String == Step.String)
+      Steps.back().Tau += Step.Tau;
+    else
+      Steps.push_back(Step);
+  }
+
+  PauliString Prev;
+  unsigned PrevRoot = 0;
+
+  // Emits the trailing half of the previous snippet (ladder + leave layer),
+  // skipping the gates cancelled against the incoming string.
+  auto FlushPrevTail = [&](uint64_t SkipCNOTMask, uint64_t SkipBasisMask) {
+    uint64_t Support = Prev.supportMask();
+    for (unsigned Q = 0; Q < NumQubits; ++Q) {
+      if (Q == PrevRoot || !((Support >> Q) & 1))
+        continue;
+      if ((SkipCNOTMask >> Q) & 1)
+        continue;
+      C.cnot(Q, PrevRoot);
+    }
+    for (unsigned Q = 0; Q < NumQubits; ++Q) {
+      if (!((Support >> Q) & 1) || ((SkipBasisMask >> Q) & 1))
+        continue;
+      appendBasisChange(C, Prev.op(Q), Q, /*Inverse=*/true);
+    }
+  };
+
+  for (size_t K = 0; K < Steps.size(); ++K) {
+    const PauliString &P = Steps[K].String;
+    const uint64_t Support = P.supportMask();
+
+    // Root selection with one step of lookahead. Priorities:
+    //  1. keep the previous root when the operator on it matches — that is
+    //     what unlocks ladder CNOT cancellation at this boundary;
+    //  2. otherwise move the root into the set matched with the *next*
+    //     string, so the following boundary can cancel;
+    //  3. otherwise any qubit matched with the previous string;
+    //  4. otherwise the highest support qubit.
+    uint64_t MPrev = 0, MNext = 0;
+    if (Opts.CrossCancellation) {
+      if (K > 0)
+        MPrev = matchedMask(Prev, P);
+      if (K + 1 < Steps.size())
+        MNext = matchedMask(P, Steps[K + 1].String);
+    }
+    unsigned Root;
+    uint64_t CancelCNOTs = 0;
+    if (K > 0 && ((MPrev >> PrevRoot) & 1)) {
+      Root = PrevRoot;
+      CancelCNOTs = MPrev & ~(1ULL << Root);
+    } else if (MNext != 0) {
+      uint64_t Both = MNext & MPrev;
+      Root = highestBit(Both != 0 ? Both : MNext);
+    } else if (MPrev != 0) {
+      Root = highestBit(MPrev);
+    } else {
+      Root = highestBit(Support);
+    }
+
+    if (K > 0) {
+      FlushPrevTail(CancelCNOTs, MPrev);
+      if (Stats && Opts.CrossCancellation) {
+        Stats->CancelledCNOTs += 2 * __builtin_popcountll(CancelCNOTs);
+        for (unsigned Q = 0; Q < NumQubits; ++Q)
+          if ((MPrev >> Q) & 1)
+            Stats->CancelledSingles += 2 * basisGateCount(P.op(Q));
+      }
+    }
+
+    // Enter layer for qubits whose basis change was not cancelled.
+    for (unsigned Q = 0; Q < NumQubits; ++Q) {
+      if (!((Support >> Q) & 1))
+        continue;
+      if ((MPrev >> Q) & 1)
+        continue;
+      appendBasisChange(C, P.op(Q), Q, /*Inverse=*/false);
+    }
+    // Leading ladder minus cancelled pairs.
+    for (unsigned Q = 0; Q < NumQubits; ++Q) {
+      if (Q == Root || !((Support >> Q) & 1))
+        continue;
+      if ((CancelCNOTs >> Q) & 1)
+        continue;
+      C.cnot(Q, Root);
+    }
+    // Rz(-2 tau) realizes exp(i tau P) (Rz(phi) = e^{-i phi Z / 2}).
+    C.rz(Root, -2.0 * Steps[K].Tau);
+
+    Prev = P;
+    PrevRoot = Root;
+  }
+
+  if (!Steps.empty())
+    FlushPrevTail(/*SkipCNOTMask=*/0, /*SkipBasisMask=*/0);
+  return C;
+}

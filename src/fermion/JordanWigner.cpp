@@ -1,0 +1,66 @@
+//===- fermion/JordanWigner.cpp - Fermion-to-qubit mapping ------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fermion/JordanWigner.h"
+
+using namespace marqsim;
+
+/// Mask with Z on all qubits below \p P (the Jordan-Wigner parity string).
+static uint64_t parityMask(unsigned P) { return (1ULL << P) - 1; }
+
+PauliSum marqsim::jwAnnihilation(unsigned P) {
+  assert(P < 64 && "mode index out of range");
+  uint64_t Bit = 1ULL << P;
+  uint64_t Parity = parityMask(P);
+  PauliSum S;
+  // a_p = (X + iY)/2 on qubit p, times the Z parity chain.
+  S.add(Complex(0.5, 0.0), PauliString(Bit, Parity));
+  S.add(Complex(0.0, 0.5), PauliString(Bit, Parity | Bit));
+  return S;
+}
+
+PauliSum marqsim::jwCreation(unsigned P) {
+  return jwAnnihilation(P).adjoint();
+}
+
+PauliSum marqsim::jwNumber(unsigned P) {
+  assert(P < 64 && "mode index out of range");
+  PauliSum S;
+  S.add(Complex(0.5, 0.0), PauliString());
+  S.add(Complex(-0.5, 0.0), PauliString(0, 1ULL << P));
+  return S;
+}
+
+PauliSum marqsim::jwMajorana(unsigned K) {
+  assert(K < 128 && "Majorana index out of range");
+  unsigned P = K / 2;
+  uint64_t Bit = 1ULL << P;
+  uint64_t Parity = parityMask(P);
+  PauliSum S;
+  if (K % 2 == 0)
+    S.add(Complex(1.0, 0.0), PauliString(Bit, Parity)); // Z...Z X_p
+  else
+    S.add(Complex(1.0, 0.0), PauliString(Bit, Parity | Bit)); // Z...Z Y_p
+  return S;
+}
+
+PauliSum marqsim::jwOneBody(double Coeff, unsigned P, unsigned Q) {
+  if (P == Q)
+    return jwNumber(P) * Complex(Coeff, 0.0);
+  PauliSum Hop = jwCreation(P) * jwAnnihilation(Q);
+  PauliSum Term = (Hop + Hop.adjoint()) * Complex(Coeff, 0.0);
+  Term.prune();
+  return Term;
+}
+
+PauliSum marqsim::jwTwoBody(double Coeff, unsigned P, unsigned Q, unsigned R,
+                            unsigned S) {
+  PauliSum Mono = jwCreation(P) * jwCreation(Q) * jwAnnihilation(R) *
+                  jwAnnihilation(S);
+  PauliSum Term = (Mono + Mono.adjoint()) * Complex(Coeff, 0.0);
+  Term.prune();
+  return Term;
+}

@@ -1,0 +1,54 @@
+//===- fermion/JordanWigner.h - Fermion-to-qubit mapping --------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Jordan-Wigner fermion-to-qubit transformation [Jordan & Wigner 1928],
+/// which the paper uses (via Qiskit Nature) to turn second-quantized
+/// electronic-structure Hamiltonians into Pauli-string sums, plus Majorana
+/// operators for the SYK benchmarks.
+///
+/// Conventions: spin-orbital p maps to qubit p; the annihilation operator is
+///   a_p = Z_{p-1} ... Z_0 (x) (X_p + i Y_p)/2,
+/// and Majorana modes are
+///   chi_{2p}   = a_p + a_p^dag  = Z...Z X_p,
+///   chi_{2p+1} = -i (a_p - a_p^dag) = Z...Z Y_p.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_FERMION_JORDANWIGNER_H
+#define MARQSIM_FERMION_JORDANWIGNER_H
+
+#include "pauli/PauliSum.h"
+
+namespace marqsim {
+
+/// Jordan-Wigner image of the annihilation operator a_p.
+PauliSum jwAnnihilation(unsigned P);
+
+/// Jordan-Wigner image of the creation operator a_p^dag.
+PauliSum jwCreation(unsigned P);
+
+/// Jordan-Wigner image of the number operator n_p = a_p^dag a_p
+/// (equals (I - Z_p)/2).
+PauliSum jwNumber(unsigned P);
+
+/// Jordan-Wigner image of the Majorana mode chi_k, k in [0, 2*modes).
+PauliSum jwMajorana(unsigned K);
+
+/// Hermitian one-body excitation a_p^dag a_q + a_q^dag a_p (p != q), or
+/// the number operator when p == q, scaled by \p Coeff.
+PauliSum jwOneBody(double Coeff, unsigned P, unsigned Q);
+
+/// Hermitian two-body term
+///   Coeff * (a_p^dag a_q^dag a_r a_s + a_s^dag a_r^dag a_q a_p).
+/// Returns the zero operator when the monomial annihilates itself
+/// (e.g. p == q or r == s, by Pauli exclusion).
+PauliSum jwTwoBody(double Coeff, unsigned P, unsigned Q, unsigned R,
+                   unsigned S);
+
+} // namespace marqsim
+
+#endif // MARQSIM_FERMION_JORDANWIGNER_H

@@ -1,0 +1,111 @@
+//===- hamgen/Models.cpp - Physical model Hamiltonians -----------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamgen/Models.h"
+
+#include "fermion/JordanWigner.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+
+using namespace marqsim;
+
+Hamiltonian marqsim::makeTransverseFieldIsing(unsigned NumQubits, double J,
+                                              double G, bool Periodic) {
+  assert(NumQubits >= 2 && "Ising chain needs at least two sites");
+  Hamiltonian H(NumQubits);
+  unsigned Bonds = Periodic ? NumQubits : NumQubits - 1;
+  for (unsigned I = 0; I < Bonds; ++I) {
+    unsigned A = I, B = (I + 1) % NumQubits;
+    H.addTerm(-J, PauliString(0, (1ULL << A) | (1ULL << B)));
+  }
+  for (unsigned I = 0; I < NumQubits; ++I)
+    H.addTerm(-G, PauliString(1ULL << I, 0));
+  return H;
+}
+
+Hamiltonian marqsim::makeHeisenbergXXZ(unsigned NumQubits, double Jx,
+                                       double Jy, double Jz, double Hz,
+                                       bool Periodic) {
+  assert(NumQubits >= 2 && "Heisenberg chain needs at least two sites");
+  Hamiltonian H(NumQubits);
+  unsigned Bonds = Periodic ? NumQubits : NumQubits - 1;
+  for (unsigned I = 0; I < Bonds; ++I) {
+    uint64_t A = 1ULL << I, B = 1ULL << ((I + 1) % NumQubits);
+    if (Jx != 0.0)
+      H.addTerm(Jx, PauliString(A | B, 0));
+    if (Jy != 0.0)
+      H.addTerm(Jy, PauliString(A | B, A | B));
+    if (Jz != 0.0)
+      H.addTerm(Jz, PauliString(0, A | B));
+  }
+  if (Hz != 0.0)
+    for (unsigned I = 0; I < NumQubits; ++I)
+      H.addTerm(Hz, PauliString(0, 1ULL << I));
+  return H;
+}
+
+Hamiltonian marqsim::makeSYK(unsigned NumQubits, size_t NumTerms, double J,
+                             RNG &Rng) {
+  assert(NumQubits >= 2 && NumQubits <= 32 && "SYK size out of range");
+  const unsigned Modes = 2 * NumQubits; // Majorana modes
+  // Total number of quadruples i<j<k<l.
+  auto Choose4 = [](unsigned M) -> size_t {
+    return static_cast<size_t>(M) * (M - 1) * (M - 2) * (M - 3) / 24;
+  };
+  const size_t All = Choose4(Modes);
+  NumTerms = std::min(NumTerms, All);
+  assert(NumTerms > 0 && "SYK needs at least one term");
+
+  // Draw distinct quadruples.
+  std::set<std::array<unsigned, 4>> Quads;
+  while (Quads.size() < NumTerms) {
+    std::array<unsigned, 4> Q;
+    std::set<unsigned> Distinct;
+    while (Distinct.size() < 4)
+      Distinct.insert(static_cast<unsigned>(Rng.uniformInt(Modes)));
+    std::copy(Distinct.begin(), Distinct.end(), Q.begin());
+    Quads.insert(Q);
+  }
+
+  // Standard SYK-4 coupling variance: 3! J^2 / Modes^3.
+  const double Sigma =
+      std::sqrt(6.0 * J * J /
+                (static_cast<double>(Modes) * Modes * Modes));
+
+  PauliSum Sum;
+  for (const auto &Q : Quads) {
+    double Coupling = Rng.gaussian(0.0, Sigma);
+    // A product of four distinct Majorana modes is Hermitian: reversing the
+    // four anticommuting Hermitian factors contributes (-1)^6 = +1. Its
+    // Pauli image is therefore a single string with a real +/-1 sign.
+    PauliSum Mono = jwMajorana(Q[0]) * jwMajorana(Q[1]) * jwMajorana(Q[2]) *
+                    jwMajorana(Q[3]);
+    assert(Mono.isHermitian() && "Majorana quadruple must be Hermitian");
+    Sum += Mono * Complex(Coupling, 0.0);
+  }
+  Sum.prune();
+  assert(Sum.isHermitian() && "SYK Hamiltonian must be Hermitian");
+  return Sum.toHamiltonian(NumQubits);
+}
+
+Hamiltonian marqsim::makeRandomHamiltonian(unsigned NumQubits,
+                                           size_t NumTerms, RNG &Rng) {
+  assert(NumQubits >= 1 && NumQubits <= 64 && "qubit count out of range");
+  Hamiltonian H(NumQubits);
+  std::set<PauliString> Seen;
+  while (Seen.size() < NumTerms) {
+    PauliString P;
+    for (unsigned Q = 0; Q < NumQubits; ++Q)
+      P.setOp(Q, static_cast<PauliOpKind>(Rng.uniformInt(4)));
+    if (P.isIdentity() || !Seen.insert(P).second)
+      continue;
+    H.addTerm(Rng.uniform(0.2, 1.0), P);
+  }
+  return H;
+}

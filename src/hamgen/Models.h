@@ -1,0 +1,48 @@
+//===- hamgen/Models.h - Physical model Hamiltonians ------------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hamiltonian generators for the physical models exercised by the paper's
+/// evaluation and examples: SYK quantum-field models (via our Majorana /
+/// Jordan-Wigner machinery), spin-lattice models (transverse-field Ising,
+/// Heisenberg XXZ) for the domain examples, and random Pauli Hamiltonians
+/// for the Table 2 scalability study.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_HAMGEN_MODELS_H
+#define MARQSIM_HAMGEN_MODELS_H
+
+#include "pauli/Hamiltonian.h"
+#include "support/RNG.h"
+
+namespace marqsim {
+
+/// Transverse-field Ising chain: H = -J sum Z_i Z_{i+1} - G sum X_i.
+Hamiltonian makeTransverseFieldIsing(unsigned NumQubits, double J, double G,
+                                     bool Periodic = false);
+
+/// Heisenberg XXZ chain with optional longitudinal field:
+/// H = sum_i (Jx X_i X_{i+1} + Jy Y_i Y_{i+1} + Jz Z_i Z_{i+1})
+///     + Hz sum_i Z_i.
+Hamiltonian makeHeisenbergXXZ(unsigned NumQubits, double Jx, double Jy,
+                              double Jz, double Hz, bool Periodic = false);
+
+/// SYK-4 model on 2*NumQubits Majorana modes mapped by Jordan-Wigner:
+/// H = sum_{i<j<k<l} J_{ijkl} chi_i chi_j chi_k chi_l with Gaussian
+/// couplings of variance 3! J^2 / (2n)^3. \p NumTerms distinct quadruples
+/// are drawn uniformly (all of them when NumTerms >= C(2n, 4)), matching
+/// how the paper's SYK benchmarks downsample to 210 strings.
+Hamiltonian makeSYK(unsigned NumQubits, size_t NumTerms, double J, RNG &Rng);
+
+/// Random Hamiltonian of \p NumTerms distinct uniformly drawn Pauli strings
+/// with coefficients uniform in [0.2, 1.0] (Table 2's scalability inputs).
+Hamiltonian makeRandomHamiltonian(unsigned NumQubits, size_t NumTerms,
+                                  RNG &Rng);
+
+} // namespace marqsim
+
+#endif // MARQSIM_HAMGEN_MODELS_H

@@ -1,0 +1,95 @@
+//===- hamgen/Molecular.cpp - Synthetic molecular Hamiltonians ---------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamgen/Molecular.h"
+
+#include "fermion/JordanWigner.h"
+#include "support/RNG.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+using namespace marqsim;
+
+Hamiltonian marqsim::makeMolecularLike(unsigned NumQubits,
+                                       size_t TargetStrings, uint64_t Seed) {
+  assert(NumQubits >= 4 && NumQubits <= 24 && "unsupported register size");
+  RNG Rng(Seed ^ 0x6d6f6c6563756cULL); // "molecul" tag decorrelates seeds
+  PauliSum Sum;
+
+  // One-body part. Diagonal orbital energies dominate; hopping decays
+  // exponentially with orbital distance, as in localized molecular bases.
+  for (unsigned P = 0; P < NumQubits; ++P) {
+    double Energy = -(1.0 + 0.6 * Rng.uniform()) *
+                    (1.0 + 0.15 * static_cast<double>(P));
+    Sum += jwOneBody(Energy, P, P);
+  }
+  for (unsigned P = 0; P < NumQubits; ++P)
+    for (unsigned Q = P + 1; Q < NumQubits; ++Q) {
+      double Decay = std::exp(-0.8 * static_cast<double>(Q - P));
+      double Hop = 0.4 * Decay * Rng.gaussian();
+      if (std::fabs(Hop) > 1e-3)
+        Sum += jwOneBody(Hop, P, Q);
+    }
+
+  // Density-density (Coulomb / exchange flavour): a_p^dag a_q^dag a_q a_p.
+  for (unsigned P = 0; P < NumQubits; ++P)
+    for (unsigned Q = P + 1; Q < NumQubits; ++Q) {
+      double Coulomb = (0.12 + 0.2 * Rng.uniform()) /
+                       (1.0 + 0.4 * static_cast<double>(Q - P));
+      Sum += jwTwoBody(Coulomb, P, Q, Q, P);
+    }
+
+  // Double excitations a_p^dag a_q^dag a_r a_s, added until the merged
+  // Pauli expansion comfortably exceeds the requested string count. Their
+  // amplitudes are kept comparable to the Coulomb terms: in small
+  // active-space molecular Hamiltonians the surviving double-excitation
+  // integrals are of the same order as the density-density ones, and they
+  // contribute the weight-4 X/Y strings whose matched-operator overlaps
+  // gate cancellation feeds on.
+  size_t Guard = 0;
+  while (Guard < 4000) {
+    ++Guard;
+    unsigned P = static_cast<unsigned>(Rng.uniformInt(NumQubits));
+    unsigned Q = static_cast<unsigned>(Rng.uniformInt(NumQubits));
+    unsigned R = static_cast<unsigned>(Rng.uniformInt(NumQubits));
+    unsigned S = static_cast<unsigned>(Rng.uniformInt(NumQubits));
+    if (P == Q || R == S)
+      continue; // annihilated by Pauli exclusion
+    double Spread = static_cast<double>(std::max({P, Q, R, S}) -
+                                        std::min({P, Q, R, S}));
+    double Amp = 0.35 * std::exp(-0.12 * Spread) * Rng.gaussian();
+    if (std::fabs(Amp) < 5e-3)
+      continue;
+    Sum += jwTwoBody(Amp, P, Q, R, S);
+    if (Guard % 8 == 0) {
+      Sum.prune(1e-9);
+      Hamiltonian Probe = Sum.toHamiltonian(NumQubits);
+      if (Probe.numTerms() >= TargetStrings + TargetStrings / 4)
+        break;
+    }
+  }
+
+  Sum.prune(1e-9);
+  Hamiltonian Full = Sum.toHamiltonian(NumQubits).merged();
+  assert(Full.numTerms() >= TargetStrings &&
+         "generator could not reach the requested string count");
+
+  // Active-space style trim: keep the largest-|h| strings so the final term
+  // count matches the paper's Table 1 exactly.
+  std::vector<PauliTerm> Terms(Full.terms().begin(), Full.terms().end());
+  std::stable_sort(Terms.begin(), Terms.end(),
+                   [](const PauliTerm &A, const PauliTerm &B) {
+                     return std::fabs(A.Coeff) > std::fabs(B.Coeff);
+                   });
+  Terms.resize(TargetStrings);
+  Hamiltonian Out(NumQubits);
+  for (const PauliTerm &T : Terms)
+    Out.addTerm(T.Coeff, T.String);
+  assert(Out.numTerms() == TargetStrings && "trim failed");
+  return Out;
+}

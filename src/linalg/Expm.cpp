@@ -1,0 +1,58 @@
+//===- linalg/Expm.cpp - Matrix exponential ---------------------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Expm.h"
+
+#include "linalg/LU.h"
+
+#include <cmath>
+
+using namespace marqsim;
+
+Matrix marqsim::expm(const Matrix &A) {
+  assert(A.isSquare() && "expm of non-square matrix");
+  const size_t N = A.rows();
+
+  // Pade(13) coefficients (Higham, "The scaling and squaring method for the
+  // matrix exponential revisited", 2005).
+  static const double B[] = {
+      64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+      1187353796428800.0,  129060195264000.0,   10559470521600.0,
+      670442572800.0,      33522128640.0,       1323241920.0,
+      40840800.0,          960960.0,            16380.0,
+      182.0,               1.0};
+  const double Theta13 = 5.371920351148152;
+
+  // Scale A by 2^-s so that ||A/2^s||_1 <= theta13.
+  int S = 0;
+  double Norm = A.oneNorm();
+  if (Norm > Theta13)
+    S = static_cast<int>(std::ceil(std::log2(Norm / Theta13)));
+  Matrix As = A * Complex(std::ldexp(1.0, -S), 0.0);
+
+  Matrix I = Matrix::identity(N);
+  Matrix A2 = As * As;
+  Matrix A4 = A2 * A2;
+  Matrix A6 = A2 * A4;
+
+  // U = A * (A6*(b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
+  Matrix U = A6 * (A6 * B[13] + A4 * B[11] + A2 * B[9]);
+  U += A6 * B[7] + A4 * B[5] + A2 * B[3] + I * B[1];
+  U = As * U;
+  // V = A6*(b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
+  Matrix V = A6 * (A6 * B[12] + A4 * B[10] + A2 * B[8]);
+  V += A6 * B[6] + A4 * B[4] + A2 * B[2] + I * B[0];
+
+  // r13(A) = (V - U)^-1 (V + U)
+  LU Denominator(V - U);
+  assert(!Denominator.isSingular() && "Pade denominator singular");
+  Matrix R = Denominator.solve(V + U);
+
+  // Undo the scaling by repeated squaring.
+  for (int K = 0; K < S; ++K)
+    R = R * R;
+  return R;
+}

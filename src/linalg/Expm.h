@@ -1,0 +1,27 @@
+//===- linalg/Expm.h - Matrix exponential -----------------------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense matrix exponential via Pade(13) approximation with scaling and
+/// squaring (Higham 2005). This is the exact-evolution oracle: the target
+/// unitary of a Hamiltonian simulation experiment is `expm(i*t*H)` and the
+/// compiled circuits are compared against it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_LINALG_EXPM_H
+#define MARQSIM_LINALG_EXPM_H
+
+#include "linalg/Matrix.h"
+
+namespace marqsim {
+
+/// Computes e^A for a square complex matrix.
+Matrix expm(const Matrix &A);
+
+} // namespace marqsim
+
+#endif // MARQSIM_LINALG_EXPM_H

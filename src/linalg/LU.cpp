@@ -1,0 +1,100 @@
+//===- linalg/LU.cpp - LU factorization ------------------------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/LU.h"
+
+#include <cmath>
+
+using namespace marqsim;
+
+LU::LU(const Matrix &A) : Factors(A) {
+  assert(A.isSquare() && "LU of non-square matrix");
+  const size_t N = A.rows();
+  Perm.resize(N);
+  for (size_t I = 0; I < N; ++I)
+    Perm[I] = I;
+
+  for (size_t K = 0; K < N; ++K) {
+    // Partial pivoting: pick the largest |a_ik| at or below the diagonal.
+    size_t Pivot = K;
+    double Best = std::abs(Factors.at(K, K));
+    for (size_t I = K + 1; I < N; ++I) {
+      double Mag = std::abs(Factors.at(I, K));
+      if (Mag > Best) {
+        Best = Mag;
+        Pivot = I;
+      }
+    }
+    if (Best == 0.0) {
+      Singular = true;
+      continue;
+    }
+    if (Pivot != K) {
+      for (size_t J = 0; J < N; ++J)
+        std::swap(Factors.at(K, J), Factors.at(Pivot, J));
+      std::swap(Perm[K], Perm[Pivot]);
+      PermSign = -PermSign;
+    }
+    const Complex Diag = Factors.at(K, K);
+    for (size_t I = K + 1; I < N; ++I) {
+      Complex Mult = Factors.at(I, K) / Diag;
+      Factors.at(I, K) = Mult;
+      if (Mult == Complex(0.0, 0.0))
+        continue;
+      for (size_t J = K + 1; J < N; ++J)
+        Factors.at(I, J) -= Mult * Factors.at(K, J);
+    }
+  }
+}
+
+CVector LU::solve(const CVector &B) const {
+  assert(!Singular && "solving with a singular factorization");
+  const size_t N = Factors.rows();
+  assert(B.size() == N && "rhs size mismatch");
+
+  // Forward substitution with the permuted rhs (L has unit diagonal).
+  CVector Y(N);
+  for (size_t I = 0; I < N; ++I) {
+    Complex Acc = B[Perm[I]];
+    for (size_t J = 0; J < I; ++J)
+      Acc -= Factors.at(I, J) * Y[J];
+    Y[I] = Acc;
+  }
+  // Back substitution.
+  CVector X(N);
+  for (size_t I = N; I-- > 0;) {
+    Complex Acc = Y[I];
+    for (size_t J = I + 1; J < N; ++J)
+      Acc -= Factors.at(I, J) * X[J];
+    X[I] = Acc / Factors.at(I, I);
+  }
+  return X;
+}
+
+Matrix LU::solve(const Matrix &B) const {
+  assert(!Singular && "solving with a singular factorization");
+  const size_t N = Factors.rows();
+  assert(B.rows() == N && "rhs rows mismatch");
+  Matrix X(N, B.cols());
+  CVector Col(N);
+  for (size_t C = 0; C < B.cols(); ++C) {
+    for (size_t R = 0; R < N; ++R)
+      Col[R] = B.at(R, C);
+    CVector Sol = solve(Col);
+    for (size_t R = 0; R < N; ++R)
+      X.at(R, C) = Sol[R];
+  }
+  return X;
+}
+
+Complex LU::determinant() const {
+  if (Singular)
+    return 0.0;
+  Complex D = static_cast<double>(PermSign);
+  for (size_t I = 0; I < Factors.rows(); ++I)
+    D *= Factors.at(I, I);
+  return D;
+}

@@ -1,0 +1,49 @@
+//===- linalg/LU.h - LU factorization ---------------------------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LU decomposition with partial pivoting for complex matrices.
+///
+/// Used by the Pade matrix exponential (denominator solve) and available as
+/// a general linear-system solver for the stationary-distribution utilities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_LINALG_LU_H
+#define MARQSIM_LINALG_LU_H
+
+#include "linalg/Matrix.h"
+
+namespace marqsim {
+
+/// PA = LU factorization of a square complex matrix.
+class LU {
+public:
+  /// Factorizes \p A. Check isSingular() before solving.
+  explicit LU(const Matrix &A);
+
+  /// Returns true if a (numerically) zero pivot was encountered.
+  bool isSingular() const { return Singular; }
+
+  /// Solves A x = b. Requires !isSingular().
+  CVector solve(const CVector &B) const;
+
+  /// Solves A X = B column-by-column. Requires !isSingular().
+  Matrix solve(const Matrix &B) const;
+
+  /// Determinant of A (product of pivots with permutation sign).
+  Complex determinant() const;
+
+private:
+  Matrix Factors;          // combined L (unit diagonal) and U
+  std::vector<size_t> Perm; // row permutation: factorized row i is A[Perm[i]]
+  int PermSign = 1;
+  bool Singular = false;
+};
+
+} // namespace marqsim
+
+#endif // MARQSIM_LINALG_LU_H

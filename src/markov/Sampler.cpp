@@ -1,0 +1,107 @@
+//===- markov/Sampler.cpp - Discrete and Markov-chain sampling --------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "markov/Sampler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace marqsim;
+
+AliasSampler::AliasSampler(const std::vector<double> &Weights) {
+  const size_t N = Weights.size();
+  assert(N > 0 && "alias table over empty distribution");
+  double Total = 0.0;
+  for (double W : Weights) {
+    assert(W >= 0.0 && "negative weight");
+    Total += W;
+  }
+  assert(Total > 0.0 && "all-zero distribution");
+
+  Prob.assign(N, 0.0);
+  Alias.assign(N, 0);
+  // Vose's stable construction: scale weights to mean 1, then pair each
+  // under-full cell with an over-full donor.
+  std::vector<double> Scaled(N);
+  for (size_t I = 0; I < N; ++I)
+    Scaled[I] = Weights[I] * static_cast<double>(N) / Total;
+
+  std::vector<uint32_t> Small, Large;
+  Small.reserve(N);
+  Large.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    if (Scaled[I] < 1.0)
+      Small.push_back(static_cast<uint32_t>(I));
+    else
+      Large.push_back(static_cast<uint32_t>(I));
+  }
+  while (!Small.empty() && !Large.empty()) {
+    uint32_t S = Small.back();
+    Small.pop_back();
+    uint32_t L = Large.back();
+    Large.pop_back();
+    Prob[S] = Scaled[S];
+    Alias[S] = L;
+    Scaled[L] = (Scaled[L] + Scaled[S]) - 1.0;
+    if (Scaled[L] < 1.0)
+      Small.push_back(L);
+    else
+      Large.push_back(L);
+  }
+  // Leftovers are numerically 1.
+  for (uint32_t I : Large)
+    Prob[I] = 1.0;
+  for (uint32_t I : Small)
+    Prob[I] = 1.0;
+}
+
+size_t AliasSampler::sample(RNG &Rng) const {
+  assert(!Prob.empty() && "sampling from an unbuilt alias table");
+  size_t Cell = Rng.uniformInt(Prob.size());
+  return Rng.uniform() < Prob[Cell] ? Cell : Alias[Cell];
+}
+
+CDFSampler::CDFSampler(const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "CDF table over empty distribution");
+  Cumulative.resize(Weights.size());
+  double Acc = 0.0;
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    assert(Weights[I] >= 0.0 && "negative weight");
+    Acc += Weights[I];
+    Cumulative[I] = Acc;
+  }
+  assert(Acc > 0.0 && "all-zero distribution");
+}
+
+size_t CDFSampler::sample(RNG &Rng) const {
+  assert(!Cumulative.empty() && "sampling from an unbuilt CDF table");
+  double X = Rng.uniform() * Cumulative.back();
+  auto It = std::upper_bound(Cumulative.begin(), Cumulative.end(), X);
+  if (It == Cumulative.end())
+    --It;
+  return static_cast<size_t>(It - Cumulative.begin());
+}
+
+MarkovChainSampler::MarkovChainSampler(const TransitionMatrix &Matrix,
+                                       const std::vector<double> &Initial)
+    : InitialDist(Initial) {
+  assert(Initial.size() == Matrix.size() &&
+         "initial distribution size mismatch");
+  const size_t N = Matrix.size();
+  Rows.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    std::vector<double> Row(Matrix.row(I), Matrix.row(I) + N);
+    Rows.emplace_back(Row);
+  }
+}
+
+size_t MarkovChainSampler::next(RNG &Rng) {
+  if (Current == kNoState)
+    Current = InitialDist.sample(Rng);
+  else
+    Current = Rows[Current].sample(Rng);
+  return Current;
+}

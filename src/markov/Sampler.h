@@ -1,0 +1,91 @@
+//===- markov/Sampler.h - Discrete and Markov-chain sampling ----*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sampling machinery for Algorithm 1 of the paper ("Compilation As
+/// Sampling from Markov Process").
+///
+/// Two discrete samplers are provided: Walker's alias method (O(1) per
+/// draw after O(n) setup) and a binary-search CDF sampler (O(log n) per
+/// draw, the complexity the paper's analysis assumes via
+/// Bringmann-Panagiotou). MarkovChainSampler pre-builds one alias table per
+/// row of the transition matrix and walks the chain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_MARKOV_SAMPLER_H
+#define MARQSIM_MARKOV_SAMPLER_H
+
+#include "markov/TransitionMatrix.h"
+#include "support/RNG.h"
+
+namespace marqsim {
+
+/// Walker/Vose alias sampler over a fixed discrete distribution.
+class AliasSampler {
+public:
+  AliasSampler() = default;
+
+  /// Builds the alias table from non-negative weights (need not be
+  /// normalized; at least one must be positive).
+  explicit AliasSampler(const std::vector<double> &Weights);
+
+  /// Draws one index.
+  size_t sample(RNG &Rng) const;
+
+  size_t size() const { return Prob.size(); }
+
+private:
+  std::vector<double> Prob;
+  std::vector<uint32_t> Alias;
+};
+
+/// Binary-search inverse-CDF sampler over a fixed discrete distribution.
+class CDFSampler {
+public:
+  CDFSampler() = default;
+
+  /// Builds cumulative sums from non-negative weights.
+  explicit CDFSampler(const std::vector<double> &Weights);
+
+  /// Draws one index in O(log n).
+  size_t sample(RNG &Rng) const;
+
+  size_t size() const { return Cumulative.size(); }
+
+private:
+  std::vector<double> Cumulative;
+};
+
+/// Walks a homogeneous Markov chain: the first draw comes from the initial
+/// distribution, subsequent draws from the row of the previous state
+/// (Algorithm 1, lines 5-8).
+class MarkovChainSampler {
+public:
+  /// Prepares alias tables for \p Initial and for every row of \p Matrix.
+  MarkovChainSampler(const TransitionMatrix &Matrix,
+                     const std::vector<double> &Initial);
+
+  /// Draws the next state and advances the chain.
+  size_t next(RNG &Rng);
+
+  /// Resets to the pre-first-draw state (next draw uses the initial
+  /// distribution again).
+  void reset() { Current = kNoState; }
+
+  /// Number of states in the chain.
+  size_t numStates() const { return Rows.size(); }
+
+private:
+  static constexpr size_t kNoState = static_cast<size_t>(-1);
+  AliasSampler InitialDist;
+  std::vector<AliasSampler> Rows;
+  size_t Current = kNoState;
+};
+
+} // namespace marqsim
+
+#endif // MARQSIM_MARKOV_SAMPLER_H

@@ -1,0 +1,64 @@
+//===- pauli/CommutingGroups.cpp - Commuting term partition -------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pauli/CommutingGroups.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace marqsim;
+
+std::vector<std::vector<size_t>>
+marqsim::groupCommutingTerms(const Hamiltonian &H) {
+  const size_t N = H.numTerms();
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return std::fabs(H.term(A).Coeff) > std::fabs(H.term(B).Coeff);
+  });
+
+  std::vector<std::vector<size_t>> Groups;
+  for (size_t Index : Order) {
+    const PauliString &S = H.term(Index).String;
+    bool Placed = false;
+    for (std::vector<size_t> &Group : Groups) {
+      bool Fits = true;
+      for (size_t Member : Group) {
+        if (!S.commutesWith(H.term(Member).String)) {
+          Fits = false;
+          break;
+        }
+      }
+      if (Fits) {
+        Group.push_back(Index);
+        Placed = true;
+        break;
+      }
+    }
+    if (!Placed)
+      Groups.push_back({Index});
+  }
+  return Groups;
+}
+
+bool marqsim::isValidCommutingPartition(
+    const Hamiltonian &H, const std::vector<std::vector<size_t>> &Groups) {
+  std::vector<char> Seen(H.numTerms(), 0);
+  for (const auto &Group : Groups)
+    for (size_t I = 0; I < Group.size(); ++I) {
+      if (Group[I] >= H.numTerms() || Seen[Group[I]])
+        return false;
+      Seen[Group[I]] = 1;
+      for (size_t J = I + 1; J < Group.size(); ++J)
+        if (!H.term(Group[I]).String.commutesWith(H.term(Group[J]).String))
+          return false;
+    }
+  for (char S : Seen)
+    if (!S)
+      return false;
+  return true;
+}

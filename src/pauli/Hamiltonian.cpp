@@ -1,0 +1,113 @@
+//===- pauli/Hamiltonian.cpp - Weighted Pauli-string Hamiltonians -----------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pauli/Hamiltonian.h"
+
+#include "support/Table.h"
+
+#include <cmath>
+#include <map>
+
+using namespace marqsim;
+
+Hamiltonian Hamiltonian::parse(
+    const std::vector<std::pair<double, std::string>> &TermList) {
+  assert(!TermList.empty() && "cannot parse an empty Hamiltonian");
+  Hamiltonian H(static_cast<unsigned>(TermList.front().second.size()));
+  for (const auto &[Coeff, Text] : TermList) {
+    assert(Text.size() == H.NQubits && "inconsistent Pauli string length");
+    std::optional<PauliString> P = PauliString::parse(Text);
+    assert(P && "malformed Pauli string");
+    H.addTerm(Coeff, *P);
+  }
+  return H;
+}
+
+void Hamiltonian::addTerm(double Coeff, PauliString String) {
+  if (Coeff == 0.0)
+    return;
+  assert((String.supportMask() >> NQubits) == 0 &&
+         "term acts outside the declared register");
+  Terms.emplace_back(Coeff, String);
+}
+
+double Hamiltonian::lambda() const {
+  double L = 0.0;
+  for (const PauliTerm &T : Terms)
+    L += std::fabs(T.Coeff);
+  return L;
+}
+
+std::vector<double> Hamiltonian::stationaryDistribution() const {
+  const double L = lambda();
+  assert(L > 0.0 && "stationary distribution of an empty Hamiltonian");
+  std::vector<double> Pi(Terms.size());
+  for (size_t I = 0; I < Terms.size(); ++I)
+    Pi[I] = std::fabs(Terms[I].Coeff) / L;
+  return Pi;
+}
+
+Hamiltonian Hamiltonian::merged(double Tol) const {
+  std::map<PauliString, double> Sums;
+  for (const PauliTerm &T : Terms)
+    Sums[T.String] += T.Coeff;
+  Hamiltonian H(NQubits);
+  for (const auto &[String, Coeff] : Sums)
+    if (std::fabs(Coeff) > Tol)
+      H.addTerm(Coeff, String);
+  return H;
+}
+
+Hamiltonian Hamiltonian::splitLargeTerms(double MaxPi) const {
+  assert(MaxPi > 0.0 && MaxPi <= 1.0 && "invalid stationary-weight cap");
+  const double L = lambda();
+  Hamiltonian H(NQubits);
+  for (const PauliTerm &T : Terms) {
+    double Pi = std::fabs(T.Coeff) / L;
+    // Split into the smallest number of equal pieces that fit under MaxPi.
+    // A strict bound is required by the flow-feasibility argument, so round
+    // up when pi is exactly at the cap.
+    unsigned Pieces = 1;
+    while (Pi / Pieces > MaxPi)
+      ++Pieces;
+    for (unsigned K = 0; K < Pieces; ++K)
+      H.addTerm(T.Coeff / Pieces, T.String);
+  }
+  return H;
+}
+
+Hamiltonian Hamiltonian::rescaledToLambda(double TargetLambda) const {
+  assert(TargetLambda > 0.0 && "target lambda must be positive");
+  const double L = lambda();
+  assert(L > 0.0 && "cannot rescale an empty Hamiltonian");
+  const double Factor = TargetLambda / L;
+  Hamiltonian H(NQubits);
+  for (const PauliTerm &T : Terms)
+    H.addTerm(T.Coeff * Factor, T.String);
+  return H;
+}
+
+Matrix Hamiltonian::toMatrix() const {
+  assert(NQubits <= 14 && "dense Hamiltonian too large");
+  const size_t Dim = size_t(1) << NQubits;
+  Matrix M(Dim, Dim);
+  // Each Pauli string is a (phase, permutation) pair: only 2^n nonzeros.
+  for (const PauliTerm &T : Terms)
+    for (uint64_t X = 0; X < Dim; ++X)
+      M.at(X ^ T.String.xMask(), X) += T.Coeff * T.String.applyToBasis(X);
+  return M;
+}
+
+std::string Hamiltonian::str() const {
+  std::string S;
+  for (const PauliTerm &T : Terms) {
+    S += formatDouble(T.Coeff);
+    S += " * ";
+    S += T.String.str(NQubits);
+    S += '\n';
+  }
+  return S;
+}

@@ -1,0 +1,95 @@
+//===- pauli/Hamiltonian.h - Weighted Pauli-string Hamiltonians -*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decomposed Hamiltonian H = sum_j h_j H_j with real weights h_j and
+/// Pauli-string terms H_j. This is the input of every compiler in the
+/// project (Trotter, qDrift, MarQSim).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_PAULI_HAMILTONIAN_H
+#define MARQSIM_PAULI_HAMILTONIAN_H
+
+#include "pauli/PauliString.h"
+
+#include <string>
+#include <vector>
+
+namespace marqsim {
+
+/// One weighted term h_j * H_j of a decomposed Hamiltonian.
+struct PauliTerm {
+  double Coeff = 0.0;
+  PauliString String;
+
+  PauliTerm() = default;
+  PauliTerm(double Coeff, PauliString String)
+      : Coeff(Coeff), String(String) {}
+};
+
+/// A Hamiltonian decomposed into a weighted sum of Pauli strings.
+class Hamiltonian {
+public:
+  Hamiltonian() = default;
+  explicit Hamiltonian(unsigned NumQubits) : NQubits(NumQubits) {}
+
+  /// Builds a Hamiltonian from (coefficient, text) pairs such as
+  /// {1.0, "IIIZ"}. Asserts on malformed strings or inconsistent lengths.
+  static Hamiltonian parse(
+      const std::vector<std::pair<double, std::string>> &Terms);
+
+  unsigned numQubits() const { return NQubits; }
+  size_t numTerms() const { return Terms.size(); }
+  bool empty() const { return Terms.empty(); }
+
+  const PauliTerm &term(size_t I) const {
+    assert(I < Terms.size() && "term index out of range");
+    return Terms[I];
+  }
+  const std::vector<PauliTerm> &terms() const { return Terms; }
+
+  /// Appends a term. Zero-coefficient terms are dropped (the stationary
+  /// distribution pi_i = |h_i|/lambda requires strictly positive weights).
+  void addTerm(double Coeff, PauliString String);
+
+  /// lambda = sum_j |h_j| (paper notation).
+  double lambda() const;
+
+  /// The qDrift/MarQSim stationary distribution pi_i = |h_i| / lambda.
+  std::vector<double> stationaryDistribution() const;
+
+  /// Merges terms with identical Pauli strings (summing coefficients) and
+  /// drops terms with |h| <= Tol. Returns the merged Hamiltonian.
+  Hamiltonian merged(double Tol = 1e-12) const;
+
+  /// Splits any term whose stationary weight pi_i exceeds \p MaxPi into
+  /// equal halves, repeatedly, so that every resulting pi_i <= MaxPi.
+  /// This implements the fix in the proof of Theorem 5.1 (a feasible flow
+  /// with the diagonal removed requires pi_i <= 0.5).
+  Hamiltonian splitLargeTerms(double MaxPi = 0.5) const;
+
+  /// Returns the Hamiltonian with all coefficients scaled by the same
+  /// factor so that lambda() == TargetLambda. The stationary distribution
+  /// (and hence every transition matrix) is unchanged; only the sampling
+  /// budget N = ceil(2 lambda^2 t^2 / eps) moves. The benchmark registry
+  /// uses this to place synthetic workloads in the paper's N regime.
+  Hamiltonian rescaledToLambda(double TargetLambda) const;
+
+  /// Dense 2^n x 2^n matrix of the full Hamiltonian (small systems only).
+  Matrix toMatrix() const;
+
+  /// Multi-line human-readable listing.
+  std::string str() const;
+
+private:
+  unsigned NQubits = 0;
+  std::vector<PauliTerm> Terms;
+};
+
+} // namespace marqsim
+
+#endif // MARQSIM_PAULI_HAMILTONIAN_H

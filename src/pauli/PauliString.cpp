@@ -1,0 +1,115 @@
+//===- pauli/PauliString.cpp - Pauli string algebra -------------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pauli/PauliString.h"
+
+using namespace marqsim;
+
+char marqsim::pauliOpChar(PauliOpKind K) {
+  switch (K) {
+  case PauliOpKind::I:
+    return 'I';
+  case PauliOpKind::X:
+    return 'X';
+  case PauliOpKind::Y:
+    return 'Y';
+  case PauliOpKind::Z:
+    return 'Z';
+  }
+  assert(false && "invalid PauliOpKind");
+  return '?';
+}
+
+std::optional<PauliString> PauliString::parse(const std::string &Text) {
+  if (Text.size() > 64)
+    return std::nullopt;
+  PauliString P;
+  const unsigned N = static_cast<unsigned>(Text.size());
+  for (unsigned I = 0; I < N; ++I) {
+    // Leftmost character acts on the highest qubit (paper convention).
+    unsigned Q = N - 1 - I;
+    switch (Text[I]) {
+    case 'I':
+    case 'i':
+      break;
+    case 'X':
+    case 'x':
+      P.XMask |= 1ULL << Q;
+      break;
+    case 'Y':
+    case 'y':
+      P.XMask |= 1ULL << Q;
+      P.ZMask |= 1ULL << Q;
+      break;
+    case 'Z':
+    case 'z':
+      P.ZMask |= 1ULL << Q;
+      break;
+    default:
+      return std::nullopt;
+    }
+  }
+  return P;
+}
+
+void PauliString::setOp(unsigned Q, PauliOpKind K) {
+  assert(Q < 64 && "qubit index out of range");
+  uint64_t Bit = 1ULL << Q;
+  XMask &= ~Bit;
+  ZMask &= ~Bit;
+  unsigned Bits = static_cast<unsigned>(K);
+  if (Bits & 1)
+    XMask |= Bit;
+  if (Bits & 2)
+    ZMask |= Bit;
+}
+
+PauliString PauliString::multiply(const PauliString &O,
+                                  int &PhasePowOut) const {
+  // Write each string canonically as i^{|X&Z|} X^A Z^B (Y = iXZ per qubit).
+  // (i^{p1} X^{A1} Z^{B1}) (i^{p2} X^{A2} Z^{B2})
+  //   = i^{p1+p2} (-1)^{|B1 & A2|} X^{A1^A2} Z^{B1^B2}.
+  // The result string again carries its own canonical factor i^{|A&B|},
+  // so the residual scalar phase is the difference.
+  PauliString R(XMask ^ O.XMask, ZMask ^ O.ZMask);
+  int P1 = __builtin_popcountll(XMask & ZMask);
+  int P2 = __builtin_popcountll(O.XMask & O.ZMask);
+  int Swap = __builtin_popcountll(ZMask & O.XMask);
+  int PR = __builtin_popcountll(R.XMask & R.ZMask);
+  PhasePowOut = ((P1 + P2 + 2 * Swap - PR) % 4 + 4) % 4;
+  return R;
+}
+
+Complex PauliString::applyToBasis(uint64_t X) const {
+  // P = i^{|A&B|} X^A Z^B. Z^B |x> = (-1)^{|B&x|} |x>; X^A flips the bits.
+  static const Complex IPow[4] = {
+      {1.0, 0.0}, {0.0, 1.0}, {-1.0, 0.0}, {0.0, -1.0}};
+  int Pow = __builtin_popcountll(XMask & ZMask) % 4;
+  Complex Phase = IPow[Pow];
+  if (__builtin_popcountll(ZMask & X) & 1)
+    Phase = -Phase;
+  return Phase;
+}
+
+std::string PauliString::str(unsigned NumQubits) const {
+  assert(NumQubits <= 64 && "too many qubits");
+  std::string S(NumQubits, 'I');
+  for (unsigned Q = 0; Q < NumQubits; ++Q)
+    S[NumQubits - 1 - Q] = pauliOpChar(op(Q));
+  return S;
+}
+
+Matrix PauliString::toMatrix(unsigned NumQubits) const {
+  assert(NumQubits <= 20 && "dense Pauli matrix too large");
+  const size_t Dim = size_t(1) << NumQubits;
+  Matrix M(Dim, Dim);
+  for (uint64_t X = 0; X < Dim; ++X) {
+    uint64_t Target = X ^ XMask;
+    assert(Target < Dim && "Pauli string acts outside the register");
+    M.at(Target, X) = applyToBasis(X);
+  }
+  return M;
+}

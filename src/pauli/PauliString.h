@@ -1,0 +1,139 @@
+//===- pauli/PauliString.h - Pauli string algebra ---------------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pauli strings in the symplectic (X-mask, Z-mask) representation.
+///
+/// An n-qubit Pauli string P = sigma_n (x) ... (x) sigma_1 with
+/// sigma in {I, X, Y, Z} is stored as two 64-bit masks: bit q of XMask/ZMask
+/// records whether the operator on qubit q contains an X/Z factor
+/// (Y = iXZ sets both). This makes products, commutation tests, and
+/// state application O(1) bit operations, which the compiler relies on for
+/// its CNOT-count oracle and the simulator for fast Pauli rotations.
+///
+/// Convention: qubit 0 is the least significant bit of a computational basis
+/// index; the textual form "XYZI" follows the paper (leftmost character is
+/// the highest qubit).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_PAULI_PAULISTRING_H
+#define MARQSIM_PAULI_PAULISTRING_H
+
+#include "linalg/Matrix.h"
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace marqsim {
+
+/// Single-qubit Pauli operator kind.
+enum class PauliOpKind : uint8_t { I = 0, X = 1, Z = 2, Y = 3 };
+
+/// An n-qubit Pauli string (n <= 64), phase-free (the canonical operator
+/// sigma_n (x) ... (x) sigma_1 itself; scalar phases live with callers).
+class PauliString {
+public:
+  /// The identity string.
+  PauliString() : XMask(0), ZMask(0) {}
+
+  /// Builds a string directly from symplectic masks.
+  PauliString(uint64_t XMask, uint64_t ZMask) : XMask(XMask), ZMask(ZMask) {}
+
+  /// Parses text such as "XYZI" (leftmost char = highest qubit). Returns
+  /// std::nullopt on characters outside {I,X,Y,Z} or length > 64.
+  static std::optional<PauliString> parse(const std::string &Text);
+
+  /// Returns the operator acting on qubit \p Q.
+  PauliOpKind op(unsigned Q) const {
+    assert(Q < 64 && "qubit index out of range");
+    unsigned Bits = (unsigned)((XMask >> Q) & 1) |
+                    ((unsigned)((ZMask >> Q) & 1) << 1);
+    return static_cast<PauliOpKind>(Bits);
+  }
+
+  /// Sets the operator acting on qubit \p Q.
+  void setOp(unsigned Q, PauliOpKind K);
+
+  uint64_t xMask() const { return XMask; }
+  uint64_t zMask() const { return ZMask; }
+
+  /// Mask of qubits with a non-identity operator.
+  uint64_t supportMask() const { return XMask | ZMask; }
+
+  /// Number of non-identity positions.
+  unsigned weight() const { return __builtin_popcountll(supportMask()); }
+
+  /// True if this is the identity string.
+  bool isIdentity() const { return supportMask() == 0; }
+
+  /// True if the two strings commute (symplectic inner product is even).
+  bool commutesWith(const PauliString &O) const {
+    unsigned Sym = __builtin_popcountll(XMask & O.ZMask) +
+                   __builtin_popcountll(ZMask & O.XMask);
+    return (Sym % 2) == 0;
+  }
+
+  /// Number of qubits on which both strings act with the *same* non-identity
+  /// operator. This is the "matched Pauli operators" count that drives the
+  /// CNOT gate-cancellation oracle (paper Section 5.2).
+  unsigned matchedOps(const PauliString &O) const {
+    uint64_t SameX = ~(XMask ^ O.XMask);
+    uint64_t SameZ = ~(ZMask ^ O.ZMask);
+    return __builtin_popcountll(SameX & SameZ & supportMask() &
+                                O.supportMask());
+  }
+
+  bool operator==(const PauliString &O) const {
+    return XMask == O.XMask && ZMask == O.ZMask;
+  }
+  bool operator!=(const PauliString &O) const { return !(*this == O); }
+  bool operator<(const PauliString &O) const {
+    return XMask != O.XMask ? XMask < O.XMask : ZMask < O.ZMask;
+  }
+
+  /// Computes the operator product This * O. The product of two Pauli
+  /// strings is always i^k times a third string; \p PhasePowOut receives
+  /// k in {0,1,2,3} so that This*O == i^k * result.
+  PauliString multiply(const PauliString &O, int &PhasePowOut) const;
+
+  /// Applies the string to a computational basis state |X>:
+  /// P|X> = phase * |X ^ XMask>. \returns the complex phase.
+  Complex applyToBasis(uint64_t X) const;
+
+  /// Renders the string over \p NumQubits characters, highest qubit first.
+  std::string str(unsigned NumQubits) const;
+
+  /// Dense 2^n x 2^n matrix; for testing and exact small-system evolution.
+  Matrix toMatrix(unsigned NumQubits) const;
+
+  /// A stable 64-bit hash for use in unordered containers.
+  uint64_t hash() const {
+    uint64_t H = XMask * 0x9e3779b97f4a7c15ULL;
+    H ^= ZMask + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+    return H;
+  }
+
+private:
+  uint64_t XMask;
+  uint64_t ZMask;
+};
+
+/// Hash functor for unordered containers keyed by PauliString.
+struct PauliStringHash {
+  size_t operator()(const PauliString &P) const {
+    return static_cast<size_t>(P.hash());
+  }
+};
+
+/// Renders a single Pauli operator kind as 'I', 'X', 'Y' or 'Z'.
+char pauliOpChar(PauliOpKind K);
+
+} // namespace marqsim
+
+#endif // MARQSIM_PAULI_PAULISTRING_H

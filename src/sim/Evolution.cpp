@@ -1,0 +1,64 @@
+//===- sim/Evolution.cpp - Exact Hamiltonian evolution -----------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Evolution.h"
+
+#include "linalg/Expm.h"
+
+#include <cmath>
+
+using namespace marqsim;
+
+CVector marqsim::applyHamiltonian(const Hamiltonian &H, const CVector &X) {
+  assert(X.size() == size_t(1) << H.numQubits() && "state size mismatch");
+  CVector Y(X.size(), Complex(0.0, 0.0));
+  for (const PauliTerm &T : H.terms()) {
+    const uint64_t XM = T.String.xMask();
+    for (uint64_t B = 0; B < X.size(); ++B)
+      Y[B ^ XM] += T.Coeff * T.String.applyToBasis(B) * X[B];
+  }
+  return Y;
+}
+
+CVector marqsim::evolveExact(const Hamiltonian &H, double T,
+                             const CVector &In) {
+  assert(In.size() == size_t(1) << H.numQubits() && "state size mismatch");
+  // Split T into slices with lambda * |slice| <= 0.5 so the Taylor series
+  // converges in a handful of terms; lambda bounds the spectral norm of H.
+  const double Lambda = H.lambda();
+  const double Horizon = Lambda * std::fabs(T);
+  const unsigned Slices =
+      std::max(1u, static_cast<unsigned>(std::ceil(Horizon / 0.5)));
+  const double Dt = T / Slices;
+
+  CVector State = In;
+  for (unsigned S = 0; S < Slices; ++S) {
+    // State <- sum_k (i Dt H)^k / k! State.
+    CVector Acc = State;
+    CVector Term = State;
+    for (unsigned K = 1; K <= 40; ++K) {
+      CVector HTerm = applyHamiltonian(H, Term);
+      const Complex Factor = Complex(0.0, Dt) / static_cast<double>(K);
+      for (size_t I = 0; I < HTerm.size(); ++I)
+        Term[I] = Factor * HTerm[I];
+      double TermNorm = 0.0;
+      for (const Complex &V : Term)
+        TermNorm += std::norm(V);
+      for (size_t I = 0; I < Acc.size(); ++I)
+        Acc[I] += Term[I];
+      if (std::sqrt(TermNorm) < 1e-14)
+        break;
+    }
+    State.swap(Acc);
+  }
+  return State;
+}
+
+Matrix marqsim::exactUnitary(const Hamiltonian &H, double T) {
+  assert(H.numQubits() <= 12 && "dense exact unitary too large");
+  Matrix HM = H.toMatrix();
+  return expm(HM * Complex(0.0, T));
+}

@@ -1,0 +1,39 @@
+//===- sim/Evolution.h - Exact Hamiltonian evolution ------------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact time evolution e^{iHt} for Pauli-sum Hamiltonians.
+///
+/// Two paths: a dense unitary through the Pade matrix exponential (small
+/// systems, used for ground truth in tests) and a matrix-free per-column
+/// evolution using a scaled, truncated Taylor series, which applies H
+/// term-by-term in O(#terms * 2^n) per matrix-vector product. The
+/// experiment harnesses use the column path so exact reference states are
+/// affordable at 12-14 qubits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_SIM_EVOLUTION_H
+#define MARQSIM_SIM_EVOLUTION_H
+
+#include "linalg/Matrix.h"
+#include "pauli/Hamiltonian.h"
+
+namespace marqsim {
+
+/// y = H x for a Pauli-sum Hamiltonian (matrix-free).
+CVector applyHamiltonian(const Hamiltonian &H, const CVector &X);
+
+/// Computes e^{i T H} |In> by a scaled, truncated Taylor expansion.
+/// Accurate to ~1e-12 for the lambda*t ranges of the experiments.
+CVector evolveExact(const Hamiltonian &H, double T, const CVector &In);
+
+/// Dense e^{i T H} via the Pade exponential (<= 10 qubits recommended).
+Matrix exactUnitary(const Hamiltonian &H, double T);
+
+} // namespace marqsim
+
+#endif // MARQSIM_SIM_EVOLUTION_H

@@ -1,0 +1,79 @@
+//===- sim/Fidelity.cpp - Unitary fidelity estimation -------------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Fidelity.h"
+
+#include "sim/Evolution.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace marqsim;
+
+double marqsim::unitaryFidelity(const Matrix &UApp, const Matrix &UExact) {
+  assert(UApp.rows() == UExact.rows() && UApp.cols() == UExact.cols() &&
+         "fidelity shape mismatch");
+  // tr(A B^dag) = sum_ij A_ij conj(B_ij).
+  Complex Tr = 0.0;
+  for (size_t I = 0; I < UApp.rows(); ++I)
+    for (size_t J = 0; J < UApp.cols(); ++J)
+      Tr += UApp.at(I, J) * std::conj(UExact.at(I, J));
+  return std::abs(Tr) / static_cast<double>(UApp.rows());
+}
+
+FidelityEvaluator::FidelityEvaluator(const Hamiltonian &H, double T,
+                                     size_t NumColumns, uint64_t Seed)
+    : NQubits(H.numQubits()) {
+  const size_t Dim = size_t(1) << NQubits;
+  if (NumColumns >= Dim) {
+    Columns.resize(Dim);
+    for (size_t X = 0; X < Dim; ++X)
+      Columns[X] = X;
+  } else {
+    // Deterministic distinct random columns (partial Fisher-Yates).
+    std::vector<uint64_t> All(Dim);
+    for (size_t X = 0; X < Dim; ++X)
+      All[X] = X;
+    RNG Rng(Seed);
+    for (size_t I = 0; I < NumColumns; ++I) {
+      size_t J = I + Rng.uniformInt(Dim - I);
+      std::swap(All[I], All[J]);
+    }
+    Columns.assign(All.begin(), All.begin() + NumColumns);
+    std::sort(Columns.begin(), Columns.end());
+  }
+
+  Targets.reserve(Columns.size());
+  for (uint64_t X : Columns) {
+    CVector Basis(Dim, Complex(0.0, 0.0));
+    Basis[X] = 1.0;
+    Targets.push_back(evolveExact(H, T, Basis));
+  }
+}
+
+double
+FidelityEvaluator::fidelity(const std::vector<ScheduledRotation> &Schedule)
+    const {
+  Complex Acc = 0.0;
+  for (size_t C = 0; C < Columns.size(); ++C) {
+    StateVector SV(NQubits, Columns[C]);
+    for (const ScheduledRotation &Step : Schedule)
+      SV.applyPauliExp(Step.String, Step.Tau);
+    Acc += innerProduct(Targets[C], SV.amplitudes());
+  }
+  return std::abs(Acc) / static_cast<double>(Columns.size());
+}
+
+double FidelityEvaluator::fidelityOfCircuit(const Circuit &C) const {
+  assert(C.numQubits() == NQubits && "circuit width mismatch");
+  Complex Acc = 0.0;
+  for (size_t K = 0; K < Columns.size(); ++K) {
+    StateVector SV(NQubits, Columns[K]);
+    SV.apply(C);
+    Acc += innerProduct(Targets[K], SV.amplitudes());
+  }
+  return std::abs(Acc) / static_cast<double>(Columns.size());
+}

@@ -1,0 +1,35 @@
+//===- sim/Observables.cpp - Expectation values -------------------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Observables.h"
+
+using namespace marqsim;
+
+double marqsim::expectation(const StateVector &Psi, const PauliString &P) {
+  assert((P.supportMask() >> Psi.numQubits()) == 0 &&
+         "observable acts outside the register");
+  const CVector &Amp = Psi.amplitudes();
+  const uint64_t XM = P.xMask();
+  Complex Acc = 0.0;
+  for (uint64_t X = 0; X < Amp.size(); ++X)
+    Acc += std::conj(Amp[X ^ XM]) * P.applyToBasis(X) * Amp[X];
+  return Acc.real();
+}
+
+double marqsim::expectation(const StateVector &Psi, const Hamiltonian &H) {
+  double E = 0.0;
+  for (const PauliTerm &T : H.terms())
+    E += T.Coeff * expectation(Psi, T.String);
+  return E;
+}
+
+double marqsim::occupation(const StateVector &Psi, unsigned Q) {
+  return 0.5 * (1.0 - expectation(Psi, PauliString(0, 1ULL << Q)));
+}
+
+double marqsim::spinZ(const StateVector &Psi, unsigned Q) {
+  return 0.5 * expectation(Psi, PauliString(0, 1ULL << Q));
+}

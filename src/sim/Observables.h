@@ -1,0 +1,38 @@
+//===- sim/Observables.h - Expectation values -------------------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expectation values of Pauli observables and Hamiltonians on simulator
+/// states — the quantities the domain examples report (orbital
+/// occupations, magnetizations, energies).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_SIM_OBSERVABLES_H
+#define MARQSIM_SIM_OBSERVABLES_H
+
+#include "pauli/Hamiltonian.h"
+#include "sim/StateVector.h"
+
+namespace marqsim {
+
+/// <psi| P |psi>. Real because Pauli strings are Hermitian; the tiny
+/// imaginary part from rounding is discarded.
+double expectation(const StateVector &Psi, const PauliString &P);
+
+/// <psi| H |psi> = sum_j h_j <psi| H_j |psi>.
+double expectation(const StateVector &Psi, const Hamiltonian &H);
+
+/// Occupation <n_q> = (1 - <Z_q>) / 2 of qubit/spin-orbital \p Q
+/// (Jordan-Wigner picture).
+double occupation(const StateVector &Psi, unsigned Q);
+
+/// Spin-z expectation <S^z_q> = <Z_q> / 2 of site \p Q.
+double spinZ(const StateVector &Psi, unsigned Q);
+
+} // namespace marqsim
+
+#endif // MARQSIM_SIM_OBSERVABLES_H

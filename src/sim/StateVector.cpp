@@ -1,0 +1,161 @@
+//===- sim/StateVector.cpp - Statevector simulator ---------------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/StateVector.h"
+
+#include <cmath>
+
+using namespace marqsim;
+
+StateVector::StateVector(unsigned NumQubits, uint64_t Basis)
+    : NQubits(NumQubits), Amp(size_t(1) << NumQubits, Complex(0.0, 0.0)) {
+  assert(NumQubits <= 26 && "statevector too large");
+  assert(Basis < Amp.size() && "basis state out of range");
+  Amp[Basis] = 1.0;
+}
+
+StateVector::StateVector(unsigned NumQubits, CVector Amplitudes)
+    : NQubits(NumQubits), Amp(std::move(Amplitudes)) {
+  assert(Amp.size() == size_t(1) << NumQubits &&
+         "amplitude vector size mismatch");
+}
+
+void StateVector::applySingleQubit(unsigned Q, const Complex M[2][2]) {
+  assert(Q < NQubits && "qubit out of range");
+  const uint64_t Bit = 1ULL << Q;
+  const size_t Dim = Amp.size();
+  for (uint64_t Base = 0; Base < Dim; ++Base) {
+    if (Base & Bit)
+      continue;
+    Complex A0 = Amp[Base];
+    Complex A1 = Amp[Base | Bit];
+    Amp[Base] = M[0][0] * A0 + M[0][1] * A1;
+    Amp[Base | Bit] = M[1][0] * A0 + M[1][1] * A1;
+  }
+}
+
+void StateVector::apply(const Gate &G) {
+  const Complex I(0.0, 1.0);
+  switch (G.Kind) {
+  case GateKind::H: {
+    const double S = 1.0 / std::sqrt(2.0);
+    const Complex M[2][2] = {{S, S}, {S, -S}};
+    applySingleQubit(G.Qubit0, M);
+    return;
+  }
+  case GateKind::X: {
+    const Complex M[2][2] = {{0.0, 1.0}, {1.0, 0.0}};
+    applySingleQubit(G.Qubit0, M);
+    return;
+  }
+  case GateKind::Y: {
+    const Complex M[2][2] = {{0.0, -I}, {I, 0.0}};
+    applySingleQubit(G.Qubit0, M);
+    return;
+  }
+  case GateKind::Z: {
+    const Complex M[2][2] = {{1.0, 0.0}, {0.0, -1.0}};
+    applySingleQubit(G.Qubit0, M);
+    return;
+  }
+  case GateKind::S: {
+    const Complex M[2][2] = {{1.0, 0.0}, {0.0, I}};
+    applySingleQubit(G.Qubit0, M);
+    return;
+  }
+  case GateKind::Sdg: {
+    const Complex M[2][2] = {{1.0, 0.0}, {0.0, -I}};
+    applySingleQubit(G.Qubit0, M);
+    return;
+  }
+  case GateKind::Rx: {
+    double C = std::cos(G.Angle / 2), Sn = std::sin(G.Angle / 2);
+    const Complex M[2][2] = {{C, -I * Sn}, {-I * Sn, C}};
+    applySingleQubit(G.Qubit0, M);
+    return;
+  }
+  case GateKind::Ry: {
+    double C = std::cos(G.Angle / 2), Sn = std::sin(G.Angle / 2);
+    const Complex M[2][2] = {{C, -Sn}, {Sn, C}};
+    applySingleQubit(G.Qubit0, M);
+    return;
+  }
+  case GateKind::Rz: {
+    Complex E0 = std::exp(-I * (G.Angle / 2));
+    Complex E1 = std::exp(I * (G.Angle / 2));
+    const Complex M[2][2] = {{E0, 0.0}, {0.0, E1}};
+    applySingleQubit(G.Qubit0, M);
+    return;
+  }
+  case GateKind::CNOT: {
+    const uint64_t CBit = 1ULL << G.Qubit0;
+    const uint64_t TBit = 1ULL << G.Qubit1;
+    const size_t Dim = Amp.size();
+    for (uint64_t X = 0; X < Dim; ++X)
+      if ((X & CBit) && !(X & TBit))
+        std::swap(Amp[X], Amp[X | TBit]);
+    return;
+  }
+  }
+  assert(false && "invalid GateKind");
+}
+
+void StateVector::apply(const Circuit &C) {
+  assert(C.numQubits() <= NQubits && "circuit wider than state");
+  for (const Gate &G : C.gates())
+    apply(G);
+}
+
+void StateVector::applyPauli(const PauliString &P) {
+  assert((P.supportMask() >> NQubits) == 0 &&
+         "Pauli string acts outside the register");
+  if (Scratch.size() != Amp.size())
+    Scratch.resize(Amp.size());
+  const uint64_t XM = P.xMask();
+  for (uint64_t X = 0; X < Amp.size(); ++X)
+    Scratch[X ^ XM] = P.applyToBasis(X) * Amp[X];
+  Amp.swap(Scratch);
+}
+
+void StateVector::applyPauliExp(const PauliString &P, double Theta) {
+  assert((P.supportMask() >> NQubits) == 0 &&
+         "Pauli string acts outside the register");
+  const Complex CosT(std::cos(Theta), 0.0);
+  const Complex ISinT(0.0, std::sin(Theta));
+  if (P.isIdentity()) {
+    // exp(i Theta I) is the global phase cos + i sin.
+    const Complex Phase = CosT + ISinT;
+    for (Complex &A : Amp)
+      A *= Phase;
+    return;
+  }
+  if (Scratch.size() != Amp.size())
+    Scratch.resize(Amp.size());
+  const uint64_t XM = P.xMask();
+  for (uint64_t X = 0; X < Amp.size(); ++X)
+    Scratch[X ^ XM] = P.applyToBasis(X) * Amp[X];
+  for (size_t X = 0; X < Amp.size(); ++X)
+    Amp[X] = CosT * Amp[X] + ISinT * Scratch[X];
+}
+
+Complex StateVector::overlap(const StateVector &Other) const {
+  return innerProduct(Amp, Other.Amp);
+}
+
+double StateVector::norm() const { return vectorNorm(Amp); }
+
+Matrix marqsim::circuitUnitary(const Circuit &C) {
+  assert(C.numQubits() <= 12 && "circuit unitary too large");
+  const size_t Dim = size_t(1) << C.numQubits();
+  Matrix U(Dim, Dim);
+  for (uint64_t Col = 0; Col < Dim; ++Col) {
+    StateVector SV(C.numQubits(), Col);
+    SV.apply(C);
+    for (size_t Row = 0; Row < Dim; ++Row)
+      U.at(Row, Col) = SV.amplitudes()[Row];
+  }
+  return U;
+}

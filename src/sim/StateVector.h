@@ -1,0 +1,74 @@
+//===- sim/StateVector.h - Statevector simulator ----------------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A full-statevector quantum simulator over the circuit IR.
+///
+/// Amplitudes are indexed by computational basis states with qubit 0 as the
+/// least significant bit. Gate application is the usual strided two-amplitude
+/// update; circuits build unitaries column by column. The simulator both
+/// validates the Pauli-rotation synthesis (circuit unitary vs dense
+/// exponential) and evaluates compiled circuits in the experiment harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_SIM_STATEVECTOR_H
+#define MARQSIM_SIM_STATEVECTOR_H
+
+#include "circuit/Circuit.h"
+#include "linalg/Matrix.h"
+#include "pauli/PauliString.h"
+
+namespace marqsim {
+
+/// An n-qubit pure state (n <= 26 to keep memory bounded).
+class StateVector {
+public:
+  /// Initializes to the basis state |Basis> over \p NumQubits qubits.
+  explicit StateVector(unsigned NumQubits, uint64_t Basis = 0);
+
+  /// Wraps an existing amplitude vector (size must be a power of two).
+  StateVector(unsigned NumQubits, CVector Amplitudes);
+
+  unsigned numQubits() const { return NQubits; }
+  size_t dim() const { return Amp.size(); }
+  const CVector &amplitudes() const { return Amp; }
+  CVector &amplitudes() { return Amp; }
+
+  /// Applies one gate.
+  void apply(const Gate &G);
+
+  /// Applies all gates of a circuit in order.
+  void apply(const Circuit &C);
+
+  /// Applies a bare Pauli string (phase-tracked permutation).
+  void applyPauli(const PauliString &P);
+
+  /// Applies exp(i * Theta * P) analytically:
+  /// cos(Theta) |psi> + i sin(Theta) P|psi>.
+  void applyPauliExp(const PauliString &P, double Theta);
+
+  /// <this | Other>.
+  Complex overlap(const StateVector &Other) const;
+
+  /// Euclidean norm (1 for a valid state).
+  double norm() const;
+
+private:
+  void applySingleQubit(unsigned Q, const Complex M[2][2]);
+
+  unsigned NQubits;
+  CVector Amp;
+  CVector Scratch;
+};
+
+/// Builds the full 2^n x 2^n unitary of a circuit by applying it to every
+/// basis column (intended for tests and small systems).
+Matrix circuitUnitary(const Circuit &C);
+
+} // namespace marqsim
+
+#endif // MARQSIM_SIM_STATEVECTOR_H

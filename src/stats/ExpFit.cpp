@@ -1,0 +1,136 @@
+//===- stats/ExpFit.cpp - Exponential curve fitting -------------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/ExpFit.h"
+
+#include "stats/Stats.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace marqsim;
+
+double ExpFitResult::eval(double X) const { return A + std::exp(B * X + C); }
+
+static double sse(const std::vector<double> &X, const std::vector<double> &Y,
+                  double A, double B, double C) {
+  double S = 0.0;
+  for (size_t I = 0; I < X.size(); ++I) {
+    double E = Y[I] - (A + std::exp(B * X[I] + C));
+    S += E * E;
+  }
+  return S;
+}
+
+/// Solves the 3x3 system M d = R by Gaussian elimination with partial
+/// pivoting. Returns false if (numerically) singular.
+static bool solve3(double M[3][3], double R[3], double D[3]) {
+  int Perm[3] = {0, 1, 2};
+  for (int K = 0; K < 3; ++K) {
+    int P = K;
+    for (int I = K + 1; I < 3; ++I)
+      if (std::fabs(M[Perm[I]][K]) > std::fabs(M[Perm[P]][K]))
+        P = I;
+    std::swap(Perm[K], Perm[P]);
+    double Pivot = M[Perm[K]][K];
+    if (std::fabs(Pivot) < 1e-300)
+      return false;
+    for (int I = K + 1; I < 3; ++I) {
+      double F = M[Perm[I]][K] / Pivot;
+      for (int J = K; J < 3; ++J)
+        M[Perm[I]][J] -= F * M[Perm[K]][J];
+      R[Perm[I]] -= F * R[Perm[K]];
+    }
+  }
+  for (int K = 2; K >= 0; --K) {
+    double Acc = R[Perm[K]];
+    for (int J = K + 1; J < 3; ++J)
+      Acc -= M[Perm[K]][J] * D[J];
+    D[K] = Acc / M[Perm[K]][K];
+  }
+  return true;
+}
+
+ExpFitResult marqsim::expFit(const std::vector<double> &X,
+                             const std::vector<double> &Y) {
+  assert(X.size() == Y.size() && "expFit size mismatch");
+  assert(X.size() >= 4 && "expFit needs at least four points");
+
+  // Initialization: choose a below min(y) and log-linearize
+  // log(y - a) = b*x + c.
+  double YMin = Y[0], YMax = Y[0];
+  for (double V : Y) {
+    YMin = std::min(YMin, V);
+    YMax = std::max(YMax, V);
+  }
+  double Span = std::max(YMax - YMin, 1e-9);
+  double A = YMin - 0.05 * Span;
+  std::vector<double> LogY(Y.size());
+  for (size_t I = 0; I < Y.size(); ++I)
+    LogY[I] = std::log(std::max(Y[I] - A, 1e-12));
+  LinearFitResult Line = linearFit(X, LogY);
+  double B = Line.Slope;
+  double C = Line.Intercept;
+
+  ExpFitResult Best;
+  Best.A = A;
+  Best.B = B;
+  Best.C = C;
+  Best.SSE = sse(X, Y, A, B, C);
+
+  // Levenberg-Marquardt with analytic Jacobian:
+  //   df/da = 1, df/db = x * e^{bx+c}, df/dc = e^{bx+c}.
+  double Mu = 1e-3;
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    double JtJ[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+    double JtR[3] = {0, 0, 0};
+    for (size_t I = 0; I < X.size(); ++I) {
+      double E = std::exp(Best.B * X[I] + Best.C);
+      double J[3] = {1.0, X[I] * E, E};
+      double R = Y[I] - (Best.A + E);
+      for (int P = 0; P < 3; ++P) {
+        JtR[P] += J[P] * R;
+        for (int Q = 0; Q < 3; ++Q)
+          JtJ[P][Q] += J[P] * J[Q];
+      }
+    }
+    double M[3][3];
+    for (int P = 0; P < 3; ++P)
+      for (int Q = 0; Q < 3; ++Q)
+        M[P][Q] = JtJ[P][Q] + (P == Q ? Mu * (1.0 + JtJ[P][P]) : 0.0);
+    double D[3];
+    double RHS[3] = {JtR[0], JtR[1], JtR[2]};
+    if (!solve3(M, RHS, D)) {
+      Mu *= 10.0;
+      continue;
+    }
+    double NewA = Best.A + D[0];
+    double NewB = Best.B + D[1];
+    double NewC = Best.C + D[2];
+    double NewSSE = sse(X, Y, NewA, NewB, NewC);
+    if (std::isfinite(NewSSE) && NewSSE < Best.SSE) {
+      double Improvement = Best.SSE - NewSSE;
+      Best.A = NewA;
+      Best.B = NewB;
+      Best.C = NewC;
+      Best.SSE = NewSSE;
+      Mu = std::max(Mu * 0.3, 1e-12);
+      if (Improvement < 1e-12 * (1.0 + Best.SSE)) {
+        Best.Converged = true;
+        break;
+      }
+    } else {
+      Mu *= 10.0;
+      if (Mu > 1e12) {
+        // Cannot improve further; accept the current optimum.
+        Best.Converged = true;
+        break;
+      }
+    }
+  }
+  return Best;
+}

@@ -1,0 +1,44 @@
+//===- stats/ExpFit.h - Exponential curve fitting ---------------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Nonlinear least-squares fit of the paper's data-processing model
+///   y = a + exp(b * x + c)
+/// (Section 6.1, Fig. 12), used to interpolate CNOT counts at matched
+/// simulation accuracy. The optimizer is a small Levenberg-Marquardt loop
+/// with an analytic Jacobian; initial values come from a log-linearized fit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_STATS_EXPFIT_H
+#define MARQSIM_STATS_EXPFIT_H
+
+#include <vector>
+
+namespace marqsim {
+
+/// Parameters and quality of a fitted y = a + exp(b*x + c) curve.
+struct ExpFitResult {
+  double A = 0.0;
+  double B = 0.0;
+  double C = 0.0;
+  /// Final sum of squared residuals.
+  double SSE = 0.0;
+  /// True if the optimizer converged (residual/step tolerance met).
+  bool Converged = false;
+
+  /// Evaluates the fitted curve at \p X.
+  double eval(double X) const;
+};
+
+/// Fits y = a + exp(b*x + c) through the given points (needs >= 4 points
+/// and at least 3 distinct x). Deterministic.
+ExpFitResult expFit(const std::vector<double> &X,
+                    const std::vector<double> &Y);
+
+} // namespace marqsim
+
+#endif // MARQSIM_STATS_EXPFIT_H

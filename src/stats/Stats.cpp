@@ -1,0 +1,79 @@
+//===- stats/Stats.cpp - Summary statistics ---------------------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Stats.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace marqsim;
+
+void RunningStats::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++N;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double RunningStats::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+LinearFitResult marqsim::linearFit(const std::vector<double> &X,
+                                   const std::vector<double> &Y) {
+  assert(X.size() == Y.size() && "linearFit size mismatch");
+  assert(X.size() >= 2 && "linearFit needs at least two points");
+  const double N = static_cast<double>(X.size());
+  double SX = 0, SY = 0, SXX = 0, SXY = 0, SYY = 0;
+  for (size_t I = 0; I < X.size(); ++I) {
+    SX += X[I];
+    SY += Y[I];
+    SXX += X[I] * X[I];
+    SXY += X[I] * Y[I];
+    SYY += Y[I] * Y[I];
+  }
+  double Denom = N * SXX - SX * SX;
+  assert(Denom != 0.0 && "linearFit: all x values identical");
+  LinearFitResult R;
+  R.Slope = (N * SXY - SX * SY) / Denom;
+  R.Intercept = (SY - R.Slope * SX) / N;
+  double SSTot = SYY - SY * SY / N;
+  double SSRes = 0.0;
+  for (size_t I = 0; I < X.size(); ++I) {
+    double E = Y[I] - (R.Slope * X[I] + R.Intercept);
+    SSRes += E * E;
+  }
+  R.R2 = SSTot > 0.0 ? 1.0 - SSRes / SSTot : 1.0;
+  return R;
+}
+
+double marqsim::mean(const std::vector<double> &V) {
+  assert(!V.empty() && "mean of empty vector");
+  double S = 0.0;
+  for (double X : V)
+    S += X;
+  return S / static_cast<double>(V.size());
+}
+
+double marqsim::stddev(const std::vector<double> &V) {
+  if (V.size() < 2)
+    return 0.0;
+  double M = mean(V);
+  double S = 0.0;
+  for (double X : V)
+    S += (X - M) * (X - M);
+  return std::sqrt(S / static_cast<double>(V.size() - 1));
+}

@@ -1,0 +1,69 @@
+//===- stats/Stats.h - Summary statistics -----------------------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics used by the experiment harnesses: numerically stable
+/// streaming mean/variance (Welford) and ordinary least-squares linear
+/// regression.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_STATS_STATS_H
+#define MARQSIM_STATS_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace marqsim {
+
+/// Streaming mean / variance accumulator (Welford's algorithm).
+class RunningStats {
+public:
+  /// Adds one observation.
+  void add(double X);
+
+  size_t count() const { return N; }
+  double mean() const { return Mean; }
+
+  /// Sample variance (divides by N-1); zero for fewer than two samples.
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  double min() const { return Min; }
+  double max() const { return Max; }
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Result of an ordinary least-squares line fit y = Slope * x + Intercept.
+struct LinearFitResult {
+  double Slope = 0.0;
+  double Intercept = 0.0;
+  /// Coefficient of determination in [0, 1].
+  double R2 = 0.0;
+};
+
+/// Fits a line through (X[i], Y[i]) by least squares. Requires at least two
+/// distinct x values.
+LinearFitResult linearFit(const std::vector<double> &X,
+                          const std::vector<double> &Y);
+
+/// Mean of a vector (asserts non-empty).
+double mean(const std::vector<double> &V);
+
+/// Sample standard deviation of a vector (zero for fewer than two entries).
+double stddev(const std::vector<double> &V);
+
+} // namespace marqsim
+
+#endif // MARQSIM_STATS_STATS_H

@@ -1,0 +1,100 @@
+//===- support/RNG.cpp - Deterministic random number generation ----------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RNG.h"
+
+#include <cmath>
+
+using namespace marqsim;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+void RNG::reseed(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(S);
+  HasCachedGaussian = false;
+}
+
+uint64_t RNG::next() {
+  const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  const uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+double RNG::uniform() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t RNG::uniformInt(uint64_t Bound) {
+  assert(Bound > 0 && "uniformInt bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t Threshold = (~Bound + 1) % Bound; // == 2^64 mod Bound
+  for (;;) {
+    uint64_t X = next();
+    if (X >= Threshold)
+      return X % Bound;
+  }
+}
+
+double RNG::gaussian() {
+  if (HasCachedGaussian) {
+    HasCachedGaussian = false;
+    return CachedGaussian;
+  }
+  // Box-Muller; uniform() can return 0, so nudge into (0, 1].
+  double U1 = 1.0 - uniform();
+  double U2 = uniform();
+  double R = std::sqrt(-2.0 * std::log(U1));
+  double Theta = 2.0 * M_PI * U2;
+  CachedGaussian = R * std::sin(Theta);
+  HasCachedGaussian = true;
+  return R * std::cos(Theta);
+}
+
+size_t RNG::sampleDiscrete(const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "cannot sample from empty distribution");
+  double Total = 0.0;
+  for (double W : Weights) {
+    assert(W >= 0.0 && "negative weight in discrete distribution");
+    Total += W;
+  }
+  assert(Total > 0.0 && "all-zero discrete distribution");
+  double X = uniform() * Total;
+  double Acc = 0.0;
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    Acc += Weights[I];
+    if (X < Acc)
+      return I;
+  }
+  // Floating-point slack: fall back to the last positive-weight index.
+  for (size_t I = Weights.size(); I-- > 0;)
+    if (Weights[I] > 0.0)
+      return I;
+  return Weights.size() - 1;
+}
+
+RNG RNG::split() {
+  RNG Child(next() ^ 0xa5a5a5a5deadbeefULL);
+  return Child;
+}

@@ -1,0 +1,43 @@
+//===- support/Timer.h - Wall-clock timing ----------------------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal wall-clock timer used by the compilation-time benchmarks
+/// (Table 2 of the paper) and by progress reporting in the harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_SUPPORT_TIMER_H
+#define MARQSIM_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace marqsim {
+
+/// Measures elapsed wall-clock time from construction or the last reset().
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void reset() { Start = Clock::now(); }
+
+  /// Returns seconds elapsed since construction/reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Returns milliseconds elapsed since construction/reset.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace marqsim
+
+#endif // MARQSIM_SUPPORT_TIMER_H

@@ -1,0 +1,182 @@
+//===- tests/HamgenTest.cpp - Hamiltonian generator tests ----------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamgen/Models.h"
+#include "hamgen/Molecular.h"
+#include "hamgen/Registry.h"
+#include "sim/Evolution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace marqsim;
+
+TEST(ModelsTest, TransverseFieldIsingStructure) {
+  Hamiltonian H = makeTransverseFieldIsing(4, 1.0, 0.5);
+  // 3 ZZ bonds + 4 X fields.
+  EXPECT_EQ(H.numTerms(), 7u);
+  EXPECT_EQ(H.numQubits(), 4u);
+  size_t ZZ = 0, X = 0;
+  for (const auto &T : H.terms()) {
+    if (T.String.xMask() == 0) {
+      ++ZZ;
+      EXPECT_EQ(T.String.weight(), 2u);
+      EXPECT_DOUBLE_EQ(T.Coeff, -1.0);
+    } else {
+      ++X;
+      EXPECT_EQ(T.String.weight(), 1u);
+      EXPECT_DOUBLE_EQ(T.Coeff, -0.5);
+    }
+  }
+  EXPECT_EQ(ZZ, 3u);
+  EXPECT_EQ(X, 4u);
+}
+
+TEST(ModelsTest, PeriodicChainAddsOneBond) {
+  Hamiltonian Open = makeTransverseFieldIsing(5, 1.0, 0.3, false);
+  Hamiltonian Ring = makeTransverseFieldIsing(5, 1.0, 0.3, true);
+  EXPECT_EQ(Ring.numTerms(), Open.numTerms() + 1);
+}
+
+TEST(ModelsTest, HeisenbergTermContent) {
+  Hamiltonian H = makeHeisenbergXXZ(3, 1.0, 1.0, 0.5, 0.2);
+  // 2 bonds x 3 couplings + 3 fields.
+  EXPECT_EQ(H.numTerms(), 9u);
+  // XX terms act with X on both qubits of a bond.
+  unsigned XXTerms = 0;
+  for (const auto &T : H.terms())
+    if (T.String.zMask() == 0 && T.String.weight() == 2)
+      ++XXTerms;
+  EXPECT_EQ(XXTerms, 2u);
+}
+
+TEST(ModelsTest, SYKIsHermitianWithExactTermCount) {
+  RNG Rng(91);
+  Hamiltonian H = makeSYK(4, 50, 1.0, Rng);
+  EXPECT_EQ(H.numQubits(), 4u);
+  EXPECT_EQ(H.numTerms(), 50u);
+  Matrix M = H.toMatrix();
+  EXPECT_NEAR(M.maxAbsDiff(M.adjoint()), 0.0, 1e-12);
+}
+
+TEST(ModelsTest, SYKDownsamplesToRequestedStrings) {
+  RNG Rng(92);
+  // C(8,4) = 70 possible quadruples on 4 Majorana pairs.
+  Hamiltonian All = makeSYK(2, 1000, 1.0, Rng);
+  EXPECT_EQ(All.numTerms(), 1u); // C(4,4) = 1 for 2 qubits (4 modes)
+  RNG Rng2(93);
+  Hamiltonian Some = makeSYK(3, 10, 1.0, Rng2); // C(6,4) = 15 available
+  EXPECT_EQ(Some.numTerms(), 10u);
+}
+
+TEST(ModelsTest, SYKDeterministicPerSeed) {
+  RNG A(94), B(94);
+  Hamiltonian H1 = makeSYK(4, 20, 1.0, A);
+  Hamiltonian H2 = makeSYK(4, 20, 1.0, B);
+  ASSERT_EQ(H1.numTerms(), H2.numTerms());
+  for (size_t I = 0; I < H1.numTerms(); ++I) {
+    EXPECT_TRUE(H1.term(I).String == H2.term(I).String);
+    EXPECT_DOUBLE_EQ(H1.term(I).Coeff, H2.term(I).Coeff);
+  }
+}
+
+TEST(ModelsTest, RandomHamiltonianDistinctStrings) {
+  RNG Rng(95);
+  Hamiltonian H = makeRandomHamiltonian(6, 40, Rng);
+  EXPECT_EQ(H.numTerms(), 40u);
+  EXPECT_EQ(H.merged().numTerms(), 40u); // already distinct
+  for (const auto &T : H.terms()) {
+    EXPECT_GE(T.Coeff, 0.2);
+    EXPECT_LE(T.Coeff, 1.0);
+  }
+}
+
+TEST(MolecularTest, ExactTargetStringCount) {
+  Hamiltonian H = makeMolecularLike(8, 60, 7);
+  EXPECT_EQ(H.numQubits(), 8u);
+  EXPECT_EQ(H.numTerms(), 60u);
+}
+
+TEST(MolecularTest, DeterministicPerSeed) {
+  Hamiltonian A = makeMolecularLike(8, 60, 3);
+  Hamiltonian B = makeMolecularLike(8, 60, 3);
+  ASSERT_EQ(A.numTerms(), B.numTerms());
+  for (size_t I = 0; I < A.numTerms(); ++I) {
+    EXPECT_TRUE(A.term(I).String == B.term(I).String);
+    EXPECT_DOUBLE_EQ(A.term(I).Coeff, B.term(I).Coeff);
+  }
+  Hamiltonian C = makeMolecularLike(8, 60, 4);
+  bool Differs = C.numTerms() != A.numTerms();
+  for (size_t I = 0; !Differs && I < A.numTerms(); ++I)
+    Differs = !(A.term(I).String == C.term(I).String) ||
+              A.term(I).Coeff != C.term(I).Coeff;
+  EXPECT_TRUE(Differs);
+}
+
+TEST(MolecularTest, HermitianByConstruction) {
+  Hamiltonian H = makeMolecularLike(6, 40, 5);
+  Matrix M = H.toMatrix();
+  EXPECT_NEAR(M.maxAbsDiff(M.adjoint()), 0.0, 1e-10);
+}
+
+TEST(MolecularTest, HasMolecularStringStructure) {
+  // Expect plenty of diagonal (Z-only) strings from number operators and
+  // density-density interactions, plus X/Y ladder strings from hopping.
+  Hamiltonian H = makeMolecularLike(8, 60, 11);
+  size_t Diagonal = 0, Ladder = 0;
+  for (const auto &T : H.terms()) {
+    if (T.String.xMask() == 0)
+      ++Diagonal;
+    else
+      ++Ladder;
+  }
+  EXPECT_GT(Diagonal, 10u);
+  EXPECT_GT(Ladder, 10u);
+}
+
+TEST(RegistryTest, TwelveBenchmarksInPaperOrder) {
+  const auto &Specs = paperBenchmarks();
+  ASSERT_EQ(Specs.size(), 12u);
+  EXPECT_EQ(Specs[0].Name, "Na+");
+  EXPECT_EQ(Specs[0].Qubits, 8u);
+  EXPECT_EQ(Specs[0].Strings, 60u);
+  EXPECT_NEAR(Specs[0].Time, M_PI / 4.0, 1e-12);
+  EXPECT_EQ(Specs[9].Name, "SYK-1");
+  EXPECT_EQ(Specs[9].Kind, BenchmarkKind::SYK);
+  EXPECT_NEAR(Specs[9].Time, 0.15, 1e-12);
+  EXPECT_EQ(Specs[11].Name, "BeH2");
+  EXPECT_EQ(Specs[11].Qubits, 14u);
+}
+
+TEST(RegistryTest, FindBenchmarkByName) {
+  auto Spec = findBenchmark("H2O");
+  ASSERT_TRUE(Spec.has_value());
+  EXPECT_EQ(Spec->Qubits, 12u);
+  EXPECT_EQ(Spec->Strings, 550u);
+  EXPECT_FALSE(findBenchmark("Unobtainium").has_value());
+}
+
+TEST(RegistryTest, SmallBenchmarksInstantiateWithMatchingSpecs) {
+  // Keep the test fast: instantiate the 8- and 10-qubit entries.
+  for (const auto &Spec : paperBenchmarks()) {
+    if (Spec.Qubits > 10)
+      continue;
+    Hamiltonian H = makeBenchmark(Spec);
+    EXPECT_EQ(H.numQubits(), Spec.Qubits) << Spec.Name;
+    EXPECT_EQ(H.numTerms(), Spec.Strings) << Spec.Name;
+    EXPECT_GT(H.lambda(), 0.0) << Spec.Name;
+  }
+}
+
+TEST(RegistryTest, BenchmarksAreReproducible) {
+  auto Spec = *findBenchmark("Na+");
+  Hamiltonian A = makeBenchmark(Spec);
+  Hamiltonian B = makeBenchmark(Spec);
+  ASSERT_EQ(A.numTerms(), B.numTerms());
+  for (size_t I = 0; I < A.numTerms(); ++I)
+    EXPECT_TRUE(A.term(I).String == B.term(I).String);
+}

@@ -1,0 +1,321 @@
+//===- tests/SimTest.cpp - simulator and fidelity tests ------------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hamgen/Models.h"
+#include "linalg/Expm.h"
+#include "sim/Evolution.h"
+#include "sim/Fidelity.h"
+#include "sim/Observables.h"
+#include "sim/StateVector.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace marqsim;
+
+namespace {
+
+Matrix gateMatrix(const Gate &G, unsigned N) {
+  Circuit C(N);
+  C.append(G);
+  return circuitUnitary(C);
+}
+
+CVector randomState(unsigned N, RNG &Rng) {
+  CVector V(size_t(1) << N);
+  for (auto &A : V)
+    A = Complex(Rng.gaussian(), Rng.gaussian());
+  double Norm = vectorNorm(V);
+  for (auto &A : V)
+    A /= Norm;
+  return V;
+}
+
+} // namespace
+
+TEST(StateVectorTest, BasisInitialization) {
+  StateVector SV(3, 5);
+  EXPECT_EQ(SV.dim(), 8u);
+  EXPECT_EQ(SV.amplitudes()[5], Complex(1, 0));
+  EXPECT_NEAR(SV.norm(), 1.0, 1e-14);
+}
+
+TEST(StateVectorTest, HadamardCreatesSuperposition) {
+  StateVector SV(1, 0);
+  SV.apply(Gate(GateKind::H, 0));
+  const double S = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(SV.amplitudes()[0] - Complex(S, 0)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(SV.amplitudes()[1] - Complex(S, 0)), 0.0, 1e-14);
+}
+
+TEST(StateVectorTest, CNOTEntangles) {
+  StateVector SV(2, 0);
+  SV.apply(Gate(GateKind::H, 0));
+  SV.apply(Gate::cnot(0, 1));
+  const double S = 1.0 / std::sqrt(2.0);
+  // (|00> + |11>)/sqrt2.
+  EXPECT_NEAR(std::abs(SV.amplitudes()[0] - Complex(S, 0)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(SV.amplitudes()[3] - Complex(S, 0)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(SV.amplitudes()[1]), 0.0, 1e-14);
+}
+
+TEST(StateVectorTest, GateMatricesAreUnitary) {
+  for (GateKind K :
+       {GateKind::H, GateKind::X, GateKind::Y, GateKind::Z, GateKind::S,
+        GateKind::Sdg, GateKind::Rx, GateKind::Ry, GateKind::Rz}) {
+    Gate G(K, 0, 0.37);
+    Matrix U = gateMatrix(G, 1);
+    EXPECT_TRUE(U.isUnitary(1e-12)) << gateKindName(K);
+  }
+  EXPECT_TRUE(gateMatrix(Gate::cnot(0, 1), 2).isUnitary(1e-12));
+}
+
+TEST(StateVectorTest, SGateSquaredIsZ) {
+  Matrix S = gateMatrix(Gate(GateKind::S, 0), 1);
+  Matrix Z = gateMatrix(Gate(GateKind::Z, 0), 1);
+  EXPECT_NEAR((S * S).maxAbsDiff(Z), 0.0, 1e-14);
+}
+
+TEST(StateVectorTest, RzMatchesDefinition) {
+  double Theta = 0.81;
+  Matrix Rz = gateMatrix(Gate(GateKind::Rz, 0, Theta), 1);
+  EXPECT_NEAR(std::abs(Rz.at(0, 0) - std::exp(Complex(0, -Theta / 2))), 0.0,
+              1e-14);
+  EXPECT_NEAR(std::abs(Rz.at(1, 1) - std::exp(Complex(0, Theta / 2))), 0.0,
+              1e-14);
+}
+
+TEST(StateVectorTest, ApplyPauliMatchesDense) {
+  RNG Rng(71);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    unsigned N = 1 + Rng.uniformInt(4);
+    PauliString P;
+    for (unsigned Q = 0; Q < N; ++Q)
+      P.setOp(Q, static_cast<PauliOpKind>(Rng.uniformInt(4)));
+    CVector In = randomState(N, Rng);
+    StateVector SV(N, In);
+    SV.applyPauli(P);
+    CVector Expected = P.toMatrix(N) * In;
+    for (size_t I = 0; I < In.size(); ++I)
+      ASSERT_NEAR(std::abs(SV.amplitudes()[I] - Expected[I]), 0.0, 1e-12);
+  }
+}
+
+TEST(StateVectorTest, ApplyPauliExpMatchesExpm) {
+  RNG Rng(72);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    unsigned N = 1 + Rng.uniformInt(3);
+    PauliString P;
+    for (unsigned Q = 0; Q < N; ++Q)
+      P.setOp(Q, static_cast<PauliOpKind>(Rng.uniformInt(4)));
+    double Theta = Rng.uniform(-2.0, 2.0);
+    CVector In = randomState(N, Rng);
+    StateVector SV(N, In);
+    SV.applyPauliExp(P, Theta);
+    Matrix U = expm(P.toMatrix(N) * Complex(0, Theta));
+    CVector Expected = U * In;
+    for (size_t I = 0; I < In.size(); ++I)
+      ASSERT_NEAR(std::abs(SV.amplitudes()[I] - Expected[I]), 0.0, 1e-10);
+  }
+}
+
+TEST(StateVectorTest, PauliExpComposition) {
+  // exp(i a P) exp(i b P) == exp(i (a+b) P).
+  RNG Rng(82);
+  PauliString P = *PauliString::parse("XZY");
+  CVector In = randomState(3, Rng);
+  StateVector Twice(3, In);
+  Twice.applyPauliExp(P, 0.4);
+  Twice.applyPauliExp(P, 0.35);
+  StateVector Once(3, In);
+  Once.applyPauliExp(P, 0.75);
+  for (size_t I = 0; I < In.size(); ++I)
+    EXPECT_NEAR(std::abs(Twice.amplitudes()[I] - Once.amplitudes()[I]), 0.0,
+                1e-12);
+}
+
+TEST(StateVectorTest, PauliExpInverseRestoresState) {
+  RNG Rng(84);
+  PauliString P = *PauliString::parse("YYX");
+  CVector In = randomState(3, Rng);
+  StateVector SV(3, In);
+  SV.applyPauliExp(P, 1.3);
+  SV.applyPauliExp(P, -1.3);
+  for (size_t I = 0; I < In.size(); ++I)
+    EXPECT_NEAR(std::abs(SV.amplitudes()[I] - In[I]), 0.0, 1e-12);
+}
+
+TEST(EvolutionTest, ApplyHamiltonianMatchesDense) {
+  RNG Rng(73);
+  Hamiltonian H = makeRandomHamiltonian(3, 5, Rng);
+  CVector In = randomState(3, Rng);
+  CVector Got = applyHamiltonian(H, In);
+  CVector Expected = H.toMatrix() * In;
+  for (size_t I = 0; I < In.size(); ++I)
+    EXPECT_NEAR(std::abs(Got[I] - Expected[I]), 0.0, 1e-12);
+}
+
+TEST(EvolutionTest, EvolveExactMatchesDenseExponential) {
+  RNG Rng(74);
+  Hamiltonian H = makeRandomHamiltonian(3, 6, Rng);
+  double T = 0.9;
+  Matrix U = exactUnitary(H, T);
+  for (uint64_t Col : {0ull, 3ull, 7ull}) {
+    CVector Basis(8, Complex(0, 0));
+    Basis[Col] = 1.0;
+    CVector Evolved = evolveExact(H, T, Basis);
+    for (size_t I = 0; I < 8; ++I)
+      EXPECT_NEAR(std::abs(Evolved[I] - U.at(I, Col)), 0.0, 1e-9);
+  }
+}
+
+TEST(EvolutionTest, EvolutionPreservesNorm) {
+  RNG Rng(75);
+  Hamiltonian H = makeTransverseFieldIsing(4, 1.0, 0.7);
+  CVector In = randomState(4, Rng);
+  CVector Out = evolveExact(H, 1.7, In);
+  EXPECT_NEAR(vectorNorm(Out), 1.0, 1e-10);
+}
+
+TEST(EvolutionTest, ZeroTimeIsIdentity) {
+  RNG Rng(76);
+  Hamiltonian H = makeRandomHamiltonian(3, 4, Rng);
+  CVector In = randomState(3, Rng);
+  CVector Out = evolveExact(H, 0.0, In);
+  for (size_t I = 0; I < In.size(); ++I)
+    EXPECT_NEAR(std::abs(Out[I] - In[I]), 0.0, 1e-12);
+}
+
+TEST(ObservablesTest, BasisStateExpectations) {
+  StateVector SV(3, 0b101);
+  // <Z_q> = +1 for bit 0, -1 for bit 1.
+  EXPECT_NEAR(expectation(SV, PauliString(0, 1ULL << 0)), -1.0, 1e-14);
+  EXPECT_NEAR(expectation(SV, PauliString(0, 1ULL << 1)), 1.0, 1e-14);
+  EXPECT_NEAR(expectation(SV, PauliString(0, 1ULL << 2)), -1.0, 1e-14);
+  // <X> vanishes on computational basis states.
+  EXPECT_NEAR(expectation(SV, PauliString(1ULL << 0, 0)), 0.0, 1e-14);
+  EXPECT_NEAR(occupation(SV, 0), 1.0, 1e-14);
+  EXPECT_NEAR(occupation(SV, 1), 0.0, 1e-14);
+  EXPECT_NEAR(spinZ(SV, 1), 0.5, 1e-14);
+}
+
+TEST(ObservablesTest, PlusStateSeesX) {
+  StateVector SV(1, 0);
+  SV.apply(Gate(GateKind::H, 0));
+  EXPECT_NEAR(expectation(SV, PauliString(1, 0)), 1.0, 1e-14); // <X> = 1
+  EXPECT_NEAR(expectation(SV, PauliString(0, 1)), 0.0, 1e-14); // <Z> = 0
+}
+
+TEST(ObservablesTest, MatchesDenseQuadraticForm) {
+  RNG Rng(83);
+  Hamiltonian H = makeRandomHamiltonian(3, 6, Rng);
+  CVector Amp = randomState(3, Rng);
+  StateVector SV(3, Amp);
+  double Direct = expectation(SV, H);
+  CVector HPsi = H.toMatrix() * Amp;
+  double Dense = innerProduct(Amp, HPsi).real();
+  EXPECT_NEAR(Direct, Dense, 1e-10);
+}
+
+TEST(ObservablesTest, EnergyConservedUnderExactEvolution) {
+  Hamiltonian H = makeHeisenbergXXZ(4, 1.0, 1.0, 0.5, 0.2);
+  CVector Basis(16, Complex(0, 0));
+  Basis[0b0101] = 1.0;
+  StateVector Before(4, Basis);
+  StateVector After(4, evolveExact(H, 0.9, Basis));
+  EXPECT_NEAR(expectation(Before, H), expectation(After, H), 1e-9);
+}
+
+TEST(FidelityTest, IdenticalUnitariesGiveOne) {
+  RNG Rng(77);
+  Hamiltonian H = makeRandomHamiltonian(2, 3, Rng);
+  Matrix U = exactUnitary(H, 0.5);
+  EXPECT_NEAR(unitaryFidelity(U, U), 1.0, 1e-12);
+}
+
+TEST(FidelityTest, GlobalPhaseInvariance) {
+  RNG Rng(78);
+  Hamiltonian H = makeRandomHamiltonian(2, 3, Rng);
+  Matrix U = exactUnitary(H, 0.5);
+  Matrix V = U * std::exp(Complex(0, 1.23));
+  EXPECT_NEAR(unitaryFidelity(U, V), 1.0, 1e-12);
+}
+
+TEST(FidelityTest, OrthogonalUnitariesScoreLow) {
+  // X vs I on one qubit: tr(X * I) = 0.
+  Matrix X = Matrix::fromRows({{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_NEAR(unitaryFidelity(X, Matrix::identity(2)), 0.0, 1e-12);
+}
+
+TEST(FidelityEvaluatorTest, ExactModeMatchesDenseFidelity) {
+  RNG Rng(79);
+  Hamiltonian H = makeRandomHamiltonian(3, 5, Rng);
+  double T = 0.4;
+  // Schedule: a crude 1-step Trotter of H.
+  std::vector<ScheduledRotation> Schedule;
+  for (const auto &Term : H.terms())
+    Schedule.emplace_back(Term.String, Term.Coeff * T);
+
+  FidelityEvaluator Eval(H, T, /*NumColumns=*/8);
+  ASSERT_TRUE(Eval.isExact());
+  double Estimated = Eval.fidelity(Schedule);
+
+  // Dense reference.
+  Matrix UApp = Matrix::identity(8);
+  for (const auto &Step : Schedule)
+    UApp = expm(Step.String.toMatrix(3) * Complex(0, Step.Tau)) * UApp;
+  double Exact = unitaryFidelity(UApp, exactUnitary(H, T));
+  EXPECT_NEAR(Estimated, Exact, 1e-9);
+}
+
+TEST(FidelityEvaluatorTest, SampledModeApproximatesExact) {
+  RNG Rng(80);
+  Hamiltonian H = makeRandomHamiltonian(4, 8, Rng);
+  double T = 0.3;
+  std::vector<ScheduledRotation> Schedule;
+  for (int Rep = 0; Rep < 2; ++Rep)
+    for (const auto &Term : H.terms())
+      Schedule.emplace_back(Term.String, Term.Coeff * T / 2);
+
+  FidelityEvaluator Exact(H, T, 16);
+  FidelityEvaluator Sampled(H, T, 6, /*Seed=*/99);
+  ASSERT_FALSE(Sampled.isExact());
+  EXPECT_NEAR(Sampled.fidelity(Schedule), Exact.fidelity(Schedule), 0.05);
+}
+
+TEST(FidelityEvaluatorTest, CircuitAndScheduleAgree) {
+  // The gate-level circuit of a schedule realizes the same fidelity.
+  RNG Rng(81);
+  Hamiltonian H = makeTransverseFieldIsing(3, 1.0, 0.5);
+  double T = 0.6;
+  std::vector<ScheduledRotation> Schedule;
+  for (const auto &Term : H.terms())
+    Schedule.emplace_back(Term.String, Term.Coeff * T);
+  Circuit C(3);
+  for (const auto &Step : Schedule)
+    appendPauliRotation(C, Step.String, 2.0 * Step.Tau);
+  FidelityEvaluator Eval(H, T, 8);
+  EXPECT_NEAR(Eval.fidelity(Schedule), Eval.fidelityOfCircuit(C), 1e-10);
+}
+
+TEST(FidelityEvaluatorTest, TrotterFidelityImprovesWithReps) {
+  Hamiltonian H = makeHeisenbergXXZ(3, 1.0, 1.0, 0.8, 0.3);
+  double T = 1.0;
+  FidelityEvaluator Eval(H, T, 8);
+  double Prev = 0.0;
+  for (unsigned Reps : {1u, 4u, 16u}) {
+    std::vector<ScheduledRotation> Schedule;
+    for (unsigned R = 0; R < Reps; ++R)
+      for (const auto &Term : H.terms())
+        Schedule.emplace_back(Term.String, Term.Coeff * T / Reps);
+    double F = Eval.fidelity(Schedule);
+    EXPECT_GT(F, Prev - 1e-6);
+    Prev = F;
+  }
+  EXPECT_GT(Prev, 0.99);
+}

@@ -1,0 +1,118 @@
+//===- tests/StatsTest.cpp - statistics and fitting tests ----------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/ExpFit.h"
+#include "stats/Stats.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace marqsim;
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  RunningStats RS;
+  std::vector<double> Data = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double X : Data)
+    RS.add(X);
+  EXPECT_EQ(RS.count(), Data.size());
+  EXPECT_DOUBLE_EQ(RS.mean(), 5.0);
+  // Sample variance of the classic dataset: 32/7.
+  EXPECT_NEAR(RS.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(RS.min(), 2.0);
+  EXPECT_DOUBLE_EQ(RS.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
+  RunningStats RS;
+  RS.add(3.14);
+  EXPECT_DOUBLE_EQ(RS.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(RS.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, AgreesWithVectorHelpers) {
+  RNG Rng(31);
+  std::vector<double> Data;
+  RunningStats RS;
+  for (int I = 0; I < 1000; ++I) {
+    double X = Rng.gaussian(3.0, 2.0);
+    Data.push_back(X);
+    RS.add(X);
+  }
+  EXPECT_NEAR(RS.mean(), mean(Data), 1e-10);
+  EXPECT_NEAR(RS.stddev(), stddev(Data), 1e-10);
+}
+
+TEST(LinearFitTest, ExactLine) {
+  std::vector<double> X = {0, 1, 2, 3, 4};
+  std::vector<double> Y;
+  for (double V : X)
+    Y.push_back(2.5 * V - 1.0);
+  LinearFitResult R = linearFit(X, Y);
+  EXPECT_NEAR(R.Slope, 2.5, 1e-12);
+  EXPECT_NEAR(R.Intercept, -1.0, 1e-12);
+  EXPECT_NEAR(R.R2, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyLineRecovered) {
+  RNG Rng(32);
+  std::vector<double> X, Y;
+  for (int I = 0; I < 500; ++I) {
+    double V = I / 50.0;
+    X.push_back(V);
+    Y.push_back(-0.7 * V + 4.0 + 0.05 * Rng.gaussian());
+  }
+  LinearFitResult R = linearFit(X, Y);
+  EXPECT_NEAR(R.Slope, -0.7, 0.01);
+  EXPECT_NEAR(R.Intercept, 4.0, 0.05);
+  EXPECT_GT(R.R2, 0.98);
+}
+
+TEST(ExpFitTest, RecoversExactParameters) {
+  // y = a + e^{b x + c} with the paper's curve shape.
+  const double A = 100.0, B = 8.0, C = -2.0;
+  std::vector<double> X, Y;
+  for (int I = 0; I <= 20; ++I) {
+    double V = 0.97 + 0.0015 * I;
+    X.push_back(V);
+    Y.push_back(A + std::exp(B * V + C));
+  }
+  ExpFitResult R = expFit(X, Y);
+  EXPECT_NEAR(R.eval(0.98), A + std::exp(B * 0.98 + C),
+              1e-3 * (A + std::exp(B * 0.98 + C)));
+  EXPECT_LT(R.SSE, 1e-6 * A * A);
+}
+
+TEST(ExpFitTest, RobustToNoise) {
+  RNG Rng(33);
+  const double A = 5000.0, B = 300.0, C = -290.0;
+  std::vector<double> X, Y;
+  for (int I = 0; I <= 40; ++I) {
+    double V = 0.97 + 0.0006 * I;
+    X.push_back(V);
+    double Clean = A + std::exp(B * V + C);
+    Y.push_back(Clean * (1.0 + 0.01 * Rng.gaussian()));
+  }
+  ExpFitResult R = expFit(X, Y);
+  for (double V : {0.975, 0.985, 0.992}) {
+    double Clean = A + std::exp(B * V + C);
+    EXPECT_NEAR(R.eval(V), Clean, 0.08 * Clean);
+  }
+}
+
+TEST(ExpFitTest, MonotoneIncreasingFit) {
+  // The fitted curve must preserve monotonicity for interpolation use.
+  std::vector<double> X = {0.97, 0.975, 0.98, 0.985, 0.99, 0.995};
+  std::vector<double> Y = {100, 140, 200, 330, 560, 950};
+  ExpFitResult R = expFit(X, Y);
+  double Prev = R.eval(0.968);
+  for (double V = 0.97; V < 0.996; V += 0.002) {
+    double Cur = R.eval(V);
+    EXPECT_GT(Cur, Prev);
+    Prev = Cur;
+  }
+}

@@ -1,0 +1,180 @@
+//===- tests/SupportTest.cpp - support library tests --------------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/RNG.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+using namespace marqsim;
+
+TEST(RNGTest, DeterministicStreams) {
+  RNG A(42), B(42), C(43);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  bool AnyDifferent = false;
+  RNG A2(42);
+  for (int I = 0; I < 100; ++I)
+    AnyDifferent |= A2.next() != C.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(RNGTest, ReseedResetsStream) {
+  RNG A(7);
+  uint64_t First = A.next();
+  A.next();
+  A.reseed(7);
+  EXPECT_EQ(A.next(), First);
+}
+
+TEST(RNGTest, UniformInUnitInterval) {
+  RNG Rng(1);
+  for (int I = 0; I < 10000; ++I) {
+    double U = Rng.uniform();
+    ASSERT_GE(U, 0.0);
+    ASSERT_LT(U, 1.0);
+  }
+}
+
+TEST(RNGTest, UniformMeanAndVariance) {
+  RNG Rng(2);
+  double Sum = 0, Sum2 = 0;
+  const int N = 200000;
+  for (int I = 0; I < N; ++I) {
+    double U = Rng.uniform();
+    Sum += U;
+    Sum2 += U * U;
+  }
+  double Mean = Sum / N;
+  double Var = Sum2 / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 0.5, 5e-3);
+  EXPECT_NEAR(Var, 1.0 / 12.0, 5e-3);
+}
+
+TEST(RNGTest, UniformIntBoundsAndCoverage) {
+  RNG Rng(3);
+  std::vector<int> Counts(7, 0);
+  for (int I = 0; I < 70000; ++I) {
+    uint64_t V = Rng.uniformInt(7);
+    ASSERT_LT(V, 7u);
+    ++Counts[V];
+  }
+  for (int C : Counts)
+    EXPECT_NEAR(C, 10000, 500);
+}
+
+TEST(RNGTest, GaussianMoments) {
+  RNG Rng(4);
+  double Sum = 0, Sum2 = 0;
+  const int N = 200000;
+  for (int I = 0; I < N; ++I) {
+    double G = Rng.gaussian();
+    Sum += G;
+    Sum2 += G * G;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 1e-2);
+  EXPECT_NEAR(Sum2 / N, 1.0, 2e-2);
+}
+
+TEST(RNGTest, BernoulliProbability) {
+  RNG Rng(5);
+  int Hits = 0;
+  for (int I = 0; I < 100000; ++I)
+    Hits += Rng.bernoulli(0.3);
+  EXPECT_NEAR(Hits / 1e5, 0.3, 1e-2);
+}
+
+TEST(RNGTest, SampleDiscreteMatchesWeights) {
+  RNG Rng(6);
+  std::vector<double> W = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> Counts(4, 0);
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    ++Counts[Rng.sampleDiscrete(W)];
+  EXPECT_EQ(Counts[2], 0);
+  EXPECT_NEAR(Counts[0] / double(N), 0.1, 0.01);
+  EXPECT_NEAR(Counts[1] / double(N), 0.3, 0.01);
+  EXPECT_NEAR(Counts[3] / double(N), 0.6, 0.01);
+}
+
+TEST(RNGTest, SplitDecorrelates) {
+  RNG Parent(9);
+  RNG Child = Parent.split();
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += Parent.next() == Child.next();
+  EXPECT_LT(Same, 3);
+}
+
+TEST(TableTest, AlignedOutput) {
+  Table T({"name", "value"});
+  T.row("alpha", 1);
+  T.row("b", 22);
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("alpha"), std::string::npos);
+  EXPECT_NE(Out.find("22"), std::string::npos);
+  EXPECT_EQ(T.numRows(), 2u);
+}
+
+TEST(TableTest, CSVOutput) {
+  Table T({"a", "b"});
+  T.row(1, 2);
+  std::ostringstream OS;
+  T.printCSV(OS);
+  EXPECT_EQ(OS.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, FormatDouble) {
+  EXPECT_EQ(formatDouble(0.0), "0.0000");
+  // Moderate magnitudes use fixed/short form; extremes use scientific.
+  EXPECT_NE(formatDouble(123.456).find("123.4"), std::string::npos);
+  EXPECT_NE(formatDouble(1e-9).find("e"), std::string::npos);
+}
+
+TEST(TableTest, FormatPercent) {
+  EXPECT_EQ(formatPercent(0.237), "23.7%");
+  EXPECT_EQ(formatPercent(0.5, 0), "50%");
+}
+
+TEST(CommandLineTest, ParsesFlagsAndPositionals) {
+  const char *Argv[] = {"prog", "--alpha=3",  "--beta", "7",
+                        "--gamma", "pos1", "--flag"};
+  CommandLine CL(7, Argv);
+  EXPECT_EQ(CL.getInt("alpha", 0), 3);
+  EXPECT_EQ(CL.getInt("beta", 0), 7);
+  EXPECT_EQ(CL.getString("gamma"), "pos1");
+  EXPECT_TRUE(CL.getBool("flag"));
+  EXPECT_FALSE(CL.getBool("absent"));
+  EXPECT_EQ(CL.getDouble("absent", 2.5), 2.5);
+}
+
+TEST(CommandLineTest, BoolForms) {
+  const char *Argv[] = {"prog", "--a=true", "--b=0", "--c"};
+  CommandLine CL(4, Argv);
+  EXPECT_TRUE(CL.getBool("a"));
+  EXPECT_FALSE(CL.getBool("b"));
+  EXPECT_TRUE(CL.getBool("c"));
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer T;
+  volatile double Sink = 0;
+  for (int I = 0; I < 100000; ++I)
+    Sink = Sink + std::sqrt(static_cast<double>(I));
+  double First = T.seconds();
+  EXPECT_GE(First, 0.0);
+  EXPECT_GE(T.seconds(), First); // monotone
+  T.reset();
+  EXPECT_LT(T.seconds(), First + 1.0);
+}
