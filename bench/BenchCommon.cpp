@@ -26,34 +26,53 @@ SweepResult marqsim::runConfigSweep(const Hamiltonian &H, double T,
   SweepResult Result;
   Result.Config = Config;
 
+  // Per-configuration setup happens exactly once: min-cost-flow solves for
+  // the matrix, then the graph and the alias tables, shared read-only by
+  // every epsilon's batch.
   Hamiltonian Prepared = H.splitLargeTerms();
   TransitionMatrix P =
       makeConfigMatrix(Prepared, Config.WQd, Config.WGc, Config.WRp,
                        Opts.PerturbRounds, Opts.Seed ^ 0xC0FFEE);
-  HTTGraph Graph(Prepared, P);
+  auto Graph =
+      std::make_shared<const HTTGraph>(std::move(Prepared), std::move(P));
 
+  CompilerEngine Engine;
+  std::shared_ptr<const SamplingStrategy> First;
   for (size_t EIdx = 0; EIdx < Opts.Epsilons.size(); ++EIdx) {
     double Eps = Opts.Epsilons[EIdx];
-    RunningStats CNOTs, Singles, Totals, Fids;
-    size_t N = 0;
-    for (unsigned Rep = 0; Rep < Opts.Reps; ++Rep) {
-      RNG Rng(Opts.Seed + 7919 * EIdx + Rep);
-      CompilationResult R = compileBySampling(Graph, T, Eps, Rng);
-      N = R.NumSamples;
-      CNOTs.add(static_cast<double>(R.Counts.CNOTs));
-      Singles.add(static_cast<double>(R.Counts.SingleQubit));
-      Totals.add(static_cast<double>(R.Counts.total()));
-      if (Eval)
-        Fids.add(Eval->fidelity(R.Schedule));
+    std::shared_ptr<const SamplingStrategy> Strategy =
+        First ? First->retargeted(T, Eps)
+              : (First = std::make_shared<const SamplingStrategy>(Graph, T,
+                                                                  Eps));
+
+    BatchRequest Req;
+    Req.Strategy = Strategy;
+    Req.NumShots = Opts.Reps;
+    Req.Jobs = Opts.Jobs;
+    Req.Seed = Opts.Seed + 7919 * EIdx;
+    // Fidelity per shot on the worker that compiled it (the evaluator is
+    // immutable after construction), into the shot's own slot — no need to
+    // retain whole CompilationResults across the batch.
+    std::vector<double> ShotFidelities;
+    if (Eval) {
+      ShotFidelities.resize(Opts.Reps);
+      Req.PerShot = [&](size_t Shot, const CompilationResult &R) {
+        ShotFidelities[Shot] = Eval->fidelity(R.Schedule);
+      };
     }
+    BatchResult Batch = Engine.compileBatch(Req);
+
     SweepPoint Point;
     Point.Epsilon = Eps;
-    Point.NumSamples = N;
-    Point.MeanCNOTs = CNOTs.mean();
-    Point.StdCNOTs = CNOTs.stddev();
-    Point.MeanSingles = Singles.mean();
-    Point.MeanTotal = Totals.mean();
+    Point.NumSamples = Strategy->sampleCount();
+    Point.MeanCNOTs = Batch.CNOTs.Mean;
+    Point.StdCNOTs = Batch.CNOTs.Std;
+    Point.MeanSingles = Batch.Singles.Mean;
+    Point.MeanTotal = Batch.Totals.Mean;
     if (Eval) {
+      RunningStats Fids;
+      for (double F : ShotFidelities)
+        Fids.add(F);
       Point.MeanFidelity = Fids.mean();
       Point.StdFidelity = Fids.stddev();
       Point.HasFidelity = true;
@@ -121,4 +140,5 @@ void marqsim::applyCommonFlags(const CommandLine &CL, SweepOptions &Opts) {
   Opts.Seed = static_cast<uint64_t>(CL.getInt("seed", Opts.Seed));
   Opts.PerturbRounds =
       static_cast<unsigned>(CL.getInt("rounds", Opts.PerturbRounds));
+  Opts.Jobs = static_cast<unsigned>(CL.getInt("jobs", Opts.Jobs));
 }

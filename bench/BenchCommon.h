@@ -12,8 +12,14 @@
 /// Every harness accepts:
 ///   --paper         full-scale parameters (paper epsilon list, 20 reps,
 ///                   100 perturbation rounds)
-///   --reps=K        repetitions per epsilon
+///   --reps=K        repetitions (shots) per epsilon
+///   --jobs=J        worker threads for batch compilation (results are
+///                   bit-identical for every J)
 ///   --seed=S        base RNG seed
+///
+/// Repeated compilations run through CompilerEngine::compileBatch: the HTT
+/// graph, transition matrix, and alias tables are built once per
+/// configuration and shared read-only across shots.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +27,7 @@
 #define MARQSIM_BENCH_BENCHCOMMON_H
 
 #include "core/Compiler.h"
+#include "core/CompilerEngine.h"
 #include "core/TransitionBuilders.h"
 #include "sim/Fidelity.h"
 #include "support/CommandLine.h"
@@ -53,10 +60,14 @@ struct SweepOptions {
   unsigned Reps = 3;
   /// Perturbation rounds for Prp (paper: 100).
   unsigned PerturbRounds = 8;
-  /// Base seed; each (epsilon, rep) pair derives its own stream.
+  /// Base seed; each (epsilon, shot) pair derives its own substream via
+  /// RNG::forShot.
   uint64_t Seed = 1;
   /// Columns for fidelity estimation; 0 disables fidelity entirely.
   size_t FidelityColumns = 0;
+  /// Worker threads per batch (0 = all hardware threads). Results are
+  /// bit-identical regardless of the value.
+  unsigned Jobs = 1;
 };
 
 /// Aggregated measurements at one epsilon.

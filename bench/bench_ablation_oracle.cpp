@@ -52,13 +52,14 @@ int main(int Argc, char **Argv) {
   std::cout << "1. Prop. 5.1 prediction vs emitter-realized CNOTs\n";
   Table Oracle({"config", "predicted E[CNOT/transition]",
                 "realized CNOT/transition", "ratio"});
+  CompilerEngine Engine;
   for (const ConfigSpec &Config : paperConfigs()) {
     TransitionMatrix P = makeConfigMatrix(H, Config.WQd, Config.WGc,
                                           Config.WRp, Opts.PerturbRounds);
     double Predicted = expectedTransitionCNOTs(H, P, Pi);
-    HTTGraph Graph(H, P);
-    RNG Rng(Opts.Seed);
-    CompilationResult R = compileBySampling(Graph, Spec->Time, Eps, Rng);
+    SamplingStrategy Strategy(
+        std::make_shared<const HTTGraph>(H, std::move(P)), Spec->Time, Eps);
+    CompilationResult R = Engine.compileOne(Strategy, Opts.Seed);
     // Realized CNOTs per transition: subtract the one-off ladder halves at
     // the two circuit ends (they are not "transitions").
     double Realized =
@@ -78,13 +79,15 @@ int main(int Argc, char **Argv) {
   for (const ConfigSpec &Config : paperConfigs()) {
     TransitionMatrix P = makeConfigMatrix(H, Config.WQd, Config.WGc,
                                           Config.WRp, Opts.PerturbRounds);
-    HTTGraph Graph(H, P);
-    RNG R1(Opts.Seed), R2(Opts.Seed);
+    SamplingStrategy Strategy(
+        std::make_shared<const HTTGraph>(H, std::move(P)), Spec->Time, Eps);
+    // Same strategy + seed => identical sequence; only the lowering
+    // options differ, so the comparison isolates the emitter.
     CompilationOptions NoCancel;
     NoCancel.Emit.CrossCancellation = false;
     CompilationResult Plain =
-        compileBySampling(Graph, Spec->Time, Eps, R1, NoCancel);
-    CompilationResult Fancy = compileBySampling(Graph, Spec->Time, Eps, R2);
+        Engine.compileOne(Strategy, Opts.Seed, NoCancel);
+    CompilationResult Fancy = Engine.compileOne(Strategy, Opts.Seed);
     Circuit Peep = optimizeCircuit(Fancy.Circ);
     double EmitRed = 1.0 - double(Fancy.Counts.CNOTs) /
                                double(Plain.Counts.CNOTs);
@@ -129,9 +132,9 @@ int main(int Argc, char **Argv) {
     TransitionMatrix Mix = combineWithQDrift(H, Pcg, 0.4);
     TransitionMatrix Pqd = buildQDrift(H);
     auto CommutingFraction = [&](const TransitionMatrix &P) {
-      HTTGraph Graph(H, P);
-      RNG Rng(Opts.Seed + 3);
-      CompilationResult R = compileBySampling(Graph, Spec->Time, Eps, Rng);
+      SamplingStrategy Strategy(std::make_shared<const HTTGraph>(H, P),
+                                Spec->Time, Eps);
+      CompilationResult R = Engine.compileOne(Strategy, Opts.Seed + 3);
       size_t Commuting = 0;
       for (size_t K = 1; K < R.Sequence.size(); ++K)
         Commuting += H.term(R.Sequence[K - 1])

@@ -35,17 +35,21 @@ void printTopSpectrum(const std::string &Label, const TransitionMatrix &P,
   std::cout << "\n";
 }
 
-/// Sigma of sampled-circuit accuracy across repetitions.
+/// Sigma of sampled-circuit accuracy across one batch of shots.
 double accuracySigma(const Hamiltonian &H, const TransitionMatrix &P,
-                     double T, double Eps, unsigned Reps,
+                     double T, double Eps, unsigned Reps, unsigned Jobs,
                      const FidelityEvaluator &Eval, uint64_t Seed) {
-  HTTGraph Graph(H, P);
+  BatchRequest Req;
+  Req.Strategy = std::make_shared<const SamplingStrategy>(
+      std::make_shared<const HTTGraph>(H, P), T, Eps);
+  Req.NumShots = Reps;
+  Req.Jobs = Jobs;
+  Req.Seed = Seed;
+  Req.KeepResults = true; // fidelity needs the schedules
+  BatchResult Batch = CompilerEngine().compileBatch(Req);
   RunningStats Stats;
-  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
-    RNG Rng(Seed + Rep);
-    CompilationResult R = compileBySampling(Graph, T, Eps, Rng);
+  for (const CompilationResult &R : Batch.Results)
     Stats.add(Eval.fidelity(R.Schedule));
-  }
   return Stats.stddev();
 }
 
@@ -91,10 +95,14 @@ int main(int Argc, char **Argv) {
   printTopSpectrum("P2' = 0.2Pqd + 0.4Pgc + 0.4Prp ", P2p, 10);
 
   FidelityEvaluator Eval(H, Spec->Time, Columns);
-  double S1 = accuracySigma(H, P1, Spec->Time, Eps, Opts.Reps, Eval, 10);
-  double S1p = accuracySigma(H, P1p, Spec->Time, Eps, Opts.Reps, Eval, 10);
-  double S2 = accuracySigma(H, P2, Spec->Time, Eps, Opts.Reps, Eval, 20);
-  double S2p = accuracySigma(H, P2p, Spec->Time, Eps, Opts.Reps, Eval, 20);
+  double S1 =
+      accuracySigma(H, P1, Spec->Time, Eps, Opts.Reps, Opts.Jobs, Eval, 10);
+  double S1p = accuracySigma(H, P1p, Spec->Time, Eps, Opts.Reps, Opts.Jobs,
+                             Eval, 10);
+  double S2 =
+      accuracySigma(H, P2, Spec->Time, Eps, Opts.Reps, Opts.Jobs, Eval, 20);
+  double S2p = accuracySigma(H, P2p, Spec->Time, Eps, Opts.Reps, Opts.Jobs,
+                             Eval, 20);
 
   std::cout << "\nsampled-accuracy sigma (" << Opts.Reps
             << " compilations, eps=" << formatDouble(Eps) << "):\n";

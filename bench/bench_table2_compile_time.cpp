@@ -88,11 +88,15 @@ int main(int Argc, char **Argv) {
           TransitionMatrix::combine({&Pqd, &Pgc, &Prp}, {0.4, 0.3, 0.3});
 
       size_t N = qdriftSampleCount(H.lambda(), T, Eps);
+      // Circuit-generation time via the engine: strategy construction
+      // (alias tables) plus one sampled shot, matching the paper's "circuit
+      // generation" column.
+      CompilerEngine Engine;
       auto TimeCircuit = [&](const TransitionMatrix &P) {
-        HTTGraph Graph(H, P);
-        RNG Rng(0xCAFE);
         Timer TC;
-        CompilationResult R = compileBySampling(Graph, T, Eps, Rng);
+        SamplingStrategy Strategy(std::make_shared<const HTTGraph>(H, P), T,
+                                  Eps);
+        CompilationResult R = Engine.compileOne(Strategy, 0xCAFE);
         (void)R;
         return TC.seconds();
       };

@@ -13,8 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Baselines.h"
-#include "core/Compiler.h"
+#include "core/CompilerEngine.h"
 #include "core/TransitionBuilders.h"
 #include "hamgen/Models.h"
 #include "sim/Evolution.h"
@@ -24,6 +23,7 @@
 
 #include <cmath>
 #include <iostream>
+#include <memory>
 
 using namespace marqsim;
 
@@ -57,7 +57,12 @@ int main() {
   FidelityEvaluator Eval(H, T, 16);
   Table Out({"compiler", "steps", "CNOTs", "total", "fidelity"});
 
-  auto Report = [&](const std::string &Name, const CompilationResult &R) {
+  // Every compiler is a ScheduleStrategy run by the same engine; the gate
+  // counts differ only through the scheduling policy.
+  CompilerEngine Engine;
+  auto Report = [&](const std::string &Name,
+                    const ScheduleStrategy &Strategy, uint64_t Seed) {
+    CompilationResult R = Engine.compileOne(Strategy, Seed);
     Out.addRow({Name, std::to_string(R.NumSamples),
                 std::to_string(R.Counts.CNOTs),
                 std::to_string(R.Counts.total()),
@@ -66,28 +71,27 @@ int main() {
 
   const unsigned Reps = 24;
   Report("Trotter1 (given order)",
-         compileTrotter1(H, T, Reps, TermOrderKind::Given));
+         TrotterStrategy(H, T, Reps, TermOrderKind::Given), 0);
   Report("Trotter1 (lexicographic)",
-         compileTrotter1(H, T, Reps, TermOrderKind::Lexicographic));
+         TrotterStrategy(H, T, Reps, TermOrderKind::Lexicographic), 0);
   Report("Trotter1 (greedy matched)",
-         compileTrotter1(H, T, Reps, TermOrderKind::GreedyMatched));
+         TrotterStrategy(H, T, Reps, TermOrderKind::GreedyMatched), 0);
   Report("Trotter2 (given order)",
-         compileTrotter2(H, T, Reps / 2, TermOrderKind::Given));
-  RNG TrotterRng(5);
-  Report("Random-order Trotter",
-         compileRandomOrderTrotter(H, T, Reps, TrotterRng));
+         TrotterStrategy(H, T, Reps / 2, TermOrderKind::Given, 2), 0);
+  Report("Random-order Trotter", RandomOrderTrotterStrategy(H, T, Reps), 5);
 
   // Randomized compilers at a matched sampling budget.
   size_t Budget = Reps * H.numTerms();
   double Eps = 2.0 * H.lambda() * H.lambda() * T * T /
                static_cast<double>(Budget);
-  RNG QRng(6);
-  Report("qDrift baseline", compileQDrift(H, T, Eps, QRng));
+  auto QDriftGraph = std::make_shared<const HTTGraph>(
+      HTTGraph::withQDriftMatrix(H.splitLargeTerms()));
+  Report("qDrift baseline", SamplingStrategy(QDriftGraph, T, Eps), 6);
   TransitionMatrix P = makeConfigMatrix(H.splitLargeTerms(), 0.4, 0.6, 0.0);
-  HTTGraph G(H.splitLargeTerms(), P);
-  RNG MRng(6);
-  CompilationResult MarQ = compileBySampling(G, T, Eps, MRng);
-  Report("MarQSim-GC", MarQ);
+  auto G = std::make_shared<const HTTGraph>(H.splitLargeTerms(),
+                                            std::move(P));
+  SamplingStrategy MarQStrategy(G, T, Eps);
+  Report("MarQSim-GC", MarQStrategy, 6);
   Out.print(std::cout);
 
   // Staggered magnetization from the Neel state under a tight-precision
@@ -95,8 +99,10 @@ int main() {
   // uses a loose epsilon; per-circuit observables need a tighter one.)
   std::cout << "\nStaggered magnetization from the Neel state |010101>\n"
                "(MarQSim-GC at eps=0.005):\n";
-  RNG TightRng(8);
-  CompilationResult Tight = compileBySampling(G, T, 0.005, TightRng);
+  // Re-target the MarQSim strategy to the tighter budget; the alias
+  // tables built above are shared, not rebuilt.
+  SamplingStrategy TightStrategy(MarQStrategy, T, 0.005);
+  CompilationResult Tight = Engine.compileOne(TightStrategy, 8);
   uint64_t Neel = 0b010101 & ((1ULL << N) - 1);
   StateVector Compiled(N, Neel);
   for (const ScheduledRotation &Step : Tight.Schedule)

@@ -10,19 +10,23 @@
 //   2. Build the HTT-graph IR with the qDrift transition matrix (Cor. 4.1).
 //   3. Tune the matrix for CNOT cancellation via min-cost flow (Alg. 2) and
 //      mix it with Pqd for strong connectivity (Thm. 5.2).
-//   4. Compile by sampling (Alg. 1) and lower to gates.
+//   4. Compile by sampling (Alg. 1) through the CompilerEngine and lower
+//      to gates.
 //   5. Check the compiled circuit against the exact evolution e^{iHt}.
+//   6. Batch-compile many independent shots — setup shared, per-shot RNG
+//      substreams, deterministic for any worker count.
 //
 //===----------------------------------------------------------------------===//
 
 #include "circuit/QasmExport.h"
 #include "core/Baselines.h"
-#include "core/Compiler.h"
+#include "core/CompilerEngine.h"
 #include "core/TransitionBuilders.h"
 #include "sim/Fidelity.h"
 #include "support/Table.h"
 
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 using namespace marqsim;
@@ -55,12 +59,17 @@ int main() {
   std::cout << "valid for compilation: " << Tuned.isValidForCompilation()
             << "\n\n";
 
-  // 4. Compile e^{iHt} by sampling the chain (Algorithm 1).
+  // 4. Compile e^{iHt} by sampling the chain (Algorithm 1). The engine
+  //    runs any ScheduleStrategy; both strategies share one deterministic
+  //    lowering backend.
   const double T = 0.5, Epsilon = 0.01;
-  RNG Rng(42);
-  CompilationResult Baseline = compileBySampling(QDrift, T, Epsilon, Rng);
-  RNG Rng2(42);
-  CompilationResult Optimized = compileBySampling(Tuned, T, Epsilon, Rng2);
+  CompilerEngine Engine;
+  auto BaselineStrategy = std::make_shared<const SamplingStrategy>(
+      std::make_shared<const HTTGraph>(QDrift), T, Epsilon);
+  auto TunedStrategy = std::make_shared<const SamplingStrategy>(
+      std::make_shared<const HTTGraph>(Tuned), T, Epsilon);
+  CompilationResult Baseline = Engine.compileOne(*BaselineStrategy, 42);
+  CompilationResult Optimized = Engine.compileOne(*TunedStrategy, 42);
 
   // 5. Compare against the exact evolution.
   FidelityEvaluator Eval(H, T, /*NumColumns=*/16);
@@ -84,5 +93,21 @@ int main() {
   for (size_t I = 0; I < std::min<size_t>(8, Optimized.Circ.size()); ++I)
     Head.append(Optimized.Circ.gate(I));
   std::cout << toQasm(Head);
+
+  // 6. Batch compilation: 16 independent shots of the tuned strategy. The
+  //    graph and alias tables above are reused; each shot draws from its
+  //    own RNG substream, so any worker count gives the same batch.
+  BatchRequest Req;
+  Req.Strategy = TunedStrategy;
+  Req.NumShots = 16;
+  Req.Jobs = 0; // all hardware threads
+  Req.Seed = 42;
+  BatchResult Batch = Engine.compileBatch(Req);
+  std::cout << "\nBatch of " << Batch.NumShots << " shots (jobs="
+            << Batch.JobsUsed << "): CNOTs " << formatDouble(Batch.CNOTs.Mean)
+            << " +- " << formatDouble(Batch.CNOTs.Std) << ", total "
+            << formatDouble(Batch.Totals.Mean) << " +- "
+            << formatDouble(Batch.Totals.Std) << ", hash "
+            << Batch.batchHash() << "\n";
   return 0;
 }

@@ -12,7 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Compiler.h"
+#include "core/CompilerEngine.h"
 #include "core/TransitionBuilders.h"
 #include "hamgen/Models.h"
 #include "sim/Evolution.h"
@@ -21,6 +21,7 @@
 
 #include <cmath>
 #include <iostream>
+#include <memory>
 
 using namespace marqsim;
 
@@ -37,17 +38,24 @@ int main() {
             << "\n\n";
 
   TransitionMatrix P = makeConfigMatrix(H, 0.4, 0.3, 0.3, 8);
-  HTTGraph G(H, P);
+  auto G = std::make_shared<const HTTGraph>(H, std::move(P));
+  CompilerEngine Engine;
 
   const uint64_t Initial = 0b010101; // a computational reference state
   CVector Basis(size_t(1) << NumQubits, Complex(0, 0));
   Basis[Initial] = 1.0;
 
+  // One strategy per evolution time; all of them share the alias tables
+  // built for the first one.
   Table T({"t", "N", "CNOTs", "return prob (compiled)",
            "return prob (exact)"});
+  std::shared_ptr<const SamplingStrategy> First;
   for (double Time : {0.05, 0.1, 0.15, 0.2}) {
-    RNG Rng(99);
-    CompilationResult R = compileBySampling(G, Time, /*Epsilon=*/0.02, Rng);
+    std::shared_ptr<const SamplingStrategy> Strategy =
+        First ? First->retargeted(Time, /*Epsilon=*/0.02)
+              : (First = std::make_shared<const SamplingStrategy>(
+                     G, Time, /*Epsilon=*/0.02));
+    CompilationResult R = Engine.compileOne(*Strategy, 99);
 
     StateVector Compiled(NumQubits, Initial);
     for (const ScheduledRotation &Step : R.Schedule)

@@ -3,8 +3,18 @@
 // Part of the MarQSim reproduction, under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// The compile* entry points below are thin wrappers over the strategy
+// classes in core/CompilerEngine.h; every family funnels through the same
+// materializePlan backend, so gate-count comparisons isolate the ordering
+// policy. The wrappers preserve the historical draw order of the randomized
+// families bit-for-bit.
+//
+//===----------------------------------------------------------------------===//
 
 #include "core/Baselines.h"
+
+#include "core/CompilerEngine.h"
 
 #include <algorithm>
 #include <cmath>
@@ -69,182 +79,51 @@ std::vector<size_t> marqsim::orderTerms(const Hamiltonian &H,
   return Order;
 }
 
-/// Lowers a per-repetition index pattern with per-visit tau values.
-static CompilationResult
-materializeTrotter(const Hamiltonian &H, const std::vector<size_t> &Pattern,
-                   const std::vector<double> &Taus, unsigned Reps,
-                   const CompilationOptions &Opts) {
-  assert(Pattern.size() == Taus.size() && "pattern/tau size mismatch");
-  CompilationResult R;
-  R.NumSamples = Pattern.size() * Reps;
-  R.Lambda = H.lambda();
-  R.Tau = 0.0; // not a single-step compiler
-
-  R.Sequence.reserve(R.NumSamples);
-  R.Schedule.reserve(R.NumSamples);
-  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
-    for (size_t K = 0; K < Pattern.size(); ++K) {
-      size_t Index = Pattern[K];
-      R.Sequence.push_back(Index);
-      const PauliString &S = H.term(Index).String;
-      if (!R.Schedule.empty() && R.Schedule.back().String == S)
-        R.Schedule.back().Tau += Taus[K];
-      else
-        R.Schedule.emplace_back(S, Taus[K]);
-    }
-  }
-  R.Circ = emitSchedule(R.Schedule, H.numQubits(), Opts.Emit, &R.Stats);
-  R.Counts = R.Circ.counts();
-  return R;
+/// Materializes one shot of \p Strategy with the caller's RNG.
+static CompilationResult runStrategy(const ScheduleStrategy &Strategy,
+                                     RNG &Rng,
+                                     const CompilationOptions &Opts) {
+  ShotContext Ctx{0, Rng};
+  return materializePlan(Strategy.hamiltonian(), Strategy.produce(Ctx),
+                         Opts);
 }
 
 CompilationResult marqsim::compileTrotter1(const Hamiltonian &H, double T,
                                            unsigned Reps, TermOrderKind Kind,
                                            const CompilationOptions &Opts) {
-  assert(Reps > 0 && "Trotter needs at least one repetition");
-  std::vector<size_t> Order = orderTerms(H, Kind);
-  std::vector<double> Taus(Order.size());
-  const double Dt = T / static_cast<double>(Reps);
-  for (size_t K = 0; K < Order.size(); ++K)
-    Taus[K] = H.term(Order[K]).Coeff * Dt;
-  return materializeTrotter(H, Order, Taus, Reps, Opts);
+  TrotterStrategy Strategy(H, T, Reps, Kind, /*Order=*/1);
+  RNG Unused(0);
+  return runStrategy(Strategy, Unused, Opts);
 }
 
 CompilationResult marqsim::compileTrotter2(const Hamiltonian &H, double T,
                                            unsigned Reps, TermOrderKind Kind,
                                            const CompilationOptions &Opts) {
-  assert(Reps > 0 && "Trotter needs at least one repetition");
-  std::vector<size_t> Order = orderTerms(H, Kind);
-  const double Dt = T / static_cast<double>(Reps);
-  std::vector<size_t> Pattern;
-  std::vector<double> Taus;
-  Pattern.reserve(2 * Order.size());
-  Taus.reserve(2 * Order.size());
-  for (size_t Index : Order) {
-    Pattern.push_back(Index);
-    Taus.push_back(H.term(Index).Coeff * Dt * 0.5);
-  }
-  for (size_t K = Order.size(); K-- > 0;) {
-    Pattern.push_back(Order[K]);
-    Taus.push_back(H.term(Order[K]).Coeff * Dt * 0.5);
-  }
-  return materializeTrotter(H, Pattern, Taus, Reps, Opts);
+  TrotterStrategy Strategy(H, T, Reps, Kind, /*Order=*/2);
+  RNG Unused(0);
+  return runStrategy(Strategy, Unused, Opts);
 }
 
 CompilationResult marqsim::compileSuzuki4(const Hamiltonian &H, double T,
                                           unsigned Reps, TermOrderKind Kind,
                                           const CompilationOptions &Opts) {
-  assert(Reps > 0 && "Trotter needs at least one repetition");
-  std::vector<size_t> Order = orderTerms(H, Kind);
-  const double Dt = T / static_cast<double>(Reps);
-  const double P4 = 1.0 / (4.0 - std::pow(4.0, 1.0 / 3.0));
-
-  std::vector<size_t> Pattern;
-  std::vector<double> Taus;
-  // One symmetric second-order block S2(scale * dt).
-  auto AppendS2 = [&](double Scale) {
-    for (size_t Index : Order) {
-      Pattern.push_back(Index);
-      Taus.push_back(H.term(Index).Coeff * Dt * Scale * 0.5);
-    }
-    for (size_t K = Order.size(); K-- > 0;) {
-      Pattern.push_back(Order[K]);
-      Taus.push_back(H.term(Order[K]).Coeff * Dt * Scale * 0.5);
-    }
-  };
-  AppendS2(P4);
-  AppendS2(P4);
-  AppendS2(1.0 - 4.0 * P4);
-  AppendS2(P4);
-  AppendS2(P4);
-  return materializeTrotter(H, Pattern, Taus, Reps, Opts);
+  TrotterStrategy Strategy(H, T, Reps, Kind, /*Order=*/4);
+  RNG Unused(0);
+  return runStrategy(Strategy, Unused, Opts);
 }
 
 CompilationResult marqsim::compileSparSto(const Hamiltonian &H, double T,
                                           unsigned Reps, double KeepScale,
                                           RNG &Rng,
                                           const CompilationOptions &Opts) {
-  assert(Reps > 0 && "SparSto needs at least one repetition");
-  assert(KeepScale > 0.0 && "keep scale must be positive");
-  const size_t NumTerms = H.numTerms();
-  const double Dt = T / static_cast<double>(Reps);
-  double MaxMag = 0.0;
-  for (const PauliTerm &Term : H.terms())
-    MaxMag = std::max(MaxMag, std::fabs(Term.Coeff));
-  assert(MaxMag > 0.0 && "empty Hamiltonian");
-
-  CompilationResult R;
-  R.Lambda = H.lambda();
-  R.Tau = 0.0;
-
-  std::vector<size_t> Kept;
-  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
-    // Independent keep decisions with unbiased 1/q_j rescaling.
-    Kept.clear();
-    std::vector<double> Taus;
-    for (size_t J = 0; J < NumTerms; ++J) {
-      double Q = std::min(1.0, KeepScale * std::fabs(H.term(J).Coeff) /
-                                   MaxMag);
-      if (!Rng.bernoulli(Q))
-        continue;
-      Kept.push_back(J);
-      Taus.push_back(H.term(J).Coeff * Dt / Q);
-    }
-    // Random order within the sparsified step.
-    for (size_t I = Kept.size(); I-- > 1;) {
-      size_t J = Rng.uniformInt(I + 1);
-      std::swap(Kept[I], Kept[J]);
-      std::swap(Taus[I], Taus[J]);
-    }
-    for (size_t K = 0; K < Kept.size(); ++K) {
-      R.Sequence.push_back(Kept[K]);
-      const PauliString &S = H.term(Kept[K]).String;
-      if (!R.Schedule.empty() && R.Schedule.back().String == S)
-        R.Schedule.back().Tau += Taus[K];
-      else
-        R.Schedule.emplace_back(S, Taus[K]);
-    }
-  }
-  R.NumSamples = R.Sequence.size();
-  R.Circ = emitSchedule(R.Schedule, H.numQubits(), Opts.Emit, &R.Stats);
-  R.Counts = R.Circ.counts();
-  return R;
+  SparStoStrategy Strategy(H, T, Reps, KeepScale);
+  return runStrategy(Strategy, Rng, Opts);
 }
 
 CompilationResult
 marqsim::compileRandomOrderTrotter(const Hamiltonian &H, double T,
                                    unsigned Reps, RNG &Rng,
                                    const CompilationOptions &Opts) {
-  assert(Reps > 0 && "Trotter needs at least one repetition");
-  const size_t N = H.numTerms();
-  const double Dt = T / static_cast<double>(Reps);
-
-  CompilationResult R;
-  R.NumSamples = N * Reps;
-  R.Lambda = H.lambda();
-  R.Tau = 0.0;
-  R.Sequence.reserve(R.NumSamples);
-  R.Schedule.reserve(R.NumSamples);
-
-  std::vector<size_t> Perm(N);
-  std::iota(Perm.begin(), Perm.end(), 0);
-  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
-    // Fisher-Yates with the project RNG for reproducibility.
-    for (size_t I = N; I-- > 1;) {
-      size_t J = Rng.uniformInt(I + 1);
-      std::swap(Perm[I], Perm[J]);
-    }
-    for (size_t Index : Perm) {
-      R.Sequence.push_back(Index);
-      const PauliTerm &Term = H.term(Index);
-      double Tau = Term.Coeff * Dt;
-      if (!R.Schedule.empty() && R.Schedule.back().String == Term.String)
-        R.Schedule.back().Tau += Tau;
-      else
-        R.Schedule.emplace_back(Term.String, Tau);
-    }
-  }
-  R.Circ = emitSchedule(R.Schedule, H.numQubits(), Opts.Emit, &R.Stats);
-  R.Counts = R.Circ.counts();
-  return R;
+  RandomOrderTrotterStrategy Strategy(H, T, Reps);
+  return runStrategy(Strategy, Rng, Opts);
 }

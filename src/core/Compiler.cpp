@@ -6,9 +6,11 @@
 
 #include "core/Compiler.h"
 
+#include "core/CompilerEngine.h"
 #include "core/TransitionBuilders.h"
 
 #include <cmath>
+#include <memory>
 
 using namespace marqsim;
 
@@ -19,68 +21,57 @@ size_t marqsim::qdriftSampleCount(double Lambda, double T, double Epsilon) {
   return std::max<size_t>(1, static_cast<size_t>(N));
 }
 
-CompilationResult marqsim::materializeSequence(const Hamiltonian &H,
-                                               std::vector<size_t> Sequence,
-                                               double TauStep,
-                                               const CompilationOptions &Opts) {
+CompilationResult marqsim::materializePlan(const Hamiltonian &H,
+                                           ShotPlan Plan,
+                                           const CompilationOptions &Opts) {
+  assert((Plan.Taus.empty() || Plan.Taus.size() == Plan.Sequence.size()) &&
+         "per-visit tau vector must match the sequence length");
   CompilationResult R;
-  R.NumSamples = Sequence.size();
+  R.NumSamples = Plan.Sequence.size();
   R.Lambda = H.lambda();
-  R.Tau = TauStep;
+  R.Tau = Plan.TauStep;
 
   // Merge runs of identical samples: exp(i tau P) exp(i tau P) folds into a
   // single rotation with doubled time parameter (paper Section 5.2).
-  R.Schedule.reserve(Sequence.size());
-  for (size_t Index : Sequence) {
+  R.Schedule.reserve(Plan.Sequence.size());
+  for (size_t K = 0; K < Plan.Sequence.size(); ++K) {
+    size_t Index = Plan.Sequence[K];
     assert(Index < H.numTerms() && "sampled index out of range");
     const PauliTerm &Term = H.term(Index);
-    double Tau = Term.Coeff >= 0.0 ? TauStep : -TauStep;
+    double Tau = Plan.Taus.empty()
+                     ? (Term.Coeff >= 0.0 ? Plan.TauStep : -Plan.TauStep)
+                     : Plan.Taus[K];
     if (!R.Schedule.empty() && R.Schedule.back().String == Term.String)
       R.Schedule.back().Tau += Tau;
     else
       R.Schedule.emplace_back(Term.String, Tau);
   }
-  R.Sequence = std::move(Sequence);
+  R.Sequence = std::move(Plan.Sequence);
 
   R.Circ = emitSchedule(R.Schedule, H.numQubits(), Opts.Emit, &R.Stats);
   R.Counts = R.Circ.counts();
   return R;
 }
 
+CompilationResult marqsim::materializeSequence(const Hamiltonian &H,
+                                               std::vector<size_t> Sequence,
+                                               double TauStep,
+                                               const CompilationOptions &Opts) {
+  ShotPlan Plan;
+  Plan.Sequence = std::move(Sequence);
+  Plan.TauStep = TauStep;
+  return materializePlan(H, std::move(Plan), Opts);
+}
+
 CompilationResult marqsim::compileBySampling(const HTTGraph &Graph, double T,
                                              double Epsilon, RNG &Rng,
                                              const CompilationOptions &Opts) {
-  const Hamiltonian &H = Graph.hamiltonian();
-  assert(!H.empty() && "cannot compile an empty Hamiltonian");
-  const double Lambda = H.lambda();
-  const size_t N = qdriftSampleCount(Lambda, T, Epsilon);
-  const double TauStep = Lambda * T / static_cast<double>(N);
-
-  std::vector<size_t> Sequence(N);
-  if (Opts.UseCDFSampler) {
-    // CDF-based walk (ablation): same chain, O(log n) draws.
-    std::vector<CDFSampler> Rows;
-    Rows.reserve(Graph.numStates());
-    for (size_t I = 0; I < Graph.numStates(); ++I) {
-      std::vector<double> Row(Graph.transitionMatrix().row(I),
-                              Graph.transitionMatrix().row(I) +
-                                  Graph.numStates());
-      Rows.emplace_back(Row);
-    }
-    CDFSampler Initial(Graph.stationary());
-    size_t State = Initial.sample(Rng);
-    Sequence[0] = State;
-    for (size_t K = 1; K < N; ++K) {
-      State = Rows[State].sample(Rng);
-      Sequence[K] = State;
-    }
-  } else {
-    MarkovChainSampler Sampler(Graph.transitionMatrix(), Graph.stationary());
-    for (size_t K = 0; K < N; ++K)
-      Sequence[K] = Sampler.next(Rng);
-  }
-
-  return materializeSequence(H, std::move(Sequence), TauStep, Opts);
+  // Non-owning view: the strategy only lives for this call.
+  std::shared_ptr<const HTTGraph> View(std::shared_ptr<const HTTGraph>(),
+                                       &Graph);
+  SamplingStrategy Strategy(View, T, Epsilon, Opts.UseCDFSampler);
+  ShotContext Ctx{0, Rng};
+  return materializePlan(Graph.hamiltonian(), Strategy.produce(Ctx), Opts);
 }
 
 CompilationResult marqsim::compileQDrift(const Hamiltonian &H, double T,

@@ -63,6 +63,22 @@ struct CompilationResult {
   double Tau = 0.0;
 };
 
+/// The term-visit plan of one compilation shot, before lowering: what a
+/// ScheduleStrategy produces and the deterministic backend consumes.
+struct ShotPlan {
+  /// Term indices in visit order.
+  std::vector<size_t> Sequence;
+
+  /// Per-visit rotation angles. Empty selects the sampling-compiler rule
+  /// tau_k = sgn(h_{i_k}) * TauStep; otherwise Taus.size() must equal
+  /// Sequence.size() (the Trotter-family rule).
+  std::vector<double> Taus;
+
+  /// Uniform step magnitude for the empty-Taus rule; recorded in
+  /// CompilationResult::Tau either way.
+  double TauStep = 0.0;
+};
+
 /// N = ceil(2 lambda^2 t^2 / epsilon), at least 1 (Algorithm 1, line 2).
 size_t qdriftSampleCount(double Lambda, double T, double Epsilon);
 
@@ -72,9 +88,14 @@ CompilationResult compileBySampling(const HTTGraph &Graph, double T,
                                     double Epsilon, RNG &Rng,
                                     const CompilationOptions &Opts = {});
 
-/// Deterministic back end shared by all compilers: builds the merged
-/// schedule for \p Sequence (tau_i = sgn(h_i) * TauStep per occurrence) and
-/// lowers it.
+/// Deterministic back end shared by all compilers and strategies: merges
+/// runs of equal consecutive terms into single rotations and lowers the
+/// schedule through the cancellation-aware emitter.
+CompilationResult materializePlan(const Hamiltonian &H, ShotPlan Plan,
+                                  const CompilationOptions &Opts = {});
+
+/// Convenience form of materializePlan for the sampling compilers
+/// (tau_i = sgn(h_i) * TauStep per occurrence).
 CompilationResult materializeSequence(const Hamiltonian &H,
                                       std::vector<size_t> Sequence,
                                       double TauStep,

@@ -1,0 +1,354 @@
+//===- core/CompilerEngine.cpp - Strategy-based compilation engine -----------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CompilerEngine.h"
+
+#include "stats/Stats.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace marqsim;
+
+//===----------------------------------------------------------------------===//
+// SamplingStrategy
+//===----------------------------------------------------------------------===//
+
+SamplingStrategy::SamplingStrategy(std::shared_ptr<const HTTGraph> G,
+                                   double T, double Epsilon, bool CDF)
+    : Graph(std::move(G)), UseCDF(CDF) {
+  assert(Graph && "sampling strategy needs a graph");
+  const Hamiltonian &H = Graph->hamiltonian();
+  assert(!H.empty() && "cannot compile an empty Hamiltonian");
+  NumSamples = qdriftSampleCount(H.lambda(), T, Epsilon);
+  TauStep = H.lambda() * T / static_cast<double>(NumSamples);
+
+  if (UseCDF) {
+    // CDF-based walk (ablation): same chain, O(log n) draws.
+    auto Rows = std::make_shared<std::vector<CDFSampler>>();
+    Rows->reserve(Graph->numStates());
+    for (size_t I = 0; I < Graph->numStates(); ++I) {
+      std::vector<double> Row(Graph->transitionMatrix().row(I),
+                              Graph->transitionMatrix().row(I) +
+                                  Graph->numStates());
+      Rows->emplace_back(Row);
+    }
+    CDFRows = std::move(Rows);
+    CDFInitial = std::make_shared<const CDFSampler>(Graph->stationary());
+  } else {
+    Chain = std::make_shared<const MarkovChainSampler>(
+        Graph->transitionMatrix(), Graph->stationary());
+  }
+}
+
+SamplingStrategy::SamplingStrategy(const SamplingStrategy &Other, double T,
+                                   double Epsilon)
+    : Graph(Other.Graph), Chain(Other.Chain), CDFInitial(Other.CDFInitial),
+      CDFRows(Other.CDFRows), UseCDF(Other.UseCDF) {
+  const Hamiltonian &H = Graph->hamiltonian();
+  NumSamples = qdriftSampleCount(H.lambda(), T, Epsilon);
+  TauStep = H.lambda() * T / static_cast<double>(NumSamples);
+}
+
+std::string SamplingStrategy::name() const {
+  return UseCDF ? "sampling(cdf)" : "sampling";
+}
+
+ShotPlan SamplingStrategy::produce(ShotContext &Ctx) const {
+  ShotPlan Plan;
+  Plan.TauStep = TauStep;
+  Plan.Sequence.resize(NumSamples);
+  if (UseCDF) {
+    size_t State = CDFInitial->sample(Ctx.Rng);
+    Plan.Sequence[0] = State;
+    for (size_t K = 1; K < NumSamples; ++K) {
+      State = (*CDFRows)[State].sample(Ctx.Rng);
+      Plan.Sequence[K] = State;
+    }
+  } else {
+    size_t State = Chain->initial(Ctx.Rng);
+    Plan.Sequence[0] = State;
+    for (size_t K = 1; K < NumSamples; ++K) {
+      State = Chain->stepFrom(State, Ctx.Rng);
+      Plan.Sequence[K] = State;
+    }
+  }
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// TrotterStrategy
+//===----------------------------------------------------------------------===//
+
+TrotterStrategy::TrotterStrategy(Hamiltonian H, double T, unsigned R,
+                                 TermOrderKind Kind, unsigned O)
+    : Ham(std::move(H)), Reps(R), Order(O) {
+  assert(Reps > 0 && "Trotter needs at least one repetition");
+  assert((Order == 1 || Order == 2 || Order == 4) &&
+         "supported product-formula orders: 1, 2, 4");
+  std::vector<size_t> TermOrder = orderTerms(Ham, Kind);
+  const double Dt = T / static_cast<double>(Reps);
+
+  // One symmetric second-order block S2(Scale * Dt).
+  auto AppendS2 = [&](double Scale) {
+    for (size_t Index : TermOrder) {
+      Pattern.push_back(Index);
+      PatternTaus.push_back(Ham.term(Index).Coeff * Dt * Scale * 0.5);
+    }
+    for (size_t K = TermOrder.size(); K-- > 0;) {
+      Pattern.push_back(TermOrder[K]);
+      PatternTaus.push_back(Ham.term(TermOrder[K]).Coeff * Dt * Scale * 0.5);
+    }
+  };
+
+  switch (Order) {
+  case 1:
+    for (size_t Index : TermOrder) {
+      Pattern.push_back(Index);
+      PatternTaus.push_back(Ham.term(Index).Coeff * Dt);
+    }
+    break;
+  case 2:
+    AppendS2(1.0);
+    break;
+  case 4: {
+    // S4(dt) = S2(p dt)^2 S2((1-4p) dt) S2(p dt)^2, p = 1/(4 - 4^{1/3}).
+    const double P4 = 1.0 / (4.0 - std::pow(4.0, 1.0 / 3.0));
+    AppendS2(P4);
+    AppendS2(P4);
+    AppendS2(1.0 - 4.0 * P4);
+    AppendS2(P4);
+    AppendS2(P4);
+    break;
+  }
+  }
+}
+
+std::string TrotterStrategy::name() const {
+  switch (Order) {
+  case 1:
+    return "trotter1";
+  case 2:
+    return "trotter2";
+  default:
+    return "suzuki4";
+  }
+}
+
+ShotPlan TrotterStrategy::produce(ShotContext &Ctx) const {
+  (void)Ctx; // deterministic: the RNG is never consulted
+  ShotPlan Plan;
+  Plan.Sequence.reserve(Pattern.size() * Reps);
+  Plan.Taus.reserve(Pattern.size() * Reps);
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    Plan.Sequence.insert(Plan.Sequence.end(), Pattern.begin(),
+                         Pattern.end());
+    Plan.Taus.insert(Plan.Taus.end(), PatternTaus.begin(),
+                     PatternTaus.end());
+  }
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// RandomOrderTrotterStrategy
+//===----------------------------------------------------------------------===//
+
+RandomOrderTrotterStrategy::RandomOrderTrotterStrategy(Hamiltonian H,
+                                                       double T, unsigned R)
+    : Ham(std::move(H)), Dt(T / static_cast<double>(R)), Reps(R) {
+  assert(Reps > 0 && "Trotter needs at least one repetition");
+}
+
+ShotPlan RandomOrderTrotterStrategy::produce(ShotContext &Ctx) const {
+  const size_t N = Ham.numTerms();
+  ShotPlan Plan;
+  Plan.Sequence.reserve(N * Reps);
+  Plan.Taus.reserve(N * Reps);
+  std::vector<size_t> Perm(N);
+  std::iota(Perm.begin(), Perm.end(), 0);
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    // Fisher-Yates with the project RNG for reproducibility.
+    for (size_t I = N; I-- > 1;) {
+      size_t J = Ctx.Rng.uniformInt(I + 1);
+      std::swap(Perm[I], Perm[J]);
+    }
+    for (size_t Index : Perm) {
+      Plan.Sequence.push_back(Index);
+      Plan.Taus.push_back(Ham.term(Index).Coeff * Dt);
+    }
+  }
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// SparStoStrategy
+//===----------------------------------------------------------------------===//
+
+SparStoStrategy::SparStoStrategy(Hamiltonian H, double T, unsigned R,
+                                 double Scale)
+    : Ham(std::move(H)), Dt(T / static_cast<double>(R)), KeepScale(Scale),
+      Reps(R) {
+  assert(Reps > 0 && "SparSto needs at least one repetition");
+  assert(KeepScale > 0.0 && "keep scale must be positive");
+  MaxMag = 0.0;
+  for (const PauliTerm &Term : Ham.terms())
+    MaxMag = std::max(MaxMag, std::fabs(Term.Coeff));
+  assert(MaxMag > 0.0 && "empty Hamiltonian");
+}
+
+ShotPlan SparStoStrategy::produce(ShotContext &Ctx) const {
+  const size_t NumTerms = Ham.numTerms();
+  ShotPlan Plan;
+  std::vector<size_t> Kept;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    // Independent keep decisions with unbiased 1/q_j rescaling.
+    Kept.clear();
+    std::vector<double> Taus;
+    for (size_t J = 0; J < NumTerms; ++J) {
+      double Q = std::min(1.0, KeepScale * std::fabs(Ham.term(J).Coeff) /
+                                   MaxMag);
+      if (!Ctx.Rng.bernoulli(Q))
+        continue;
+      Kept.push_back(J);
+      Taus.push_back(Ham.term(J).Coeff * Dt / Q);
+    }
+    // Random order within the sparsified step.
+    for (size_t I = Kept.size(); I-- > 1;) {
+      size_t J = Ctx.Rng.uniformInt(I + 1);
+      std::swap(Kept[I], Kept[J]);
+      std::swap(Taus[I], Taus[J]);
+    }
+    Plan.Sequence.insert(Plan.Sequence.end(), Kept.begin(), Kept.end());
+    Plan.Taus.insert(Plan.Taus.end(), Taus.begin(), Taus.end());
+  }
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// CompilerEngine
+//===----------------------------------------------------------------------===//
+
+/// FNV-1a over the byte representation of the index sequence.
+static uint64_t hashSequence(const std::vector<size_t> &Sequence) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (size_t Value : Sequence) {
+    uint64_t V = static_cast<uint64_t>(Value);
+    for (unsigned Byte = 0; Byte < 8; ++Byte) {
+      H ^= (V >> (8 * Byte)) & 0xFF;
+      H *= 0x100000001b3ULL;
+    }
+  }
+  return H;
+}
+
+static ShotSummary summarizeShot(const CompilationResult &R) {
+  ShotSummary S;
+  S.NumSamples = R.NumSamples;
+  S.Counts = R.Counts;
+  S.Stats = R.Stats;
+  S.SequenceHash = hashSequence(R.Sequence);
+  return S;
+}
+
+static SummaryStat toSummary(const RunningStats &Stats) {
+  SummaryStat S;
+  S.Mean = Stats.mean();
+  S.Std = Stats.stddev();
+  S.Min = Stats.min();
+  S.Max = Stats.max();
+  return S;
+}
+
+uint64_t BatchResult::batchHash() const {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (const ShotSummary &S : Shots) {
+    H ^= S.SequenceHash;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+CompilationResult
+CompilerEngine::compileOne(const ScheduleStrategy &Strategy, uint64_t Seed,
+                           const CompilationOptions &Opts) const {
+  RNG Rng = RNG::forShot(Seed, 0);
+  ShotContext Ctx{0, Rng};
+  return materializePlan(Strategy.hamiltonian(), Strategy.produce(Ctx),
+                         Opts);
+}
+
+BatchResult CompilerEngine::compileBatch(const BatchRequest &Req) const {
+  assert(Req.Strategy && "batch request without a strategy");
+  assert(Req.NumShots > 0 && "batch needs at least one shot");
+  const ScheduleStrategy &Strategy = *Req.Strategy;
+
+  BatchResult B;
+  B.StrategyName = Strategy.name();
+  B.NumShots = Req.NumShots;
+  B.Seed = Req.Seed;
+  B.Shots.resize(Req.NumShots);
+  if (Req.KeepResults)
+    B.Results.resize(Req.NumShots);
+
+  unsigned Jobs = Req.Jobs == 0 ? ThreadPool::hardwareWorkers() : Req.Jobs;
+  Jobs = static_cast<unsigned>(
+      std::min<size_t>(Jobs, Req.NumShots));
+
+  auto RunShot = [&](size_t Shot) {
+    RNG Rng = RNG::forShot(Req.Seed, Shot);
+    ShotContext Ctx{Shot, Rng};
+    CompilationResult R = materializePlan(Strategy.hamiltonian(),
+                                          Strategy.produce(Ctx), Req.Opts);
+    B.Shots[Shot] = summarizeShot(R);
+    if (Req.PerShot)
+      Req.PerShot(Shot, R);
+    if (Req.KeepResults)
+      B.Results[Shot] = std::move(R);
+  };
+
+  Timer Clock;
+  if (Strategy.isDeterministic()) {
+    // Every shot is identical: compile once, replicate.
+    RNG Rng = RNG::forShot(Req.Seed, 0);
+    ShotContext Ctx{0, Rng};
+    CompilationResult R = materializePlan(Strategy.hamiltonian(),
+                                          Strategy.produce(Ctx), Req.Opts);
+    B.Shots[0] = summarizeShot(R);
+    for (size_t Shot = 1; Shot < Req.NumShots; ++Shot)
+      B.Shots[Shot] = B.Shots[0];
+    if (Req.PerShot)
+      for (size_t Shot = 0; Shot < Req.NumShots; ++Shot)
+        Req.PerShot(Shot, R);
+    if (Req.KeepResults) {
+      for (size_t Shot = 1; Shot < Req.NumShots; ++Shot)
+        B.Results[Shot] = R;
+      B.Results[0] = std::move(R);
+    }
+    B.JobsUsed = 1;
+  } else {
+    parallelFor(Req.NumShots, Jobs, RunShot);
+    B.JobsUsed = Jobs;
+  }
+  B.Seconds = Clock.seconds();
+
+  RunningStats CNOTs, Singles, Totals, Samples;
+  for (const ShotSummary &S : B.Shots) {
+    CNOTs.add(static_cast<double>(S.Counts.CNOTs));
+    Singles.add(static_cast<double>(S.Counts.SingleQubit));
+    Totals.add(static_cast<double>(S.Counts.total()));
+    Samples.add(static_cast<double>(S.NumSamples));
+    B.TotalCancelledCNOTs += S.Stats.CancelledCNOTs;
+    B.TotalCancelledSingles += S.Stats.CancelledSingles;
+  }
+  B.CNOTs = toSummary(CNOTs);
+  B.Singles = toSummary(Singles);
+  B.Totals = toSummary(Totals);
+  B.Samples = toSummary(Samples);
+  return B;
+}

@@ -1,0 +1,273 @@
+//===- core/CompilerEngine.h - Strategy-based compilation engine -*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One engine for every compiler in the repository.
+///
+/// The paper's experiments (Figs. 11-16, Tables 1-2) all aggregate many
+/// independent compilation shots of the same Hamiltonian under different
+/// schedule-producing policies. This header reifies that structure:
+///
+///   * ScheduleStrategy — a pluggable policy that turns one shot's RNG
+///     substream into a ShotPlan (term-visit sequence + rotation angles).
+///     Concrete strategies wrap Markov-chain sampling (qDrift / GC / GC+RP
+///     via the HTT graph), the deterministic Trotter/Suzuki orderings, the
+///     randomized-order Trotter of Childs et al., and SparSto.
+///   * CompilerEngine — compiles single shots or whole batches. All shots
+///     funnel through the materializePlan deterministic backend, so
+///     gate-count comparisons isolate the scheduling policy.
+///
+/// Batch compilation amortizes setup (HTT graph, transition matrix, and
+/// per-row alias tables are built once and shared read-only) and fans shots
+/// across a ThreadPool. Shot k draws from RNG::forShot(Seed, k), a
+/// counter-based substream independent of scheduling order, so a batch is
+/// bit-identical for every worker count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_CORE_COMPILERENGINE_H
+#define MARQSIM_CORE_COMPILERENGINE_H
+
+#include "core/Baselines.h"
+#include "core/Compiler.h"
+#include "core/HTTGraph.h"
+#include "markov/Sampler.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace marqsim {
+
+/// Everything a strategy may consult while producing one shot.
+struct ShotContext {
+  /// Index of this shot within its batch (0 for single compilations).
+  size_t Shot = 0;
+
+  /// The shot's private RNG substream. Strategies must draw randomness
+  /// only from here; the engine derives it via RNG::forShot.
+  RNG &Rng;
+};
+
+/// A schedule-producing policy. Implementations must be immutable after
+/// construction: produce() is called concurrently from batch workers.
+class ScheduleStrategy {
+public:
+  virtual ~ScheduleStrategy() = default;
+
+  /// Human-readable policy name for tables and logs.
+  virtual std::string name() const = 0;
+
+  /// True when produce() ignores the RNG (every shot is identical); the
+  /// engine then compiles one shot and replicates it across the batch.
+  virtual bool isDeterministic() const { return false; }
+
+  /// The Hamiltonian the plans index into.
+  virtual const Hamiltonian &hamiltonian() const = 0;
+
+  /// Produces the term-visit plan of one shot. Must be thread-safe.
+  virtual ShotPlan produce(ShotContext &Ctx) const = 0;
+};
+
+/// Algorithm 1: walk the HTT graph's Markov chain for
+/// N = ceil(2 lambda^2 t^2 / eps) steps. The alias tables (or CDF rows for
+/// the ablation sampler) are built once at construction and shared
+/// read-only by every shot.
+class SamplingStrategy : public ScheduleStrategy {
+public:
+  SamplingStrategy(std::shared_ptr<const HTTGraph> Graph, double T,
+                   double Epsilon, bool UseCDF = false);
+
+  /// Re-targets \p Other to a new (T, Epsilon) budget, sharing its
+  /// prebuilt sampling tables (useful for epsilon sweeps over one graph).
+  SamplingStrategy(const SamplingStrategy &Other, double T, double Epsilon);
+
+  /// Shared-ownership form of the re-targeting constructor, for sweep
+  /// loops that hold strategies by shared_ptr.
+  std::shared_ptr<const SamplingStrategy> retargeted(double T,
+                                                     double Epsilon) const {
+    return std::make_shared<const SamplingStrategy>(*this, T, Epsilon);
+  }
+
+  std::string name() const override;
+  const Hamiltonian &hamiltonian() const override {
+    return Graph->hamiltonian();
+  }
+  ShotPlan produce(ShotContext &Ctx) const override;
+
+  size_t sampleCount() const { return NumSamples; }
+  double tauStep() const { return TauStep; }
+  const HTTGraph &graph() const { return *Graph; }
+
+private:
+  std::shared_ptr<const HTTGraph> Graph;
+  /// Alias-method walk tables (default sampler).
+  std::shared_ptr<const MarkovChainSampler> Chain;
+  /// Binary-search tables (UseCDF ablation).
+  std::shared_ptr<const CDFSampler> CDFInitial;
+  std::shared_ptr<const std::vector<CDFSampler>> CDFRows;
+  size_t NumSamples = 0;
+  double TauStep = 0.0;
+  bool UseCDF = false;
+};
+
+/// Deterministic product formulas: first-order Trotter (Order 1), the
+/// symmetrized second-order formula (Order 2), and fourth-order Suzuki
+/// (Order 4), each over a fixed term ordering repeated Reps times.
+class TrotterStrategy : public ScheduleStrategy {
+public:
+  TrotterStrategy(Hamiltonian H, double T, unsigned Reps, TermOrderKind Kind,
+                  unsigned Order = 1);
+
+  std::string name() const override;
+  bool isDeterministic() const override { return true; }
+  const Hamiltonian &hamiltonian() const override { return Ham; }
+  ShotPlan produce(ShotContext &Ctx) const override;
+
+private:
+  Hamiltonian Ham;
+  /// One repetition's visit pattern and angles, replicated Reps times.
+  std::vector<size_t> Pattern;
+  std::vector<double> PatternTaus;
+  unsigned Reps;
+  unsigned Order;
+};
+
+/// Randomized-order Trotter [Childs et al.]: an independent uniform
+/// permutation of the terms per repetition.
+class RandomOrderTrotterStrategy : public ScheduleStrategy {
+public:
+  RandomOrderTrotterStrategy(Hamiltonian H, double T, unsigned Reps);
+
+  std::string name() const override { return "random-order-trotter"; }
+  const Hamiltonian &hamiltonian() const override { return Ham; }
+  ShotPlan produce(ShotContext &Ctx) const override;
+
+private:
+  Hamiltonian Ham;
+  double Dt;
+  unsigned Reps;
+};
+
+/// SparSto-style stochastic sparsification: per repetition each term is
+/// kept with probability min(1, KeepScale * |h_j| / max|h|), rescaled by
+/// 1/q_j, and the survivors are randomly ordered.
+class SparStoStrategy : public ScheduleStrategy {
+public:
+  SparStoStrategy(Hamiltonian H, double T, unsigned Reps, double KeepScale);
+
+  std::string name() const override { return "sparsto"; }
+  const Hamiltonian &hamiltonian() const override { return Ham; }
+  ShotPlan produce(ShotContext &Ctx) const override;
+
+private:
+  Hamiltonian Ham;
+  double Dt;
+  double MaxMag;
+  double KeepScale;
+  unsigned Reps;
+};
+
+/// A batch of independent compilation shots of one strategy.
+struct BatchRequest {
+  /// The scheduling policy; shared read-only by all workers.
+  std::shared_ptr<const ScheduleStrategy> Strategy;
+
+  /// Number of independent shots.
+  size_t NumShots = 1;
+
+  /// Worker threads; 0 selects the hardware thread count. The result is
+  /// bit-identical for every value.
+  unsigned Jobs = 1;
+
+  /// Base seed; shot k draws from RNG::forShot(Seed, k).
+  uint64_t Seed = 1;
+
+  /// Lowering options applied to every shot.
+  CompilationOptions Opts;
+
+  /// Retain the full CompilationResult (circuit, schedule, sequence) of
+  /// every shot in BatchResult::Results. Off by default: large batches
+  /// only need the per-shot summaries.
+  bool KeepResults = false;
+
+  /// Optional per-shot hook, invoked with (shot index, result) on the
+  /// worker thread that compiled the shot. Lets callers consume each
+  /// result (fidelity evaluation, exporting one circuit) without retaining
+  /// the whole batch via KeepResults. Invocations are concurrent across
+  /// workers, so the hook must be thread-safe; the result reference is
+  /// only valid for the duration of the call. For deterministic strategies
+  /// the hook still fires once per shot, every time with the single
+  /// compiled result.
+  std::function<void(size_t, const CompilationResult &)> PerShot;
+};
+
+/// Mean / stddev / extrema of one per-shot quantity.
+struct SummaryStat {
+  double Mean = 0.0;
+  double Std = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// The cheap always-retained record of one shot.
+struct ShotSummary {
+  size_t NumSamples = 0;
+  GateCounts Counts;
+  EmitStats Stats;
+  /// FNV-1a hash of the term-visit sequence; lets callers check
+  /// bit-identical scheduling without retaining the sequence itself.
+  uint64_t SequenceHash = 0;
+};
+
+/// Everything a batch produces.
+struct BatchResult {
+  std::string StrategyName;
+  size_t NumShots = 0;
+  unsigned JobsUsed = 0;
+  uint64_t Seed = 0;
+
+  /// One summary per shot, in shot order.
+  std::vector<ShotSummary> Shots;
+
+  /// Full per-shot results; only populated under BatchRequest::KeepResults.
+  std::vector<CompilationResult> Results;
+
+  /// Aggregates over the shots.
+  SummaryStat CNOTs;
+  SummaryStat Singles;
+  SummaryStat Totals;
+  SummaryStat Samples;
+  size_t TotalCancelledCNOTs = 0;
+  size_t TotalCancelledSingles = 0;
+
+  /// Wall-clock seconds spent compiling the shots (setup excluded — that
+  /// happens once, at strategy construction).
+  double Seconds = 0.0;
+
+  /// Order-sensitive combination of the per-shot sequence hashes; equal
+  /// batches (same strategy, seed, shot count) have equal hashes no matter
+  /// how many workers ran them.
+  uint64_t batchHash() const;
+};
+
+/// Compiles single shots and deterministic parallel batches. Stateless;
+/// cheap to construct wherever needed.
+class CompilerEngine {
+public:
+  /// Compiles one shot with the substream RNG::forShot(Seed, 0) —
+  /// identical to shot 0 of a batch with the same seed.
+  CompilationResult compileOne(const ScheduleStrategy &Strategy,
+                               uint64_t Seed,
+                               const CompilationOptions &Opts = {}) const;
+
+  /// Compiles Req.NumShots independent shots across Req.Jobs workers.
+  BatchResult compileBatch(const BatchRequest &Req) const;
+};
+
+} // namespace marqsim
+
+#endif // MARQSIM_CORE_COMPILERENGINE_H

@@ -78,11 +78,23 @@ CDFSampler::CDFSampler(const std::vector<double> &Weights) {
 
 size_t CDFSampler::sample(RNG &Rng) const {
   assert(!Cumulative.empty() && "sampling from an unbuilt CDF table");
-  double X = Rng.uniform() * Cumulative.back();
+  return indexForQuantile(Rng.uniform());
+}
+
+size_t CDFSampler::indexForQuantile(double U) const {
+  assert(!Cumulative.empty() && "querying an unbuilt CDF table");
+  double X = U * Cumulative.back();
   auto It = std::upper_bound(Cumulative.begin(), Cumulative.end(), X);
-  if (It == Cumulative.end())
-    --It;
-  return static_cast<size_t>(It - Cumulative.begin());
+  size_t I = static_cast<size_t>(It - Cumulative.begin());
+  if (I >= Cumulative.size()) {
+    // U * back rounded to (or past) the final cumulative sum. Clamp to the
+    // last index with positive weight: trailing zero-weight entries share
+    // the final cumulative value and must never be returned.
+    I = Cumulative.size() - 1;
+    while (I > 0 && Cumulative[I] <= Cumulative[I - 1])
+      --I;
+  }
+  return I;
 }
 
 MarkovChainSampler::MarkovChainSampler(const TransitionMatrix &Matrix,
@@ -99,9 +111,6 @@ MarkovChainSampler::MarkovChainSampler(const TransitionMatrix &Matrix,
 }
 
 size_t MarkovChainSampler::next(RNG &Rng) {
-  if (Current == kNoState)
-    Current = InitialDist.sample(Rng);
-  else
-    Current = Rows[Current].sample(Rng);
+  Current = Current == kNoState ? initial(Rng) : stepFrom(Current, Rng);
   return Current;
 }

@@ -54,6 +54,13 @@ public:
   /// Draws one index in O(log n).
   size_t sample(RNG &Rng) const;
 
+  /// Maps a quantile \p U (nominally in [0, 1)) to its index. Clamps draws
+  /// that land at or past the final cumulative sum — floating-point
+  /// accumulation can make Cumulative.back() smaller than the true total
+  /// weight — to the last index with positive weight, so the result is
+  /// always in range and in the support of the distribution.
+  size_t indexForQuantile(double U) const;
+
   size_t size() const { return Cumulative.size(); }
 
 private:
@@ -71,6 +78,17 @@ public:
 
   /// Draws the next state and advances the chain.
   size_t next(RNG &Rng);
+
+  /// Stateless draw from the initial distribution. Thread-safe: batch
+  /// compilation shares one sampler read-only across workers, each walking
+  /// its own chain state.
+  size_t initial(RNG &Rng) const { return InitialDist.sample(Rng); }
+
+  /// Stateless draw from the row of \p State. Thread-safe (see initial()).
+  size_t stepFrom(size_t State, RNG &Rng) const {
+    assert(State < Rows.size() && "chain state out of range");
+    return Rows[State].sample(Rng);
+  }
 
   /// Resets to the pre-first-draw state (next draw uses the initial
   /// distribution again).

@@ -98,3 +98,14 @@ RNG RNG::split() {
   RNG Child(next() ^ 0xa5a5a5a5deadbeefULL);
   return Child;
 }
+
+RNG RNG::forShot(uint64_t Seed, uint64_t Shot) {
+  // Two SplitMix64 passes over a mix of seed and counter; SplitMix64 is a
+  // bijection, so distinct (Seed, Shot) pairs keep distinct states before
+  // the final xor decorrelates the two inputs.
+  uint64_t A = Seed;
+  uint64_t MixedSeed = splitMix64(A);
+  uint64_t B = Shot ^ 0x94d049bb133111ebULL;
+  uint64_t MixedShot = splitMix64(B);
+  return RNG(MixedSeed ^ rotl(MixedShot, 23));
+}

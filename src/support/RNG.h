@@ -80,6 +80,12 @@ public:
   /// repetition its own stream without correlations.
   RNG split();
 
+  /// Counter-based substream derivation: the generator for shot \p Shot of
+  /// a batch seeded with \p Seed. Unlike split(), the result depends only
+  /// on (Seed, Shot) — not on any generator state — so a batch compiled
+  /// across any number of threads draws bit-identical streams per shot.
+  static RNG forShot(uint64_t Seed, uint64_t Shot);
+
 private:
   uint64_t State[4];
   double CachedGaussian = 0.0;

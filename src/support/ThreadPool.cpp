@@ -1,0 +1,116 @@
+//===- support/ThreadPool.cpp - Worker pool for batch compilation ------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cassert>
+#include <exception>
+
+using namespace marqsim;
+
+unsigned ThreadPool::hardwareWorkers() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N > 0 ? N : 1;
+}
+
+ThreadPool::ThreadPool(unsigned NumWorkers) {
+  if (NumWorkers == 0)
+    NumWorkers = hardwareWorkers();
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  assert(Task && "submitting an empty task");
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    assert(!ShuttingDown && "submit after shutdown");
+    Queue.push_back(std::move(Task));
+    ++InFlight;
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return InFlight == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock,
+                         [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // shutting down and drained
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      if (--InFlight == 0)
+        AllDone.notify_all();
+    }
+  }
+}
+
+void marqsim::parallelFor(size_t Count, unsigned Jobs,
+                          const std::function<void(size_t)> &Body) {
+  if (Jobs == 0)
+    Jobs = ThreadPool::hardwareWorkers();
+  if (Count == 0)
+    return;
+  if (Jobs <= 1 || Count <= 1) {
+    for (size_t I = 0; I < Count; ++I)
+      Body(I);
+    return;
+  }
+
+  unsigned Effective =
+      static_cast<unsigned>(std::min<size_t>(Jobs, Count));
+  std::atomic<size_t> NextIndex{0};
+  std::exception_ptr FirstError;
+  std::mutex ErrorMutex;
+
+  {
+    ThreadPool Pool(Effective);
+    for (unsigned W = 0; W < Effective; ++W) {
+      Pool.submit([&] {
+        for (;;) {
+          size_t I = NextIndex.fetch_add(1, std::memory_order_relaxed);
+          if (I >= Count)
+            return;
+          try {
+            Body(I);
+          } catch (...) {
+            std::unique_lock<std::mutex> Lock(ErrorMutex);
+            if (!FirstError)
+              FirstError = std::current_exception();
+            NextIndex.store(Count, std::memory_order_relaxed); // stop early
+          }
+        }
+      });
+    }
+    Pool.wait();
+  }
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+}

@@ -1,0 +1,431 @@
+//===- tests/EngineTest.cpp - CompilerEngine / batch determinism tests --------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The determinism contracts of the batch engine:
+//   * compileBatch is bit-identical for every worker count,
+//   * compileOne(Seed) equals shot 0 of a batch with the same seed,
+//   * deterministic strategies replicate one shot across the batch,
+// plus the RNG substream derivation, the ThreadPool, the CDF quantile
+// clamp, and a chi-square check that the alias and CDF samplers agree in
+// distribution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CompilerEngine.h"
+#include "core/TransitionBuilders.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+using namespace marqsim;
+
+namespace {
+
+/// A small strongly-interacting Hamiltonian for engine tests.
+Hamiltonian testHamiltonian() {
+  return Hamiltonian::parse({{1.0, "IIZY"},
+                             {0.8, "XXII"},
+                             {0.6, "ZXZY"},
+                             {0.4, "IZZX"},
+                             {0.2, "XYYZ"}})
+      .splitLargeTerms();
+}
+
+std::shared_ptr<const HTTGraph> testGraph(double WQd = 0.4,
+                                          double WGc = 0.6) {
+  Hamiltonian H = testHamiltonian();
+  TransitionMatrix P = makeConfigMatrix(H, WQd, WGc, 0.0);
+  return std::make_shared<const HTTGraph>(std::move(H), std::move(P));
+}
+
+/// chi^2 critical value via the Wilson-Hilferty approximation at z sigma.
+double chiSquareCritical(size_t Df, double Z) {
+  double D = static_cast<double>(Df);
+  double Term = 1.0 - 2.0 / (9.0 * D) + Z * std::sqrt(2.0 / (9.0 * D));
+  return D * Term * Term * Term;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// RNG::forShot
+//===----------------------------------------------------------------------===//
+
+TEST(RNGForShotTest, SameSeedAndShotGiveIdenticalStreams) {
+  RNG A = RNG::forShot(123, 7);
+  RNG B = RNG::forShot(123, 7);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNGForShotTest, DistinctShotsAndSeedsGiveDistinctStreams) {
+  RNG A = RNG::forShot(123, 0);
+  RNG B = RNG::forShot(123, 1);
+  RNG C = RNG::forShot(124, 0);
+  // First draws differing is the cheap necessary condition; collisions of
+  // all three would indicate broken derivation.
+  uint64_t DA = A.next(), DB = B.next(), DC = C.next();
+  EXPECT_NE(DA, DB);
+  EXPECT_NE(DA, DC);
+  EXPECT_NE(DB, DC);
+}
+
+TEST(RNGForShotTest, IndependentOfGeneratorState) {
+  // forShot is a pure function of (Seed, Shot): interleaving other
+  // derivations or draws must not change a substream.
+  RNG Reference = RNG::forShot(9, 4);
+  RNG Noise(1);
+  Noise.next();
+  (void)RNG::forShot(1, 1);
+  RNG Again = RNG::forShot(9, 4);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(Reference.next(), Again.next());
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  const size_t N = 1000;
+  std::vector<std::atomic<int>> Visits(N);
+  for (auto &V : Visits)
+    V.store(0);
+  parallelFor(N, 8, [&](size_t I) { Visits[I].fetch_add(1); });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Visits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPoolTest, MoreJobsThanWorkAndInlinePaths) {
+  for (unsigned Jobs : {0u, 1u, 3u, 64u}) {
+    std::atomic<size_t> Sum{0};
+    parallelFor(5, Jobs, [&](size_t I) { Sum.fetch_add(I + 1); });
+    EXPECT_EQ(Sum.load(), 15u) << "jobs=" << Jobs;
+  }
+  // Empty ranges are a no-op.
+  parallelFor(0, 4, [&](size_t) { FAIL() << "body called for empty range"; });
+}
+
+TEST(ThreadPoolTest, PropagatesTheFirstException) {
+  EXPECT_THROW(parallelFor(100, 4,
+                           [&](size_t I) {
+                             if (I == 42)
+                               throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitDrainsAllTasks) {
+  ThreadPool Pool(4);
+  std::atomic<int> Done{0};
+  for (int I = 0; I < 64; ++I)
+    Pool.submit([&] { Done.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Done.load(), 64);
+}
+
+//===----------------------------------------------------------------------===//
+// CDFSampler quantile clamp
+//===----------------------------------------------------------------------===//
+
+TEST(CDFSamplerClampTest, OverflowingQuantileStaysInSupport) {
+  // Draws that land at or past the final cumulative sum (possible when
+  // rounding makes Cumulative.back() < the true total) must clamp to the
+  // last *positive-weight* index, not a trailing zero-weight one.
+  CDFSampler TrailingZeros(std::vector<double>{1.0, 0.0, 0.0});
+  EXPECT_EQ(TrailingZeros.indexForQuantile(1.0), 0u);
+  EXPECT_EQ(TrailingZeros.indexForQuantile(2.0), 0u);
+
+  CDFSampler MiddleMass(std::vector<double>{0.0, 2.0, 0.0});
+  EXPECT_EQ(MiddleMass.indexForQuantile(1.0), 1u);
+  EXPECT_EQ(MiddleMass.indexForQuantile(0.0), 1u);
+
+  CDFSampler Dense(std::vector<double>{0.25, 0.5, 0.25});
+  EXPECT_EQ(Dense.indexForQuantile(1.0), 2u);
+}
+
+TEST(CDFSamplerClampTest, RandomDrawsNeverHitZeroWeightEntries) {
+  RNG Gen(77);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    std::vector<double> W(17);
+    for (double &X : W)
+      X = Gen.bernoulli(0.3) ? 0.0 : Gen.uniform();
+    W[16] = 0.0; // force a zero-weight tail
+    if (std::accumulate(W.begin(), W.end(), 0.0) <= 0.0)
+      W[0] = 1.0;
+    CDFSampler S(W);
+    RNG Rng(100 + Trial);
+    for (int I = 0; I < 20000; ++I) {
+      size_t K = S.sample(Rng);
+      ASSERT_LT(K, W.size());
+      ASSERT_GT(W[K], 0.0) << "draw hit zero-weight index " << K;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Alias vs CDF agreement (chi-square)
+//===----------------------------------------------------------------------===//
+
+TEST(SamplerAgreementTest, ChiSquareAgainstExpectedOnRandomWeights) {
+  RNG Gen(2025);
+  const int Draws = 60000;
+  for (size_t Size : {4u, 9u, 16u, 33u}) {
+    std::vector<double> W(Size);
+    double Total = 0.0;
+    for (double &X : W)
+      Total += (X = 0.05 + Gen.uniform()); // bounded away from 0 so every
+                                           // expected count is large
+    AliasSampler Alias(W);
+    CDFSampler CDF(W);
+    RNG RA(Size * 31 + 1), RC(Size * 31 + 2);
+    std::vector<int> CA(Size, 0), CC(Size, 0);
+    for (int I = 0; I < Draws; ++I) {
+      ++CA[Alias.sample(RA)];
+      ++CC[CDF.sample(RC)];
+    }
+    // Goodness of fit of both samplers against the target distribution.
+    double StatA = 0.0, StatC = 0.0;
+    for (size_t K = 0; K < Size; ++K) {
+      double Expected = Draws * W[K] / Total;
+      StatA += (CA[K] - Expected) * (CA[K] - Expected) / Expected;
+      StatC += (CC[K] - Expected) * (CC[K] - Expected) / Expected;
+    }
+    double Critical = chiSquareCritical(Size - 1, 3.29); // ~p = 0.9995
+    EXPECT_LT(StatA, Critical) << "alias sampler off target, size " << Size;
+    EXPECT_LT(StatC, Critical) << "CDF sampler off target, size " << Size;
+
+    // Two-sample chi-square: the samplers agree with each other.
+    double StatAC = 0.0;
+    for (size_t K = 0; K < Size; ++K) {
+      double Sum = CA[K] + CC[K];
+      if (Sum > 0)
+        StatAC += (CA[K] - CC[K]) * (CA[K] - CC[K]) / Sum;
+    }
+    EXPECT_LT(StatAC, Critical) << "samplers disagree, size " << Size;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// CompilerEngine batches
+//===----------------------------------------------------------------------===//
+
+TEST(CompilerEngineTest, BatchBitIdenticalAcrossJobCounts) {
+  auto Graph = testGraph();
+  auto Strategy =
+      std::make_shared<const SamplingStrategy>(Graph, 0.5, 0.05);
+  CompilerEngine Engine;
+
+  BatchRequest Req;
+  Req.Strategy = Strategy;
+  Req.NumShots = 12;
+  Req.Seed = 31337;
+  Req.KeepResults = true;
+
+  Req.Jobs = 1;
+  BatchResult Serial = Engine.compileBatch(Req);
+  Req.Jobs = 8;
+  BatchResult Parallel = Engine.compileBatch(Req);
+
+  ASSERT_EQ(Serial.NumShots, Parallel.NumShots);
+  EXPECT_EQ(Serial.batchHash(), Parallel.batchHash());
+  for (size_t Shot = 0; Shot < Serial.NumShots; ++Shot) {
+    EXPECT_EQ(Serial.Results[Shot].Sequence, Parallel.Results[Shot].Sequence)
+        << "shot " << Shot;
+    EXPECT_EQ(Serial.Shots[Shot].Counts.CNOTs,
+              Parallel.Shots[Shot].Counts.CNOTs);
+    EXPECT_EQ(Serial.Shots[Shot].Counts.SingleQubit,
+              Parallel.Shots[Shot].Counts.SingleQubit);
+    EXPECT_EQ(Serial.Shots[Shot].SequenceHash,
+              Parallel.Shots[Shot].SequenceHash);
+  }
+  EXPECT_DOUBLE_EQ(Serial.CNOTs.Mean, Parallel.CNOTs.Mean);
+  EXPECT_DOUBLE_EQ(Serial.CNOTs.Std, Parallel.CNOTs.Std);
+}
+
+TEST(CompilerEngineTest, CompileOneMatchesBatchShotZero) {
+  auto Strategy =
+      std::make_shared<const SamplingStrategy>(testGraph(), 0.4, 0.1);
+  CompilerEngine Engine;
+
+  CompilationResult One = Engine.compileOne(*Strategy, 99);
+
+  BatchRequest Req;
+  Req.Strategy = Strategy;
+  Req.NumShots = 3;
+  Req.Seed = 99;
+  Req.KeepResults = true;
+  BatchResult Batch = Engine.compileBatch(Req);
+
+  EXPECT_EQ(One.Sequence, Batch.Results[0].Sequence);
+  EXPECT_EQ(One.Counts.CNOTs, Batch.Results[0].Counts.CNOTs);
+  // Later shots use different substreams.
+  EXPECT_NE(Batch.Shots[0].SequenceHash, Batch.Shots[1].SequenceHash);
+}
+
+TEST(CompilerEngineTest, DistinctSeedsChangeTheBatch) {
+  auto Strategy =
+      std::make_shared<const SamplingStrategy>(testGraph(), 0.4, 0.1);
+  CompilerEngine Engine;
+  BatchRequest Req;
+  Req.Strategy = Strategy;
+  Req.NumShots = 4;
+  Req.Seed = 1;
+  BatchResult A = Engine.compileBatch(Req);
+  Req.Seed = 2;
+  BatchResult B = Engine.compileBatch(Req);
+  EXPECT_NE(A.batchHash(), B.batchHash());
+}
+
+TEST(CompilerEngineTest, DeterministicStrategyReplicatesOneShot) {
+  Hamiltonian H = testHamiltonian();
+  auto Strategy = std::make_shared<const TrotterStrategy>(
+      H, 0.7, 4, TermOrderKind::Lexicographic, 2);
+  ASSERT_TRUE(Strategy->isDeterministic());
+
+  CompilerEngine Engine;
+  BatchRequest Req;
+  Req.Strategy = Strategy;
+  Req.NumShots = 6;
+  Req.Jobs = 4;
+  Req.Seed = 5;
+  Req.KeepResults = true;
+  BatchResult Batch = Engine.compileBatch(Req);
+
+  for (size_t Shot = 1; Shot < Batch.NumShots; ++Shot) {
+    EXPECT_EQ(Batch.Shots[Shot].SequenceHash, Batch.Shots[0].SequenceHash);
+    EXPECT_EQ(Batch.Results[Shot].Sequence, Batch.Results[0].Sequence);
+  }
+  EXPECT_DOUBLE_EQ(Batch.CNOTs.Std, 0.0);
+  EXPECT_DOUBLE_EQ(Batch.Totals.Std, 0.0);
+  // The replicated schedule matches the legacy entry point bit for bit.
+  CompilationResult Legacy =
+      compileTrotter2(H, 0.7, 4, TermOrderKind::Lexicographic);
+  EXPECT_EQ(Legacy.Sequence, Batch.Results[0].Sequence);
+  EXPECT_EQ(Legacy.Counts.CNOTs, Batch.Results[0].Counts.CNOTs);
+}
+
+TEST(CompilerEngineTest, PerShotHookSeesEveryShotOnce) {
+  auto Strategy =
+      std::make_shared<const SamplingStrategy>(testGraph(), 0.5, 0.05);
+  CompilerEngine Engine;
+
+  BatchRequest Req;
+  Req.Strategy = Strategy;
+  Req.NumShots = 10;
+  Req.Jobs = 4;
+  Req.Seed = 77;
+  std::vector<size_t> SeenCNOTs(Req.NumShots, 0);
+  std::atomic<size_t> Calls{0};
+  Req.PerShot = [&](size_t Shot, const CompilationResult &R) {
+    SeenCNOTs[Shot] = R.Counts.CNOTs;
+    Calls.fetch_add(1);
+  };
+  BatchResult Batch = Engine.compileBatch(Req);
+
+  EXPECT_EQ(Calls.load(), Req.NumShots);
+  for (size_t Shot = 0; Shot < Req.NumShots; ++Shot)
+    EXPECT_EQ(SeenCNOTs[Shot], Batch.Shots[Shot].Counts.CNOTs)
+        << "shot " << Shot;
+}
+
+TEST(CompilerEngineTest, PerShotHookFiresPerReplicatedShot) {
+  auto Strategy = std::make_shared<const TrotterStrategy>(
+      testHamiltonian(), 0.7, 3, TermOrderKind::Lexicographic, 1);
+  ASSERT_TRUE(Strategy->isDeterministic());
+
+  CompilerEngine Engine;
+  BatchRequest Req;
+  Req.Strategy = Strategy;
+  Req.NumShots = 5;
+  Req.Seed = 5;
+  size_t Calls = 0;
+  size_t FirstCNOTs = 0;
+  Req.PerShot = [&](size_t Shot, const CompilationResult &R) {
+    if (Shot == 0)
+      FirstCNOTs = R.Counts.CNOTs;
+    EXPECT_EQ(R.Counts.CNOTs, FirstCNOTs);
+    ++Calls;
+  };
+  BatchResult Batch = Engine.compileBatch(Req);
+  EXPECT_EQ(Calls, Req.NumShots);
+  EXPECT_EQ(Batch.Shots[0].Counts.CNOTs, FirstCNOTs);
+}
+
+TEST(CompilerEngineTest, SamplingStrategyMatchesCompileBySampling) {
+  auto Graph = testGraph();
+  SamplingStrategy Strategy(Graph, 0.5, 0.05);
+
+  RNG R1(4242);
+  ShotContext Ctx{0, R1};
+  ShotPlan Plan = Strategy.produce(Ctx);
+  CompilationResult FromStrategy =
+      materializePlan(Graph->hamiltonian(), std::move(Plan));
+
+  RNG R2(4242);
+  CompilationResult Legacy = compileBySampling(*Graph, 0.5, 0.05, R2);
+  EXPECT_EQ(Legacy.Sequence, FromStrategy.Sequence);
+  EXPECT_EQ(Legacy.Counts.CNOTs, FromStrategy.Counts.CNOTs);
+}
+
+TEST(CompilerEngineTest, RetargetedStrategySharesGraphAndChangesBudget) {
+  auto Graph = testGraph();
+  SamplingStrategy Loose(Graph, 0.5, 0.1);
+  SamplingStrategy Tight(Loose, 0.5, 0.01);
+  EXPECT_GT(Tight.sampleCount(), Loose.sampleCount());
+  EXPECT_EQ(&Tight.graph(), &Loose.graph());
+
+  // Both remain valid producers.
+  CompilerEngine Engine;
+  CompilationResult A = Engine.compileOne(Loose, 1);
+  CompilationResult B = Engine.compileOne(Tight, 1);
+  EXPECT_EQ(A.NumSamples, Loose.sampleCount());
+  EXPECT_EQ(B.NumSamples, Tight.sampleCount());
+}
+
+TEST(CompilerEngineTest, CDFAblationBatchIsAlsoJobInvariant) {
+  auto Graph = testGraph();
+  auto Strategy = std::make_shared<const SamplingStrategy>(Graph, 0.4, 0.1,
+                                                           /*UseCDF=*/true);
+  CompilerEngine Engine;
+  BatchRequest Req;
+  Req.Strategy = Strategy;
+  Req.NumShots = 8;
+  Req.Seed = 7;
+  Req.Jobs = 1;
+  BatchResult Serial = Engine.compileBatch(Req);
+  Req.Jobs = 5;
+  BatchResult Parallel = Engine.compileBatch(Req);
+  EXPECT_EQ(Serial.batchHash(), Parallel.batchHash());
+}
+
+TEST(CompilerEngineTest, StochasticTrotterStrategiesRunInBatches) {
+  Hamiltonian H = testHamiltonian();
+  CompilerEngine Engine;
+
+  BatchRequest Req;
+  Req.Strategy =
+      std::make_shared<const RandomOrderTrotterStrategy>(H, 0.5, 6);
+  Req.NumShots = 5;
+  Req.Jobs = 3;
+  Req.Seed = 11;
+  BatchResult Random = Engine.compileBatch(Req);
+  // Shots use distinct permutations (identical ones are astronomically
+  // unlikely across 5 shots of 6 reps).
+  EXPECT_NE(Random.Shots[0].SequenceHash, Random.Shots[1].SequenceHash);
+  EXPECT_EQ(Random.Samples.Mean, double(6 * H.numTerms()));
+
+  Req.Strategy = std::make_shared<const SparStoStrategy>(H, 0.3, 8, 1.5);
+  BatchResult Sparse = Engine.compileBatch(Req);
+  // Sparsification drops terms: fewer visits than dense Trotter on avg.
+  EXPECT_LT(Sparse.Samples.Mean, double(8 * H.numTerms()));
+  Req.Jobs = 1;
+  EXPECT_EQ(Engine.compileBatch(Req).batchHash(), Sparse.batchHash());
+}

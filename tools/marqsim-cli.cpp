@@ -13,15 +13,20 @@
 //     --qd=W --gc=W --rp=W  custom configuration weights (override config)
 //     --rounds=K          Prp perturbation rounds (default 8)
 //     --seed=S            sampling seed (default 1)
+//     --shots=N           independent compilation shots (default 1); the
+//                         QASM output is always shot 0
+//     --jobs=J            worker threads for the batch (default 1, 0 = all
+//                         cores); results are bit-identical for every J
 //     --out=FILE          write QASM here (default stdout)
-//     --stats             print gate statistics to stderr
+//     --stats             print gate statistics to stderr (with --shots>1,
+//                         the per-batch aggregate table)
 //     --dot=FILE          also dump the HTT graph as Graphviz DOT
 //
 // Exit codes: 0 success, 1 usage error, 2 malformed input.
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Compiler.h"
+#include "core/CompilerEngine.h"
 #include "core/TransitionBuilders.h"
 #include "circuit/QasmExport.h"
 #include "pauli/HamiltonianIO.h"
@@ -30,6 +35,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 using namespace marqsim;
 
@@ -39,8 +45,8 @@ int main(int Argc, char **Argv) {
     std::cerr << "usage: marqsim-cli <hamiltonian.txt> [--time=T] "
                  "[--epsilon=E]\n"
                  "  [--config=baseline|gc|gc-rp] [--qd=W --gc=W --rp=W]\n"
-                 "  [--rounds=K] [--seed=S] [--out=FILE] [--stats] "
-                 "[--dot=FILE]\n";
+                 "  [--rounds=K] [--seed=S] [--shots=N] [--jobs=J]\n"
+                 "  [--out=FILE] [--stats] [--dot=FILE]\n";
     return 1;
   }
 
@@ -82,24 +88,57 @@ int main(int Argc, char **Argv) {
   double Epsilon = CL.getDouble("epsilon", 0.05);
   unsigned Rounds = static_cast<unsigned>(CL.getInt("rounds", 8));
   uint64_t Seed = static_cast<uint64_t>(CL.getInt("seed", 1));
+  int64_t ShotsArg = CL.getInt("shots", 1);
+  if (ShotsArg < 1) {
+    std::cerr << "error: --shots must be at least 1\n";
+    return 1;
+  }
+  size_t Shots = static_cast<size_t>(ShotsArg);
+  int64_t JobsArg = CL.getInt("jobs", 1);
+  if (JobsArg < 0) {
+    std::cerr << "error: --jobs must be non-negative (0 = all cores)\n";
+    return 1;
+  }
+  unsigned Jobs = static_cast<unsigned>(JobsArg);
 
-  // Single-term Hamiltonians skip the flow machinery (exact compilation).
+  // Setup once: matrix, graph validation, and sampling tables are shared
+  // by every shot. Single-term Hamiltonians skip the flow machinery.
   TransitionMatrix P =
       H.numTerms() < 2
           ? buildQDrift(H)
           : makeConfigMatrix(H, WQd, WGc, WRp, Rounds, Seed ^ 0xD1CE);
-  HTTGraph Graph(H, P);
-  if (!Graph.isValidForCompilation()) {
+  auto Graph = std::make_shared<const HTTGraph>(H, std::move(P));
+  if (!Graph->isValidForCompilation()) {
     std::cerr << "error: transition matrix failed Theorem 4.1 validation\n";
     return 2;
   }
+  auto Strategy =
+      std::make_shared<const SamplingStrategy>(Graph, Time, Epsilon);
 
-  RNG Rng(Seed);
-  CompilationResult R = compileBySampling(Graph, Time, Epsilon, Rng);
+  CompilerEngine Engine;
+  // Shot 0 carries the QASM output; with --shots=1 this is the whole run.
+  // With --shots>1 it is lifted out of the batch via PerShot so the shot
+  // is compiled exactly once.
+  CompilationResult R;
+  BatchResult Batch;
+  if (Shots == 1) {
+    R = Engine.compileOne(*Strategy, Seed);
+  } else {
+    BatchRequest Req;
+    Req.Strategy = Strategy;
+    Req.NumShots = Shots;
+    Req.Jobs = Jobs;
+    Req.Seed = Seed;
+    Req.PerShot = [&](size_t Shot, const CompilationResult &Res) {
+      if (Shot == 0)
+        R = Res; // single writer: only the worker that compiled shot 0
+    };
+    Batch = Engine.compileBatch(Req);
+  }
 
   if (CL.has("dot")) {
     std::ofstream Dot(CL.getString("dot"));
-    Dot << Graph.toDot();
+    Dot << Graph->toDot();
   }
   if (CL.has("out")) {
     std::ofstream Out(CL.getString("out"));
@@ -107,6 +146,23 @@ int main(int Argc, char **Argv) {
   } else {
     exportQasm(R.Circ, std::cout);
   }
+
+  if (Shots > 1) {
+    Table Agg({"metric", "mean", "std", "min", "max"});
+    auto AddRow = [&](const char *Name, const SummaryStat &S) {
+      Agg.addRow({Name, formatDouble(S.Mean), formatDouble(S.Std),
+                  formatDouble(S.Min), formatDouble(S.Max)});
+    };
+    AddRow("samples N", Batch.Samples);
+    AddRow("CNOTs", Batch.CNOTs);
+    AddRow("1q gates", Batch.Singles);
+    AddRow("total gates", Batch.Totals);
+    std::cerr << "batch: " << Shots << " shots, jobs=" << Batch.JobsUsed
+              << ", " << formatDouble(Batch.Seconds) << " s, hash="
+              << Batch.batchHash() << "\n";
+    Agg.print(std::cerr);
+  }
+
   if (CL.getBool("stats")) {
     std::cerr << "terms=" << H.numTerms() << " lambda="
               << formatDouble(H.lambda()) << " N=" << R.NumSamples
