@@ -6,75 +6,69 @@
 
 #include "BenchCommon.h"
 
-#include "stats/Stats.h"
-
+#include <algorithm>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 using namespace marqsim;
 
 std::vector<ConfigSpec> marqsim::paperConfigs() {
-  return {{"Baseline", 1.0, 0.0, 0.0},
-          {"MarQSim-GC", 0.4, 0.6, 0.0},
-          {"MarQSim-GC-RP", 0.4, 0.3, 0.3}};
+  return {{"Baseline", *ChannelMix::preset("baseline")},
+          {"MarQSim-GC", *ChannelMix::preset("gc")},
+          {"MarQSim-GC-RP", *ChannelMix::preset("gc-rp")}};
 }
 
-SweepResult marqsim::runConfigSweep(const Hamiltonian &H, double T,
+TaskSpec marqsim::sweepTaskSpec(const Hamiltonian &H, double T,
+                                const ConfigSpec &Config,
+                                const SweepOptions &Opts, double Epsilon,
+                                size_t EpsilonIndex) {
+  TaskSpec Spec;
+  Spec.Source = HamiltonianSource::fromHamiltonian(H);
+  Spec.Mix = Config.Mix;
+  Spec.PerturbRounds = Opts.PerturbRounds;
+  Spec.PerturbSeed = Opts.Seed ^ 0xC0FFEE;
+  Spec.Time = T;
+  Spec.Epsilon = Epsilon;
+  Spec.Shots = Opts.Reps;
+  Spec.Jobs = Opts.Jobs;
+  Spec.Seed = Opts.Seed + 7919 * EpsilonIndex;
+  Spec.Evaluate.FidelityColumns = Opts.FidelityColumns;
+  return Spec;
+}
+
+SweepResult marqsim::runConfigSweep(SimulationService &Service,
+                                    const Hamiltonian &H, double T,
                                     const ConfigSpec &Config,
-                                    const SweepOptions &Opts,
-                                    const FidelityEvaluator *Eval) {
+                                    const SweepOptions &Opts) {
   SweepResult Result;
   Result.Config = Config;
 
-  // Per-configuration setup happens exactly once: min-cost-flow solves for
-  // the matrix, then the graph and the alias tables, shared read-only by
-  // every epsilon's batch.
-  Hamiltonian Prepared = H.splitLargeTerms();
-  TransitionMatrix P =
-      makeConfigMatrix(Prepared, Config.WQd, Config.WGc, Config.WRp,
-                       Opts.PerturbRounds, Opts.Seed ^ 0xC0FFEE);
-  auto Graph =
-      std::make_shared<const HTTGraph>(std::move(Prepared), std::move(P));
-
-  CompilerEngine Engine;
-  std::shared_ptr<const SamplingStrategy> First;
+  // One declarative task per epsilon. The expensive setup — the MCFP
+  // solves, the combined matrix, the graph, the alias tables — is resolved
+  // through the service caches, so it happens at most once per
+  // configuration no matter how many sweep points (or sweeps) share it.
   for (size_t EIdx = 0; EIdx < Opts.Epsilons.size(); ++EIdx) {
     double Eps = Opts.Epsilons[EIdx];
-    std::shared_ptr<const SamplingStrategy> Strategy =
-        First ? First->retargeted(T, Eps)
-              : (First = std::make_shared<const SamplingStrategy>(Graph, T,
-                                                                  Eps));
-
-    BatchRequest Req;
-    Req.Strategy = Strategy;
-    Req.NumShots = Opts.Reps;
-    Req.Jobs = Opts.Jobs;
-    Req.Seed = Opts.Seed + 7919 * EIdx;
-    // Fidelity per shot on the worker that compiled it (the evaluator is
-    // immutable after construction), into the shot's own slot — no need to
-    // retain whole CompilationResults across the batch.
-    std::vector<double> ShotFidelities;
-    if (Eval) {
-      ShotFidelities.resize(Opts.Reps);
-      Req.PerShot = [&](size_t Shot, const CompilationResult &R) {
-        ShotFidelities[Shot] = Eval->fidelity(R.Schedule);
-      };
+    TaskSpec Spec = sweepTaskSpec(H, T, Config, Opts, Eps, EIdx);
+    std::string Error;
+    std::optional<TaskResult> Task = Service.run(Spec, &Error);
+    if (!Task) {
+      // Sweep cells share validated inputs; a failure here is a harness
+      // bug, not a data point. Surface it loudly.
+      throw std::runtime_error("sweep cell failed: " + Error);
     }
-    BatchResult Batch = Engine.compileBatch(Req);
 
     SweepPoint Point;
     Point.Epsilon = Eps;
-    Point.NumSamples = Strategy->sampleCount();
-    Point.MeanCNOTs = Batch.CNOTs.Mean;
-    Point.StdCNOTs = Batch.CNOTs.Std;
-    Point.MeanSingles = Batch.Singles.Mean;
-    Point.MeanTotal = Batch.Totals.Mean;
-    if (Eval) {
-      RunningStats Fids;
-      for (double F : ShotFidelities)
-        Fids.add(F);
-      Point.MeanFidelity = Fids.mean();
-      Point.StdFidelity = Fids.stddev();
+    Point.NumSamples = Task->NumSamples;
+    Point.MeanCNOTs = Task->Batch.CNOTs.Mean;
+    Point.StdCNOTs = Task->Batch.CNOTs.Std;
+    Point.MeanSingles = Task->Batch.Singles.Mean;
+    Point.MeanTotal = Task->Batch.Totals.Mean;
+    if (Task->HasFidelity) {
+      Point.MeanFidelity = Task->Fidelity.Mean;
+      Point.StdFidelity = Task->Fidelity.Std;
       Point.HasFidelity = true;
     }
     Result.Points.push_back(Point);
@@ -119,6 +113,16 @@ void marqsim::printSweepTable(std::ostream &OS, const std::string &Title,
                 P.HasFidelity ? formatDouble(P.StdFidelity, 3) : "-"});
     }
   T.print(OS);
+}
+
+void marqsim::printCacheStats(std::ostream &OS,
+                              const SimulationService &Service) {
+  CacheStats S = Service.stats();
+  OS << "service caches: MCFP solves=" << S.matrixMisses()
+     << " reused=" << S.matrixHits() << " (disk=" << S.DiskLoads
+     << "), graphs built=" << S.GraphMisses << " reused=" << S.GraphHits
+     << ", evaluators built=" << S.EvaluatorMisses
+     << " reused=" << S.EvaluatorHits << "\n";
 }
 
 void marqsim::applyCommonFlags(const CommandLine &CL, SweepOptions &Opts) {

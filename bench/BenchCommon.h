@@ -17,19 +17,19 @@
 ///                   bit-identical for every J)
 ///   --seed=S        base RNG seed
 ///
-/// Repeated compilations run through CompilerEngine::compileBatch: the HTT
-/// graph, transition matrix, and alias tables are built once per
-/// configuration and shared read-only across shots.
+/// Sweeps run through a shared SimulationService: each (config, epsilon)
+/// cell is one declarative TaskSpec, and the service's content-hash caches
+/// guarantee one gate-cancellation MCFP solve per (Hamiltonian, flow
+/// options) across the whole sweep — every other cell reuses it. Fidelity
+/// (SweepOptions::FidelityColumns > 0) is evaluated per shot inside the
+/// batch workers, so --jobs covers it too.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MARQSIM_BENCH_BENCHCOMMON_H
 #define MARQSIM_BENCH_BENCHCOMMON_H
 
-#include "core/Compiler.h"
-#include "core/CompilerEngine.h"
-#include "core/TransitionBuilders.h"
-#include "sim/Fidelity.h"
+#include "service/SimulationService.h"
 #include "support/CommandLine.h"
 #include "support/Table.h"
 
@@ -43,9 +43,7 @@ namespace marqsim {
 /// Pqd / Pgc / Prp (paper Section 6.1).
 struct ConfigSpec {
   std::string Name;
-  double WQd = 1.0;
-  double WGc = 0.0;
-  double WRp = 0.0;
+  ChannelMix Mix;
 };
 
 /// The paper's three configurations: Baseline (qDrift + cancellation),
@@ -89,11 +87,20 @@ struct SweepResult {
   std::vector<SweepPoint> Points;
 };
 
-/// Runs the sweep for one configuration of \p H at evolution time \p T.
-/// \p Eval may be null (skips fidelity).
-SweepResult runConfigSweep(const Hamiltonian &H, double T,
-                           const ConfigSpec &Config, const SweepOptions &Opts,
-                           const FidelityEvaluator *Eval = nullptr);
+/// Builds the TaskSpec of one (config, epsilon) sweep cell; the shared
+/// knobs (rounds, perturbation seed, shots, jobs, fidelity) come from
+/// \p Opts. Exposed so harnesses can derive one-off cells (spectra, DOT)
+/// that still hit the same cache entries as the sweep.
+TaskSpec sweepTaskSpec(const Hamiltonian &H, double T,
+                       const ConfigSpec &Config, const SweepOptions &Opts,
+                       double Epsilon, size_t EpsilonIndex);
+
+/// Runs the sweep for one configuration of \p H at evolution time \p T
+/// through \p Service. Fidelity is evaluated (in-worker) when
+/// Opts.FidelityColumns > 0.
+SweepResult runConfigSweep(SimulationService &Service, const Hamiltonian &H,
+                           double T, const ConfigSpec &Config,
+                           const SweepOptions &Opts);
 
 /// Gate reductions of \p Opt relative to \p Base, averaged over matched
 /// epsilon points (identical N by construction).
@@ -108,6 +115,9 @@ ReductionSummary averageReduction(const SweepResult &Base,
 /// Prints one benchmark's sweep series as an aligned table.
 void printSweepTable(std::ostream &OS, const std::string &Title,
                      const std::vector<SweepResult> &Results);
+
+/// Prints the service's cumulative cache accounting (one line).
+void printCacheStats(std::ostream &OS, const SimulationService &Service);
 
 /// Applies --paper / --reps / --seed / --eps (comma list) to \p Opts.
 void applyCommonFlags(const CommandLine &CL, SweepOptions &Opts);

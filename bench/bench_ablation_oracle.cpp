@@ -27,6 +27,7 @@
 #include "pauli/CommutingGroups.h"
 #include "support/Timer.h"
 
+#include <cstdlib>
 #include <iostream>
 
 using namespace marqsim;
@@ -43,23 +44,51 @@ int main(int Argc, char **Argv) {
     std::cerr << "unknown benchmark: " << Name << "\n";
     return 1;
   }
-  Hamiltonian H = makeBenchmark(*Spec).splitLargeTerms();
+  // The canonical (merged, split) form the service compiles: the oracle
+  // and spectra sections below index terms against service-built matrices,
+  // so they must share its term order.
+  Hamiltonian H = SimulationService::prepare(makeBenchmark(*Spec));
   std::vector<double> Pi = H.stationaryDistribution();
   std::cout << "Ablations on " << Name << " (" << H.numTerms()
             << " strings)\n\n";
+
+  // Sections 1 and 2 share one service: each configuration's MCFP solve
+  // and graph happen once and every single-shot task below reuses them.
+  SimulationService Service;
+  SweepOptions Cell = Opts;
+  Cell.Reps = 1;
+  Cell.FidelityColumns = 0;
+  auto RunOne = [&](const ConfigSpec &Config,
+                    const CompilationOptions &Lowering) {
+    TaskSpec Task = sweepTaskSpec(H, Spec->Time, Config, Cell, Eps, 0);
+    Task.Seed = Opts.Seed;
+    Task.Lowering = Lowering;
+    Task.Evaluate.ExportShotZero = true;
+    std::string Error;
+    std::optional<TaskResult> Result = Service.run(Task, &Error);
+    if (!Result) {
+      std::cerr << "error: " << Error << "\n";
+      std::exit(1);
+    }
+    return std::move(Result->ShotZero);
+  };
 
   // 1. Oracle prediction vs realized CNOTs per transition.
   std::cout << "1. Prop. 5.1 prediction vs emitter-realized CNOTs\n";
   Table Oracle({"config", "predicted E[CNOT/transition]",
                 "realized CNOT/transition", "ratio"});
-  CompilerEngine Engine;
   for (const ConfigSpec &Config : paperConfigs()) {
-    TransitionMatrix P = makeConfigMatrix(H, Config.WQd, Config.WGc,
-                                          Config.WRp, Opts.PerturbRounds);
-    double Predicted = expectedTransitionCNOTs(H, P, Pi);
-    SamplingStrategy Strategy(
-        std::make_shared<const HTTGraph>(H, std::move(P)), Spec->Time, Eps);
-    CompilationResult R = Engine.compileOne(Strategy, Opts.Seed);
+    TaskSpec Task = sweepTaskSpec(H, Spec->Time, Config, Cell, Eps, 0);
+    std::string Error;
+    auto Graph = Service.graphFor(Task, &Error);
+    if (!Graph) {
+      std::cerr << "error: " << Error << "\n";
+      return 1;
+    }
+    double Predicted = expectedTransitionCNOTs(
+        Graph->hamiltonian(), Graph->transitionMatrix(),
+        Graph->hamiltonian().stationaryDistribution());
+    CompilationResult R = RunOne(Config, {});
     // Realized CNOTs per transition: subtract the one-off ladder halves at
     // the two circuit ends (they are not "transitions").
     double Realized =
@@ -77,17 +106,13 @@ int main(int Argc, char **Argv) {
                 "CNOTs (emitter+peephole)", "emitter red.",
                 "peephole extra"});
   for (const ConfigSpec &Config : paperConfigs()) {
-    TransitionMatrix P = makeConfigMatrix(H, Config.WQd, Config.WGc,
-                                          Config.WRp, Opts.PerturbRounds);
-    SamplingStrategy Strategy(
-        std::make_shared<const HTTGraph>(H, std::move(P)), Spec->Time, Eps);
     // Same strategy + seed => identical sequence; only the lowering
-    // options differ, so the comparison isolates the emitter.
+    // options differ, so the comparison isolates the emitter. Both tasks
+    // hit the cached graph built in section 1.
     CompilationOptions NoCancel;
     NoCancel.Emit.CrossCancellation = false;
-    CompilationResult Plain =
-        Engine.compileOne(Strategy, Opts.Seed, NoCancel);
-    CompilationResult Fancy = Engine.compileOne(Strategy, Opts.Seed);
+    CompilationResult Plain = RunOne(Config, NoCancel);
+    CompilationResult Fancy = RunOne(Config, {});
     Circuit Peep = optimizeCircuit(Fancy.Circ);
     double EmitRed = 1.0 - double(Fancy.Counts.CNOTs) /
                                double(Plain.Counts.CNOTs);
@@ -99,6 +124,7 @@ int main(int Argc, char **Argv) {
                    formatPercent(EmitRed), formatPercent(PeepExtra)});
   }
   Cancel.print(std::cout);
+  printCacheStats(std::cout, Service);
 
   // 3. Sampler throughput.
   std::cout << "\n3. Sampler ablation (draws from the stationary row)\n";
@@ -131,6 +157,7 @@ int main(int Argc, char **Argv) {
     TransitionMatrix Pcg = buildCommutationGrouping(H);
     TransitionMatrix Mix = combineWithQDrift(H, Pcg, 0.4);
     TransitionMatrix Pqd = buildQDrift(H);
+    CompilerEngine Engine;
     auto CommutingFraction = [&](const TransitionMatrix &P) {
       SamplingStrategy Strategy(std::make_shared<const HTTGraph>(H, P),
                                 Spec->Time, Eps);

@@ -34,7 +34,13 @@ int main(int Argc, char **Argv) {
   Opts.Reps = 3;
   applyCommonFlags(CL, Opts);
   std::string Name = CL.getString("benchmark", "LiH-froze");
-  size_t Columns = static_cast<size_t>(CL.getInt("columns", 6));
+  int64_t ColumnsArg = CL.getInt("columns", 6);
+  if (ColumnsArg < 1) {
+    std::cerr << "error: --columns must be at least 1 (the accuracy axis "
+                 "needs fidelity)\n";
+    return 1;
+  }
+  size_t Columns = static_cast<size_t>(ColumnsArg);
   auto Spec = findBenchmark(Name);
   if (!Spec) {
     std::cerr << "unknown benchmark: " << Name << "\n";
@@ -45,42 +51,32 @@ int main(int Argc, char **Argv) {
             << Spec->Qubits << " qubits, " << Spec->Strings
             << " strings, t=" << formatDouble(Spec->Time) << ")\n\n";
 
-  Hamiltonian H = makeBenchmark(*Spec).splitLargeTerms();
-  FidelityEvaluator Eval(H, Spec->Time, Columns);
-  TransitionMatrix P = makeConfigMatrix(H, 0.4, 0.6, 0.0);
-  auto Graph = std::make_shared<const HTTGraph>(H, std::move(P));
-  CompilerEngine Engine;
+  Hamiltonian H = makeBenchmark(*Spec);
+  Opts.FidelityColumns = Columns;
+  SimulationService Service;
+  const ConfigSpec GC{"MarQSim-GC", *ChannelMix::preset("gc")};
 
-  // (a) Raw data: one point per (epsilon, shot); each epsilon's shots run
-  // as one batch over the shared alias tables.
+  // (a) Raw data: one point per (epsilon, shot); each epsilon is one
+  // declarative task, all sharing the cached MCFP solution, graph, alias
+  // tables, and fidelity evaluator. Fidelity runs on the batch workers.
   std::cout << "(a) raw data points\n";
   Table Raw({"eps", "N", "shot", "accuracy", "CNOTs"});
   std::vector<double> Xs, Ys;
   std::vector<std::pair<double, std::vector<double>>> Clusters;
-  std::shared_ptr<const SamplingStrategy> First;
   for (size_t EIdx = 0; EIdx < Opts.Epsilons.size(); ++EIdx) {
     double Eps = Opts.Epsilons[EIdx];
-    std::shared_ptr<const SamplingStrategy> Strategy =
-        First ? First->retargeted(Spec->Time, Eps)
-              : (First = std::make_shared<const SamplingStrategy>(
-                     Graph, Spec->Time, Eps));
-    BatchRequest Req;
-    Req.Strategy = Strategy;
-    Req.NumShots = Opts.Reps;
-    Req.Jobs = Opts.Jobs;
-    Req.Seed = Opts.Seed + 7919 * EIdx;
-    // Fidelity per shot on the compiling worker; everything else the rows
-    // need is in the always-retained summaries.
-    std::vector<double> ShotFidelities(Opts.Reps);
-    Req.PerShot = [&](size_t Shot, const CompilationResult &R) {
-      ShotFidelities[Shot] = Eval.fidelity(R.Schedule);
-    };
-    BatchResult Batch = Engine.compileBatch(Req);
+    TaskSpec Cell = sweepTaskSpec(H, Spec->Time, GC, Opts, Eps, EIdx);
+    std::string Error;
+    std::optional<TaskResult> Task = Service.run(Cell, &Error);
+    if (!Task) {
+      std::cerr << "error: " << Error << "\n";
+      return 1;
+    }
 
     std::vector<double> ClusterCNOTs;
-    for (size_t Shot = 0; Shot < Batch.NumShots; ++Shot) {
-      const ShotSummary &S = Batch.Shots[Shot];
-      double F = ShotFidelities[Shot];
+    for (size_t Shot = 0; Shot < Task->Batch.NumShots; ++Shot) {
+      const ShotSummary &S = Task->Batch.Shots[Shot];
+      double F = Task->ShotFidelities[Shot];
       Raw.addRow({formatDouble(Eps), std::to_string(S.NumSamples),
                   std::to_string(Shot), formatDouble(F, 5),
                   std::to_string(S.Counts.CNOTs)});
@@ -91,6 +87,7 @@ int main(int Argc, char **Argv) {
     Clusters.emplace_back(Eps, ClusterCNOTs);
   }
   Raw.print(std::cout);
+  printCacheStats(std::cout, Service);
 
   // (b) Cluster means and the exponential fit.
   std::cout << "\n(b) cluster means and y = a + e^(b x + c) fit\n";

@@ -9,21 +9,21 @@
 // (first/second order, several term orders), randomized-order Trotter, the
 // qDrift baseline, and MarQSim — at a matched gate budget, reporting gate
 // counts and fidelity, plus staggered-magnetization dynamics from the best
-// compiled circuit.
+// compiled circuit. Every row is one declarative TaskSpec run by a shared
+// SimulationService: the fidelity evaluator is built once and cached for
+// all eight rows, and the MarQSim rows share one MCFP solve.
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/CompilerEngine.h"
-#include "core/TransitionBuilders.h"
 #include "hamgen/Models.h"
+#include "service/SimulationService.h"
 #include "sim/Evolution.h"
-#include "sim/Fidelity.h"
 #include "sim/StateVector.h"
 #include "support/Table.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
-#include <memory>
 
 using namespace marqsim;
 
@@ -54,58 +54,87 @@ int main() {
   std::cout << "Heisenberg XXZ chain, " << N << " sites, " << H.numTerms()
             << " terms, t=" << T << "\n\n";
 
-  FidelityEvaluator Eval(H, T, 16);
+  SimulationService Service;
   Table Out({"compiler", "steps", "CNOTs", "total", "fidelity"});
 
-  // Every compiler is a ScheduleStrategy run by the same engine; the gate
-  // counts differ only through the scheduling policy.
-  CompilerEngine Engine;
-  auto Report = [&](const std::string &Name,
-                    const ScheduleStrategy &Strategy, uint64_t Seed) {
-    CompilationResult R = Engine.compileOne(Strategy, Seed);
+  // The shared part of every row: same Hamiltonian, time, and fidelity
+  // evaluation (the evaluator is cached after the first row).
+  TaskSpec Base;
+  Base.Source = HamiltonianSource::fromHamiltonian(H);
+  Base.Time = T;
+  Base.Evaluate.FidelityColumns = 16;
+  Base.Evaluate.ExportShotZero = true;
+
+  auto Report = [&](const std::string &Name, const TaskSpec &Spec) {
+    std::string Error;
+    std::optional<TaskResult> Task = Service.run(Spec, &Error);
+    if (!Task) {
+      std::cerr << "error: " << Error << "\n";
+      std::exit(1);
+    }
+    const CompilationResult &R = Task->ShotZero;
     Out.addRow({Name, std::to_string(R.NumSamples),
                 std::to_string(R.Counts.CNOTs),
                 std::to_string(R.Counts.total()),
-                formatDouble(Eval.fidelity(R.Schedule), 5)});
+                formatDouble(Task->ShotFidelities[0], 5)});
   };
 
   const unsigned Reps = 24;
+  auto Trotter = [&](TermOrderKind Kind, unsigned Order, unsigned R,
+                     uint64_t Seed) {
+    TaskSpec Spec = Base;
+    Spec.Method = TaskMethod::Trotter;
+    Spec.Order = Kind;
+    Spec.TrotterOrder = Order;
+    Spec.TrotterReps = R;
+    Spec.Seed = Seed;
+    return Spec;
+  };
   Report("Trotter1 (given order)",
-         TrotterStrategy(H, T, Reps, TermOrderKind::Given), 0);
+         Trotter(TermOrderKind::Given, 1, Reps, 0));
   Report("Trotter1 (lexicographic)",
-         TrotterStrategy(H, T, Reps, TermOrderKind::Lexicographic), 0);
+         Trotter(TermOrderKind::Lexicographic, 1, Reps, 0));
   Report("Trotter1 (greedy matched)",
-         TrotterStrategy(H, T, Reps, TermOrderKind::GreedyMatched), 0);
+         Trotter(TermOrderKind::GreedyMatched, 1, Reps, 0));
   Report("Trotter2 (given order)",
-         TrotterStrategy(H, T, Reps / 2, TermOrderKind::Given, 2), 0);
-  Report("Random-order Trotter", RandomOrderTrotterStrategy(H, T, Reps), 5);
+         Trotter(TermOrderKind::Given, 2, Reps / 2, 0));
+  TaskSpec RandomOrder = Base;
+  RandomOrder.Method = TaskMethod::RandomOrderTrotter;
+  RandomOrder.TrotterReps = Reps;
+  RandomOrder.Seed = 5;
+  Report("Random-order Trotter", RandomOrder);
 
   // Randomized compilers at a matched sampling budget.
   size_t Budget = Reps * H.numTerms();
   double Eps = 2.0 * H.lambda() * H.lambda() * T * T /
                static_cast<double>(Budget);
-  auto QDriftGraph = std::make_shared<const HTTGraph>(
-      HTTGraph::withQDriftMatrix(H.splitLargeTerms()));
-  Report("qDrift baseline", SamplingStrategy(QDriftGraph, T, Eps), 6);
-  TransitionMatrix P = makeConfigMatrix(H.splitLargeTerms(), 0.4, 0.6, 0.0);
-  auto G = std::make_shared<const HTTGraph>(H.splitLargeTerms(),
-                                            std::move(P));
-  SamplingStrategy MarQStrategy(G, T, Eps);
-  Report("MarQSim-GC", MarQStrategy, 6);
+  TaskSpec QDrift = Base;
+  QDrift.Mix = *ChannelMix::preset("baseline");
+  QDrift.Epsilon = Eps;
+  QDrift.Seed = 6;
+  Report("qDrift baseline", QDrift);
+  TaskSpec MarQ = Base;
+  MarQ.Mix = *ChannelMix::preset("gc");
+  MarQ.Epsilon = Eps;
+  MarQ.Seed = 6;
+  Report("MarQSim-GC", MarQ);
   Out.print(std::cout);
 
   // Staggered magnetization from the Neel state under a tight-precision
-  // compiled schedule vs exact evolution. (The budget-matched run above
-  // uses a loose epsilon; per-circuit observables need a tighter one.)
+  // compiled schedule vs exact evolution. The tight task hits the cached
+  // graph and alias tables; only the sampling budget changes.
   std::cout << "\nStaggered magnetization from the Neel state |010101>\n"
                "(MarQSim-GC at eps=0.005):\n";
-  // Re-target the MarQSim strategy to the tighter budget; the alias
-  // tables built above are shared, not rebuilt.
-  SamplingStrategy TightStrategy(MarQStrategy, T, 0.005);
-  CompilationResult Tight = Engine.compileOne(TightStrategy, 8);
+  TaskSpec TightSpec = MarQ;
+  TightSpec.Epsilon = 0.005;
+  TightSpec.Seed = 8;
+  TightSpec.Evaluate.FidelityColumns = 0; // observable run, no fidelity
+  std::optional<TaskResult> Tight = Service.run(TightSpec);
+  if (!Tight)
+    return 1;
   uint64_t Neel = 0b010101 & ((1ULL << N) - 1);
   StateVector Compiled(N, Neel);
-  for (const ScheduledRotation &Step : Tight.Schedule)
+  for (const ScheduledRotation &Step : Tight->ShotZero.Schedule)
     Compiled.applyPauliExp(Step.String, Step.Tau);
   CVector Basis(size_t(1) << N, Complex(0, 0));
   Basis[Neel] = 1.0;
@@ -118,5 +147,10 @@ int main() {
                                           5)});
   Mag.addRow({"exact(t)", formatDouble(staggeredMagnetization(Exact), 5)});
   Mag.print(std::cout);
+
+  CacheStats S = Service.stats();
+  std::cout << "\ncache accounting: evaluator built " << S.EvaluatorMisses
+            << "x, reused " << S.EvaluatorHits << "x; MCFP solves="
+            << S.matrixMisses() << " reused=" << S.matrixHits() << "\n";
   return 0;
 }

@@ -13,18 +13,14 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/CompilerEngine.h"
-#include "core/TransitionBuilders.h"
 #include "hamgen/Registry.h"
+#include "service/SimulationService.h"
 #include "sim/Evolution.h"
-#include "sim/Fidelity.h"
 #include "sim/StateVector.h"
-#include "stats/Stats.h"
 #include "support/Table.h"
 
 #include <cmath>
 #include <iostream>
-#include <memory>
 
 using namespace marqsim;
 
@@ -45,58 +41,58 @@ double orbitalOccupation(const StateVector &SV, unsigned Orbital) {
 
 int main() {
   auto Spec = *findBenchmark("Na+");
-  Hamiltonian H = makeBenchmark(Spec).splitLargeTerms();
+  Hamiltonian H = makeBenchmark(Spec);
   std::cout << "Molecular dynamics on " << Spec.Name << " (" << Spec.Qubits
             << " qubits, " << H.numTerms() << " Pauli strings, lambda="
             << formatDouble(H.lambda()) << ")\n\n";
 
-  FidelityEvaluator Eval(H, Spec.Time, /*NumColumns=*/16);
-
   struct Config {
     const char *Name;
-    double WQd, WGc, WRp;
+    ChannelMix Mix;
   };
-  const Config Configs[] = {{"Baseline", 1.0, 0.0, 0.0},
-                            {"MarQSim-GC", 0.4, 0.6, 0.0},
-                            {"MarQSim-GC-RP", 0.4, 0.3, 0.3}};
+  const Config Configs[] = {{"Baseline", *ChannelMix::preset("baseline")},
+                            {"MarQSim-GC", *ChannelMix::preset("gc")},
+                            {"MarQSim-GC-RP", *ChannelMix::preset("gc-rp")}};
 
-  // Each (config, epsilon) cell is a 4-shot batch: the matrix, graph, and
-  // alias tables are built once per config and shared by every shot.
-  CompilerEngine Engine;
-  const size_t ShotsPerCell = 4;
+  // Each (config, epsilon) cell is one declarative 4-shot task. The
+  // service caches the MCFP solves, graph, and alias tables per config
+  // (shared by both epsilons) and the fidelity evaluator across every
+  // cell; per-shot fidelity runs on the batch workers.
+  SimulationService Service;
   Table T({"config", "eps", "N", "CNOT(mean)", "total(mean)", "fid(mean)",
            "fid(std)"});
   std::vector<ScheduledRotation> BestSchedule;
   for (const Config &C : Configs) {
-    TransitionMatrix P = makeConfigMatrix(H, C.WQd, C.WGc, C.WRp, 8);
-    auto G = std::make_shared<const HTTGraph>(H, std::move(P));
-    std::shared_ptr<const SamplingStrategy> First;
     for (double Eps : {0.1, 0.05}) {
-      std::shared_ptr<const SamplingStrategy> Strategy =
-          First ? First->retargeted(Spec.Time, Eps)
-                : (First = std::make_shared<const SamplingStrategy>(
-                       G, Spec.Time, Eps));
-      BatchRequest Req;
-      Req.Strategy = Strategy;
-      Req.NumShots = ShotsPerCell;
-      Req.Seed = 7;
-      Req.KeepResults = true; // fidelity + observable need the schedules
-      BatchResult Batch = Engine.compileBatch(Req);
+      TaskSpec Cell;
+      Cell.Source = HamiltonianSource::fromHamiltonian(H);
+      Cell.Mix = C.Mix;
+      Cell.PerturbRounds = 8;
+      Cell.Time = Spec.Time;
+      Cell.Epsilon = Eps;
+      Cell.Shots = 4;
+      Cell.Seed = 7;
+      Cell.Evaluate.FidelityColumns = 16;
+      Cell.Evaluate.ExportShotZero = true; // observable needs a schedule
+      std::optional<TaskResult> Task = Service.run(Cell);
+      if (!Task)
+        return 1;
 
-      RunningStats Fids;
-      for (const CompilationResult &R : Batch.Results)
-        Fids.add(Eval.fidelity(R.Schedule));
       T.addRow({C.Name, formatDouble(Eps),
-                std::to_string(Strategy->sampleCount()),
-                formatDouble(Batch.CNOTs.Mean),
-                formatDouble(Batch.Totals.Mean),
-                formatDouble(Fids.mean(), 5),
-                formatDouble(Fids.stddev(), 5)});
+                std::to_string(Task->NumSamples),
+                formatDouble(Task->Batch.CNOTs.Mean),
+                formatDouble(Task->Batch.Totals.Mean),
+                formatDouble(Task->Fidelity.Mean, 5),
+                formatDouble(Task->Fidelity.Std, 5)});
       if (Eps == 0.05 && std::string(C.Name) == "MarQSim-GC-RP")
-        BestSchedule = Batch.Results.front().Schedule;
+        BestSchedule = Task->ShotZero.Schedule;
     }
   }
   T.print(std::cout);
+  CacheStats S = Service.stats();
+  std::cout << "cache accounting: MCFP solves=" << S.matrixMisses()
+            << " reused=" << S.matrixHits() << ", evaluators built="
+            << S.EvaluatorMisses << " reused=" << S.EvaluatorHits << "\n";
 
   // Physics check: evolve the Hartree-Fock-like reference |00001111> and
   // follow the occupation of the highest occupied orbital, comparing the

@@ -7,27 +7,22 @@
 // The paper's running example (Example 4.1) end to end:
 //
 //   1. Describe a Hamiltonian as a weighted sum of Pauli strings.
-//   2. Build the HTT-graph IR with the qDrift transition matrix (Cor. 4.1).
-//   3. Tune the matrix for CNOT cancellation via min-cost flow (Alg. 2) and
-//      mix it with Pqd for strong connectivity (Thm. 5.2).
-//   4. Compile by sampling (Alg. 1) through the CompilerEngine and lower
-//      to gates.
-//   5. Check the compiled circuit against the exact evolution e^{iHt}.
-//   6. Batch-compile many independent shots — setup shared, per-shot RNG
-//      substreams, deterministic for any worker count.
+//   2. Build the HTT-graph IR with the qDrift transition matrix (Cor. 4.1)
+//      and inspect the gate-cancellation tuning (Alg. 2 + Thm. 5.2).
+//   3. Declare what to compute as TaskSpecs and let the SimulationService
+//      run them: the MCFP solution, graph, alias tables, and fidelity
+//      targets are resolved through content-hash caches, and per-shot
+//      fidelity is evaluated inside the batch workers.
+//   4. Re-run at a different precision: everything expensive is a cache
+//      hit; only the sampling budget changes.
 //
 //===----------------------------------------------------------------------===//
 
 #include "circuit/QasmExport.h"
-#include "core/Baselines.h"
-#include "core/CompilerEngine.h"
-#include "core/TransitionBuilders.h"
-#include "sim/Fidelity.h"
+#include "service/SimulationService.h"
 #include "support/Table.h"
 
 #include <iostream>
-#include <memory>
-#include <sstream>
 
 using namespace marqsim;
 
@@ -38,76 +33,94 @@ int main() {
   std::cout << "Hamiltonian (lambda = " << H.lambda() << "):\n"
             << H.str() << "\n";
 
-  // 2. Vanilla qDrift IR: every row of the transition matrix is the
-  //    stationary distribution pi_i = |h_i| / lambda.
-  HTTGraph QDrift = HTTGraph::withQDriftMatrix(H);
-  std::cout << "qDrift HTT graph valid: " << std::boolalpha
-            << QDrift.isValidForCompilation() << "\n\n";
-
-  // 3. Gate-cancellation tuning: solve the min-cost flow problem, then
-  //    restore strong connectivity by mixing 40% Pqd back in.
-  TransitionMatrix Pgc = buildGateCancellation(H);
-  TransitionMatrix P = combineWithQDrift(H, Pgc, 0.4);
-  HTTGraph Tuned(H, P);
+  // 2. The IR under the hood: the tuned matrix the service will resolve
+  //    for the "gc" mix (0.4 Pqd + 0.6 Pgc, paper Eq. (15)). graphFor goes
+  //    through the same cache entries the compilations below reuse.
+  SimulationService Service;
+  TaskSpec Spec;
+  Spec.Source = HamiltonianSource::fromHamiltonian(H);
+  Spec.Mix = *ChannelMix::preset("gc");
+  Spec.Time = 0.5;
+  Spec.Epsilon = 0.01;
+  std::string Error;
+  auto Graph = Service.graphFor(Spec, &Error);
+  if (!Graph) {
+    std::cerr << "error: " << Error << "\n";
+    return 1;
+  }
   std::cout << "Tuned matrix (0.4 Pqd + 0.6 Pgc), paper Eq. (15):\n";
-  Table M({"", "H1", "H2", "H3", "H4"});
-  for (size_t I = 0; I < 4; ++I)
-    M.addRow({"H" + std::to_string(I + 1), formatDouble(P.at(I, 0)),
-              formatDouble(P.at(I, 1)), formatDouble(P.at(I, 2)),
-              formatDouble(P.at(I, 3))});
+  // Label rows/columns with the canonical (service-sorted) term order,
+  // which may differ from the declaration order above.
+  const Hamiltonian &Canon = Graph->hamiltonian();
+  const TransitionMatrix &P = Graph->transitionMatrix();
+  std::vector<std::string> Header = {""};
+  for (size_t I = 0; I < Canon.numTerms(); ++I)
+    Header.push_back(Canon.term(I).String.str(Canon.numQubits()));
+  Table M(Header);
+  for (size_t I = 0; I < Canon.numTerms(); ++I) {
+    std::vector<std::string> Row = {
+        Canon.term(I).String.str(Canon.numQubits())};
+    for (size_t J = 0; J < Canon.numTerms(); ++J)
+      Row.push_back(formatDouble(P.at(I, J)));
+    M.addRow(Row);
+  }
   M.print(std::cout);
-  std::cout << "valid for compilation: " << Tuned.isValidForCompilation()
-            << "\n\n";
+  std::cout << "valid for compilation: " << std::boolalpha
+            << Graph->isValidForCompilation() << "\n\n";
 
-  // 4. Compile e^{iHt} by sampling the chain (Algorithm 1). The engine
-  //    runs any ScheduleStrategy; both strategies share one deterministic
-  //    lowering backend.
-  const double T = 0.5, Epsilon = 0.01;
-  CompilerEngine Engine;
-  auto BaselineStrategy = std::make_shared<const SamplingStrategy>(
-      std::make_shared<const HTTGraph>(QDrift), T, Epsilon);
-  auto TunedStrategy = std::make_shared<const SamplingStrategy>(
-      std::make_shared<const HTTGraph>(Tuned), T, Epsilon);
-  CompilationResult Baseline = Engine.compileOne(*BaselineStrategy, 42);
-  CompilationResult Optimized = Engine.compileOne(*TunedStrategy, 42);
+  // 3. Compile e^{iHt} declaratively: one task per configuration, 16
+  //    shots each, exact fidelity from 16 columns evaluated per shot on
+  //    the batch workers. The baseline task only differs in its weights.
+  Spec.Shots = 16;
+  Spec.Jobs = 0; // all hardware threads; results identical for any value
+  Spec.Seed = 42;
+  Spec.Evaluate.FidelityColumns = 16;
+  Spec.Evaluate.ExportShotZero = true;
 
-  // 5. Compare against the exact evolution.
-  FidelityEvaluator Eval(H, T, /*NumColumns=*/16);
-  Table R({"config", "samples N", "CNOTs", "1q gates", "total",
-           "fidelity"});
-  R.addRow({"qDrift baseline", std::to_string(Baseline.NumSamples),
-            std::to_string(Baseline.Counts.CNOTs),
-            std::to_string(Baseline.Counts.SingleQubit),
-            std::to_string(Baseline.Counts.total()),
-            formatDouble(Eval.fidelity(Baseline.Schedule), 5)});
-  R.addRow({"MarQSim-GC", std::to_string(Optimized.NumSamples),
-            std::to_string(Optimized.Counts.CNOTs),
-            std::to_string(Optimized.Counts.SingleQubit),
-            std::to_string(Optimized.Counts.total()),
-            formatDouble(Eval.fidelity(Optimized.Schedule), 5)});
+  TaskSpec Baseline = Spec;
+  Baseline.Mix = *ChannelMix::preset("baseline");
+
+  Table R({"config", "samples N", "CNOTs(mean)", "total(mean)",
+           "fidelity(mean)", "fid(std)"});
+  auto Report = [&](const char *Name, const TaskResult &Task) {
+    R.addRow({Name, std::to_string(Task.NumSamples),
+              formatDouble(Task.Batch.CNOTs.Mean),
+              formatDouble(Task.Batch.Totals.Mean),
+              formatDouble(Task.Fidelity.Mean, 5),
+              formatDouble(Task.Fidelity.Std, 5)});
+  };
+  std::optional<TaskResult> QDrift = Service.run(Baseline);
+  std::optional<TaskResult> Tuned = Service.run(Spec);
+  if (!QDrift || !Tuned)
+    return 1;
+  Report("qDrift baseline", *QDrift);
+  Report("MarQSim-GC", *Tuned);
   R.print(std::cout);
 
-  std::cout << "\nFirst gates of the optimized circuit (depth "
-            << Optimized.Circ.depth() << "), as OpenQASM 2.0:\n";
-  Circuit Head(Optimized.Circ.numQubits());
-  for (size_t I = 0; I < std::min<size_t>(8, Optimized.Circ.size()); ++I)
-    Head.append(Optimized.Circ.gate(I));
+  std::cout << "\nFirst gates of the optimized shot 0 (depth "
+            << Tuned->ShotZero.Circ.depth() << "), as OpenQASM 2.0:\n";
+  Circuit Head(Tuned->ShotZero.Circ.numQubits());
+  for (size_t I = 0; I < std::min<size_t>(8, Tuned->ShotZero.Circ.size());
+       ++I)
+    Head.append(Tuned->ShotZero.Circ.gate(I));
   std::cout << toQasm(Head);
 
-  // 6. Batch compilation: 16 independent shots of the tuned strategy. The
-  //    graph and alias tables above are reused; each shot draws from its
-  //    own RNG substream, so any worker count gives the same batch.
-  BatchRequest Req;
-  Req.Strategy = TunedStrategy;
-  Req.NumShots = 16;
-  Req.Jobs = 0; // all hardware threads
-  Req.Seed = 42;
-  BatchResult Batch = Engine.compileBatch(Req);
-  std::cout << "\nBatch of " << Batch.NumShots << " shots (jobs="
-            << Batch.JobsUsed << "): CNOTs " << formatDouble(Batch.CNOTs.Mean)
-            << " +- " << formatDouble(Batch.CNOTs.Std) << ", total "
-            << formatDouble(Batch.Totals.Mean) << " +- "
-            << formatDouble(Batch.Totals.Std) << ", hash "
-            << Batch.batchHash() << "\n";
+  // 4. A tighter-precision task: the MCFP solution, graph, alias tables,
+  //    and fidelity evaluator all come from the caches; only the sampling
+  //    budget N = ceil(2 lambda^2 t^2 / eps) grows.
+  TaskSpec Tight = Spec;
+  Tight.Epsilon = 0.002;
+  std::optional<TaskResult> TightRun = Service.run(Tight);
+  if (!TightRun)
+    return 1;
+  std::cout << "\nRe-run at eps=0.002: N=" << TightRun->NumSamples
+            << ", fidelity " << formatDouble(TightRun->Fidelity.Mean, 5)
+            << ", batch hash " << TightRun->Batch.batchHash() << "\n";
+  CacheStats S = Service.stats();
+  std::cout << "cache accounting: MCFP solves=" << S.matrixMisses()
+            << " reused=" << S.matrixHits() << ", graphs built="
+            << S.GraphMisses << " reused=" << S.GraphHits
+            << ", evaluators built=" << S.EvaluatorMisses << " reused="
+            << S.EvaluatorHits << "\n";
   return 0;
 }

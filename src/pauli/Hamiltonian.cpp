@@ -9,6 +9,7 @@
 #include "support/Table.h"
 
 #include <cmath>
+#include <cstring>
 #include <map>
 
 using namespace marqsim;
@@ -58,6 +59,31 @@ Hamiltonian Hamiltonian::merged(double Tol) const {
   for (const auto &[String, Coeff] : Sums)
     if (std::fabs(Coeff) > Tol)
       H.addTerm(Coeff, String);
+  return H;
+}
+
+uint64_t Hamiltonian::fingerprint() const {
+  // Hash the merged form: merged() sorts terms by Pauli string, so the
+  // sequential FNV walk below is automatically insensitive to the input
+  // term order and to split/duplicated terms that merge back together.
+  auto Mix = [](uint64_t H, uint64_t V) {
+    for (unsigned Byte = 0; Byte < 8; ++Byte) {
+      H ^= (V >> (8 * Byte)) & 0xFF;
+      H *= 0x100000001b3ULL;
+    }
+    return H;
+  };
+  uint64_t H = 0xcbf29ce484222325ULL;
+  H = Mix(H, NQubits);
+  const Hamiltonian Canonical = merged();
+  for (const PauliTerm &T : Canonical.Terms) {
+    uint64_t CoeffBits;
+    static_assert(sizeof(CoeffBits) == sizeof(T.Coeff), "double width");
+    std::memcpy(&CoeffBits, &T.Coeff, sizeof(CoeffBits));
+    H = Mix(H, CoeffBits);
+    H = Mix(H, T.String.xMask());
+    H = Mix(H, T.String.zMask());
+  }
   return H;
 }
 

@@ -63,8 +63,18 @@ public:
   std::vector<double> stationaryDistribution() const;
 
   /// Merges terms with identical Pauli strings (summing coefficients) and
-  /// drops terms with |h| <= Tol. Returns the merged Hamiltonian.
+  /// drops terms with |h| <= Tol. Returns the merged Hamiltonian. The
+  /// result is in canonical term order (sorted by Pauli string), so two
+  /// term-permuted descriptions of the same operator merge identically.
   Hamiltonian merged(double Tol = 1e-12) const;
+
+  /// Content hash of the operator this Hamiltonian describes: an FNV-1a
+  /// combination over the *merged* terms that is insensitive to the order
+  /// (and duplication) of the input term list. Two Hamiltonians loaded
+  /// from differently ordered sources fingerprint identically; any change
+  /// to a coefficient, string, or the qubit count changes the hash. This
+  /// is the content key of the SimulationService artifact caches.
+  uint64_t fingerprint() const;
 
   /// Splits any term whose stationary weight pi_i exceeds \p MaxPi into
   /// equal halves, repeatedly, so that every resulting pi_i <= MaxPi.

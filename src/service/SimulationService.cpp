@@ -1,0 +1,571 @@
+//===- service/SimulationService.cpp - Cached simulation front-end -----------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/SimulationService.h"
+
+#include "hamgen/Registry.h"
+#include "pauli/HamiltonianIO.h"
+#include "stats/Stats.h"
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+using namespace marqsim;
+
+//===----------------------------------------------------------------------===//
+// CacheStats
+//===----------------------------------------------------------------------===//
+
+CacheStats &CacheStats::operator+=(const CacheStats &O) {
+  GCSolveHits += O.GCSolveHits;
+  GCSolveMisses += O.GCSolveMisses;
+  RPSolveHits += O.RPSolveHits;
+  RPSolveMisses += O.RPSolveMisses;
+  GraphHits += O.GraphHits;
+  GraphMisses += O.GraphMisses;
+  EvaluatorHits += O.EvaluatorHits;
+  EvaluatorMisses += O.EvaluatorMisses;
+  DiskLoads += O.DiskLoads;
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// Key formatting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint64_t doubleBits(double D) {
+  uint64_t U;
+  std::memcpy(&U, &D, sizeof(U));
+  return U;
+}
+
+void appendHex(std::string &S, uint64_t V) {
+  char Buf[20];
+  std::snprintf(Buf, sizeof(Buf), "-%016" PRIx64, V);
+  S += Buf;
+}
+
+/// File-name-safe content key of the gate-cancellation solve.
+std::string gcKey(uint64_t Fingerprint, const MCFPOptions &Flow) {
+  std::string Key = "gc";
+  appendHex(Key, Fingerprint);
+  appendHex(Key, static_cast<uint64_t>(Flow.ProbScale));
+  appendHex(Key, static_cast<uint64_t>(Flow.CostScale));
+  return Key;
+}
+
+/// Content key of the random-perturbation solve.
+std::string rpKey(uint64_t Fingerprint, const MCFPOptions &Flow,
+                  unsigned Rounds, uint64_t PerturbSeed) {
+  std::string Key = "rp";
+  appendHex(Key, Fingerprint);
+  appendHex(Key, static_cast<uint64_t>(Flow.ProbScale));
+  appendHex(Key, static_cast<uint64_t>(Flow.CostScale));
+  appendHex(Key, Rounds);
+  appendHex(Key, PerturbSeed);
+  return Key;
+}
+
+/// Content key of a graph + alias-table bundle. Fields that cannot affect
+/// the artifact (flow options under a pure-qDrift mix, perturbation knobs
+/// when WRp == 0) are normalized to zero so irrelevant flag changes never
+/// force a rebuild.
+std::string graphKey(uint64_t Fingerprint, const ChannelMix &Mix,
+                     const MCFPOptions &Flow, unsigned Rounds,
+                     uint64_t PerturbSeed, bool UseCDF) {
+  bool NeedsFlow = Mix.WGc > 0.0 || Mix.WRp > 0.0;
+  bool NeedsPerturb = Mix.WRp > 0.0;
+  std::string Key = "graph";
+  appendHex(Key, Fingerprint);
+  appendHex(Key, doubleBits(Mix.WQd));
+  appendHex(Key, doubleBits(Mix.WGc));
+  appendHex(Key, doubleBits(Mix.WRp));
+  appendHex(Key, NeedsFlow ? static_cast<uint64_t>(Flow.ProbScale) : 0);
+  appendHex(Key, NeedsFlow ? static_cast<uint64_t>(Flow.CostScale) : 0);
+  appendHex(Key, NeedsPerturb ? Rounds : 0);
+  appendHex(Key, NeedsPerturb ? PerturbSeed : 0);
+  Key += UseCDF ? "-cdf" : "-alias";
+  return Key;
+}
+
+std::string evalKey(uint64_t Fingerprint, double T, size_t Columns,
+                    uint64_t ColumnSeed) {
+  std::string Key = "eval";
+  appendHex(Key, Fingerprint);
+  appendHex(Key, doubleBits(T));
+  appendHex(Key, Columns);
+  appendHex(Key, ColumnSeed);
+  return Key;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SimulationService::Impl
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One cached artifact: computed at most once per service, concurrent
+/// requesters of the same key block on the in-flight computation.
+template <typename T> struct Slot {
+  std::once_flag Once;
+  std::shared_ptr<const T> Value;
+};
+
+/// An HTT graph plus the sampling tables built over it. The base strategy
+/// carries the alias (or CDF) tables; tasks re-target it to their own
+/// (time, epsilon) budget, sharing the tables.
+struct GraphBundle {
+  std::shared_ptr<const HTTGraph> Graph;
+  std::shared_ptr<const SamplingStrategy> Base;
+  bool Valid = false; // Theorem 4.1 validation, checked once at build
+};
+
+template <typename T>
+using SlotMap = std::map<std::string, std::shared_ptr<Slot<T>>>;
+
+template <typename T, typename ComputeFn>
+std::shared_ptr<const T> getOrCompute(SlotMap<T> &Map, std::mutex &MapMutex,
+                                      const std::string &Key,
+                                      ComputeFn Compute, bool &WasComputed) {
+  std::shared_ptr<Slot<T>> S;
+  {
+    std::lock_guard<std::mutex> Lock(MapMutex);
+    std::shared_ptr<Slot<T>> &Ref = Map[Key];
+    if (!Ref)
+      Ref = std::make_shared<Slot<T>>();
+    S = Ref;
+  }
+  WasComputed = false;
+  std::call_once(S->Once, [&] {
+    S->Value = Compute();
+    WasComputed = true;
+  });
+  return S->Value;
+}
+
+} // namespace
+
+struct SimulationService::Impl {
+  ServiceOptions Options;
+
+  std::mutex MatrixMutex;
+  SlotMap<TransitionMatrix> Matrices;
+
+  std::mutex GraphMutex;
+  SlotMap<GraphBundle> Graphs;
+
+  std::mutex EvalMutex;
+  SlotMap<FidelityEvaluator> Evaluators;
+
+  mutable std::mutex StatsMutex;
+  CacheStats Total;
+
+  void note(const CacheStats &Delta, CacheStats *Local) {
+    if (Local)
+      *Local += Delta;
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    Total += Delta;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Persistent component store
+  //===--------------------------------------------------------------------===//
+
+  std::filesystem::path diskPath(const std::string &Key) const {
+    return std::filesystem::path(Options.CacheDir) / (Key + ".mat");
+  }
+
+  /// Loads a matrix stored by storeMatrix. The entries are raw IEEE-754
+  /// bit patterns in hex, so the round trip is exact. Any anomaly — a
+  /// dimension that disagrees with \p ExpectedN (the term count is known
+  /// from the Hamiltonian, so a mismatch means a stale or corrupt file),
+  /// malformed hex, trailing garbage — returns nullopt and the caller
+  /// re-solves, overwriting the bad artifact.
+  std::optional<TransitionMatrix> loadMatrix(const std::string &Key,
+                                             size_t ExpectedN) const {
+    if (Options.CacheDir.empty())
+      return std::nullopt;
+    std::ifstream In(diskPath(Key));
+    if (!In)
+      return std::nullopt;
+    std::string Magic;
+    size_t N = 0;
+    if (!(In >> Magic >> N) || Magic != "marqsim-matrix-v1" ||
+        N != ExpectedN || N == 0)
+      return std::nullopt;
+    TransitionMatrix P(N);
+    for (size_t I = 0; I < N; ++I)
+      for (size_t J = 0; J < N; ++J) {
+        std::string Word;
+        if (!(In >> Word) || Word.size() != 16)
+          return std::nullopt;
+        char *End = nullptr;
+        uint64_t Bits = std::strtoull(Word.c_str(), &End, 16);
+        if (End != Word.c_str() + Word.size())
+          return std::nullopt;
+        double D;
+        std::memcpy(&D, &Bits, sizeof(D));
+        P.at(I, J) = D;
+      }
+    std::string Trailing;
+    if (In >> Trailing)
+      return std::nullopt;
+    return P;
+  }
+
+  void storeMatrix(const std::string &Key, const TransitionMatrix &P) const {
+    if (Options.CacheDir.empty())
+      return;
+    std::error_code EC;
+    std::filesystem::create_directories(Options.CacheDir, EC);
+    if (EC)
+      return;
+    // Write-then-rename keeps concurrent processes from reading torn
+    // files; the store is best-effort (failures just mean a re-solve).
+    std::filesystem::path Final = diskPath(Key);
+    std::filesystem::path Tmp = Final;
+    Tmp += "." + std::to_string(::getpid()) + ".tmp";
+    {
+      std::ofstream Out(Tmp);
+      if (!Out)
+        return;
+      Out << "marqsim-matrix-v1 " << P.size() << "\n";
+      char Buf[20];
+      for (size_t I = 0; I < P.size(); ++I) {
+        for (size_t J = 0; J < P.size(); ++J) {
+          std::snprintf(Buf, sizeof(Buf), "%016" PRIx64,
+                        doubleBits(P.at(I, J)));
+          Out << Buf << (J + 1 == P.size() ? "" : " ");
+        }
+        Out << "\n";
+      }
+      if (!Out)
+        return;
+    }
+    std::filesystem::rename(Tmp, Final, EC);
+    if (EC)
+      std::filesystem::remove(Tmp, EC);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Cached resolution
+  //===--------------------------------------------------------------------===//
+
+  /// Resolves one MCFP component (Pgc or Prp) through the in-memory and
+  /// on-disk stores. \p Solve runs at most once per key per process, and
+  /// not at all when the disk store has the artifact.
+  std::shared_ptr<const TransitionMatrix>
+  component(const std::string &Key, size_t ExpectedN, bool IsGC,
+            const std::function<TransitionMatrix()> &Solve,
+            CacheStats *Local) {
+    CacheStats Delta;
+    bool Computed = false;
+    auto Value = getOrCompute<TransitionMatrix>(
+        Matrices, MatrixMutex, Key, [&]() {
+          if (std::optional<TransitionMatrix> Disk =
+                  loadMatrix(Key, ExpectedN)) {
+            Delta.DiskLoads++;
+            (IsGC ? Delta.GCSolveHits : Delta.RPSolveHits)++;
+            return std::make_shared<const TransitionMatrix>(
+                std::move(*Disk));
+          }
+          (IsGC ? Delta.GCSolveMisses : Delta.RPSolveMisses)++;
+          auto P = std::make_shared<const TransitionMatrix>(Solve());
+          storeMatrix(Key, *P);
+          return P;
+        },
+        Computed);
+    if (!Computed)
+      (IsGC ? Delta.GCSolveHits : Delta.RPSolveHits)++;
+    note(Delta, Local);
+    return Value;
+  }
+
+  /// Builds the combined transition matrix of \p Mix for the prepared
+  /// Hamiltonian, going through the component caches for the MCFP parts.
+  TransitionMatrix combinedMatrix(const Hamiltonian &H, uint64_t Fingerprint,
+                                  const TaskSpec &Spec, const ChannelMix &Mix,
+                                  CacheStats *Local) {
+    // Single-term Hamiltonians (and pure-qDrift mixes) skip the flow
+    // machinery entirely; Pqd itself is O(n^2) to form and not worth
+    // persisting.
+    if (H.numTerms() < 2 || (Mix.WGc <= 0.0 && Mix.WRp <= 0.0))
+      return buildQDrift(H);
+
+    TransitionMatrix Pqd;
+    std::vector<const TransitionMatrix *> Parts;
+    std::vector<double> Weights;
+    std::shared_ptr<const TransitionMatrix> GC, RP;
+    if (Mix.WQd > 0.0) {
+      Pqd = buildQDrift(H);
+      Parts.push_back(&Pqd);
+      Weights.push_back(Mix.WQd);
+    }
+    if (Mix.WGc > 0.0) {
+      GC = component(gcKey(Fingerprint, Spec.Flow), H.numTerms(),
+                     /*IsGC=*/true,
+                     [&] { return buildGateCancellation(H, Spec.Flow); },
+                     Local);
+      Parts.push_back(GC.get());
+      Weights.push_back(Mix.WGc);
+    }
+    if (Mix.WRp > 0.0) {
+      RP = component(
+          rpKey(Fingerprint, Spec.Flow, Spec.PerturbRounds, Spec.PerturbSeed),
+          H.numTerms(), /*IsGC=*/false,
+          [&] {
+            RNG PerturbRng(Spec.PerturbSeed);
+            return buildRandomPerturbation(H, Spec.PerturbRounds, PerturbRng,
+                                           Spec.Flow);
+          },
+          Local);
+      Parts.push_back(RP.get());
+      Weights.push_back(Mix.WRp);
+    }
+    if (Parts.size() == 1)
+      return *Parts.front();
+    return TransitionMatrix::combine(Parts, Weights);
+  }
+
+  /// Resolves the graph + sampling-table bundle of a sampling spec.
+  std::shared_ptr<const GraphBundle> bundle(const Hamiltonian &H,
+                                            uint64_t Fingerprint,
+                                            const TaskSpec &Spec,
+                                            const ChannelMix &Mix,
+                                            CacheStats *Local) {
+    std::string Key = graphKey(Fingerprint, Mix, Spec.Flow,
+                               Spec.PerturbRounds, Spec.PerturbSeed,
+                               Spec.UseCDF);
+    CacheStats Delta;
+    bool Computed = false;
+    auto Value = getOrCompute<GraphBundle>(
+        Graphs, GraphMutex, Key, [&]() {
+          auto B = std::make_shared<GraphBundle>();
+          TransitionMatrix P =
+              combinedMatrix(H, Fingerprint, Spec, Mix, Local);
+          B->Graph = std::make_shared<const HTTGraph>(H, std::move(P));
+          B->Valid = B->Graph->isValidForCompilation();
+          if (B->Valid)
+            B->Base = std::make_shared<const SamplingStrategy>(
+                B->Graph, Spec.Time, Spec.Epsilon, Spec.UseCDF);
+          return B;
+        },
+        Computed);
+    (Computed ? Delta.GraphMisses : Delta.GraphHits)++;
+    note(Delta, Local);
+    return Value;
+  }
+
+  std::shared_ptr<const FidelityEvaluator>
+  evaluator(const Hamiltonian &H, uint64_t Fingerprint, const TaskSpec &Spec,
+            CacheStats *Local) {
+    std::string Key =
+        evalKey(Fingerprint, Spec.Time, Spec.Evaluate.FidelityColumns,
+                Spec.Evaluate.ColumnSeed);
+    CacheStats Delta;
+    bool Computed = false;
+    auto Value = getOrCompute<FidelityEvaluator>(
+        Evaluators, EvalMutex, Key, [&]() {
+          return std::make_shared<const FidelityEvaluator>(
+              H, Spec.Time, Spec.Evaluate.FidelityColumns,
+              Spec.Evaluate.ColumnSeed);
+        },
+        Computed);
+    (Computed ? Delta.EvaluatorMisses : Delta.EvaluatorHits)++;
+    note(Delta, Local);
+    return Value;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// SimulationService
+//===----------------------------------------------------------------------===//
+
+SimulationService::SimulationService(ServiceOptions Opts)
+    : M(std::make_unique<Impl>()) {
+  M->Options = std::move(Opts);
+}
+
+SimulationService::~SimulationService() = default;
+
+Hamiltonian SimulationService::prepare(const Hamiltonian &Raw) {
+  // merged() canonicalizes the term order, making the downstream MCFP and
+  // sampling artifacts a pure function of the operator content; the split
+  // re-establishes the pi_i <= 0.5 flow-feasibility precondition.
+  return Raw.merged().splitLargeTerms();
+}
+
+std::optional<Hamiltonian>
+SimulationService::resolveHamiltonian(const HamiltonianSource &S,
+                                      std::string *Error,
+                                      bool Canonicalize) {
+  std::optional<Hamiltonian> H;
+  switch (S.SourceKind) {
+  case HamiltonianSource::Kind::File:
+    H = readHamiltonianFile(S.Path, Error);
+    if (!H)
+      return std::nullopt;
+    break;
+  case HamiltonianSource::Kind::Model: {
+    std::optional<BenchmarkSpec> Spec = findBenchmark(S.Model);
+    if (!Spec) {
+      detail::fail(Error, "unknown benchmark model '" + S.Model + "'");
+      return std::nullopt;
+    }
+    H = makeBenchmark(*Spec);
+    break;
+  }
+  case HamiltonianSource::Kind::Inline:
+    if (S.Ham.empty()) {
+      detail::fail(Error, "inline Hamiltonian source is empty");
+      return std::nullopt;
+    }
+    H = S.Ham;
+    break;
+  }
+  if (!H) {
+    detail::fail(Error, "unreachable Hamiltonian source kind");
+    return std::nullopt;
+  }
+  return Canonicalize ? prepare(*H) : std::move(*H);
+}
+
+std::shared_ptr<const HTTGraph>
+SimulationService::graphFor(const TaskSpec &Spec, std::string *Error) {
+  std::string Validation;
+  if (!Spec.validate(&Validation)) {
+    detail::fail(Error, Validation);
+    return nullptr;
+  }
+  std::optional<Hamiltonian> H = resolveHamiltonian(Spec.Source, Error);
+  if (!H)
+    return nullptr;
+  ChannelMix Mix = Spec.Mix;
+  Mix.normalize();
+  auto Bundle = M->bundle(*H, H->fingerprint(), Spec, Mix, nullptr);
+  if (!Bundle->Valid) {
+    detail::fail(Error, "transition matrix failed Theorem 4.1 validation");
+    return nullptr;
+  }
+  return Bundle->Graph;
+}
+
+std::optional<TaskResult> SimulationService::run(const TaskSpec &Spec,
+                                                 std::string *Error) {
+  std::string Validation;
+  if (!Spec.validate(&Validation)) {
+    detail::fail(Error, Validation);
+    return std::nullopt;
+  }
+  // Only the sampling path canonicalizes (its caches and MCFP need it);
+  // Trotter-family tasks compile the operator exactly as given so
+  // TermOrderKind::Given keeps its meaning. fingerprint() merges
+  // internally, so both forms share one content hash (and hence one
+  // cached fidelity evaluator — the operator is identical either way).
+  bool Canonical = Spec.Method == TaskMethod::Sampling;
+  std::optional<Hamiltonian> Resolved =
+      resolveHamiltonian(Spec.Source, Error, Canonical);
+  if (!Resolved)
+    return std::nullopt;
+  const Hamiltonian &H = *Resolved;
+
+  TaskResult Result;
+  Result.Fingerprint = H.fingerprint();
+
+  // Schedule strategy: sampling goes through the artifact caches, the
+  // Trotter family is cheap enough to construct per task.
+  std::shared_ptr<const ScheduleStrategy> Strategy;
+  switch (Spec.Method) {
+  case TaskMethod::Sampling: {
+    ChannelMix Mix = Spec.Mix;
+    Mix.normalize();
+    auto Bundle =
+        M->bundle(H, Result.Fingerprint, Spec, Mix, &Result.Stats);
+    if (!Bundle->Valid) {
+      detail::fail(Error, "transition matrix failed Theorem 4.1 validation");
+      return std::nullopt;
+    }
+    // Re-target the cached tables to this task's (time, epsilon) budget;
+    // the alias/CDF rows are shared, only N and tau are recomputed.
+    std::shared_ptr<const SamplingStrategy> Sampling =
+        Bundle->Base->retargeted(Spec.Time, Spec.Epsilon);
+    Result.NumSamples = Sampling->sampleCount();
+    if (Spec.Evaluate.DumpDot)
+      Result.GraphDot = Bundle->Graph->toDot();
+    Strategy = std::move(Sampling);
+    break;
+  }
+  case TaskMethod::Trotter:
+    Strategy = std::make_shared<const TrotterStrategy>(
+        H, Spec.Time, Spec.TrotterReps, Spec.Order, Spec.TrotterOrder);
+    break;
+  case TaskMethod::RandomOrderTrotter:
+    Strategy = std::make_shared<const RandomOrderTrotterStrategy>(
+        H, Spec.Time, Spec.TrotterReps);
+    break;
+  case TaskMethod::SparSto:
+    Strategy = std::make_shared<const SparStoStrategy>(
+        H, Spec.Time, Spec.TrotterReps, Spec.SparStoKeepScale);
+    break;
+  }
+
+  std::shared_ptr<const FidelityEvaluator> Eval;
+  if (Spec.Evaluate.FidelityColumns > 0) {
+    Eval = M->evaluator(H, Result.Fingerprint, Spec, &Result.Stats);
+    Result.HasFidelity = true;
+    Result.ShotFidelities.assign(Spec.Shots, 0.0);
+  }
+
+  BatchRequest Req;
+  Req.Strategy = Strategy;
+  Req.NumShots = Spec.Shots;
+  Req.Jobs = Spec.Jobs;
+  Req.Seed = Spec.Seed;
+  Req.Opts = Spec.Lowering;
+  Req.KeepResults = Spec.Evaluate.KeepResults;
+  if (Eval || Spec.Evaluate.ExportShotZero) {
+    // In-worker evaluation: each shot's fidelity is computed on the
+    // worker that compiled it (the evaluator is immutable, the fidelity
+    // a pure function of the schedule), writing to the shot's own slot.
+    Req.PerShot = [&](size_t Shot, const CompilationResult &R) {
+      if (Eval)
+        Result.ShotFidelities[Shot] = Eval->fidelity(R.Schedule);
+      if (Spec.Evaluate.ExportShotZero && Shot == 0)
+        Result.ShotZero = R; // single writer: shot 0's worker only
+    };
+  }
+
+  CompilerEngine Engine;
+  Result.Batch = Engine.compileBatch(Req);
+  Result.HasShotZero = Spec.Evaluate.ExportShotZero;
+
+  if (Eval) {
+    RunningStats Fids;
+    for (double F : Result.ShotFidelities)
+      Fids.add(F);
+    Result.Fidelity.Mean = Fids.mean();
+    Result.Fidelity.Std = Fids.stddev();
+    Result.Fidelity.Min = Fids.min();
+    Result.Fidelity.Max = Fids.max();
+  }
+  return Result;
+}
+
+CacheStats SimulationService::stats() const {
+  std::lock_guard<std::mutex> Lock(M->StatsMutex);
+  return M->Total;
+}

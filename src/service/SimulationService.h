@@ -1,0 +1,169 @@
+//===- service/SimulationService.h - Cached simulation front-end *- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public front door of the repository: SimulationService turns a
+/// declarative TaskSpec into a TaskResult, resolving every expensive
+/// deterministic artifact through content-hash-keyed caches.
+///
+/// MarQSim's pipeline separates cleanly into a deterministic prefix
+/// (Hamiltonian canonicalization, the gate-cancellation and perturbation
+/// MCFP solves, the HTT graph and its alias tables, the exact fidelity
+/// target columns) and a randomized suffix (the per-shot Markov walks).
+/// Everything in the prefix is a pure function of its inputs, so the
+/// service keys it by Hamiltonian::fingerprint() plus the relevant knobs:
+///
+///   artifact            | key
+///   --------------------+--------------------------------------------------
+///   Pgc  (MCFP solve)   | (fingerprint, MCFPOptions)
+///   Prp  (MCFP rounds)  | (fingerprint, MCFPOptions, rounds, perturb seed)
+///   graph+alias tables  | (fingerprint, mix weights, rounds, perturb seed,
+///                       |  MCFPOptions, sampler kind)
+///   FidelityEvaluator   | (fingerprint, time, columns, column seed)
+///
+/// A ratio sweep over N channel mixes therefore performs exactly one
+/// gate-cancellation MCFP solve per (Hamiltonian, MCFPOptions) — the
+/// combination step is the only per-mix work. MCFP component matrices can
+/// additionally persist to a directory (ServiceOptions::CacheDir), so the
+/// amortization carries across CLI invocations and processes.
+///
+/// Fidelity is evaluated inside the batch workers through the PerShot
+/// hook: the evaluator is immutable after construction, so TaskSpec::Jobs
+/// parallelism covers evaluation too, and per-shot fidelities stay
+/// bit-identical for every job count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_SERVICE_SIMULATIONSERVICE_H
+#define MARQSIM_SERVICE_SIMULATIONSERVICE_H
+
+#include "core/CompilerEngine.h"
+#include "service/TaskSpec.h"
+#include "sim/Fidelity.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace marqsim {
+
+/// Hit/miss accounting of the service caches. "Hits" include entries
+/// computed once and reused by a concurrent caller (the second caller
+/// blocks on the in-flight computation instead of duplicating it) and
+/// component matrices loaded from the on-disk store.
+struct CacheStats {
+  /// Gate-cancellation MCFP solves avoided / performed.
+  size_t GCSolveHits = 0;
+  size_t GCSolveMisses = 0;
+
+  /// Random-perturbation MCFP rounds avoided / performed.
+  size_t RPSolveHits = 0;
+  size_t RPSolveMisses = 0;
+
+  /// HTT graph + alias-table bundles reused / built.
+  size_t GraphHits = 0;
+  size_t GraphMisses = 0;
+
+  /// Fidelity evaluators reused / built.
+  size_t EvaluatorHits = 0;
+  size_t EvaluatorMisses = 0;
+
+  /// Component matrices satisfied from the on-disk store (also counted
+  /// in the corresponding *Hits above).
+  size_t DiskLoads = 0;
+
+  /// Total MCFP-level accounting (the ROADMAP's "cache min-cost-flow
+  /// solutions" item).
+  size_t matrixHits() const { return GCSolveHits + RPSolveHits; }
+  size_t matrixMisses() const { return GCSolveMisses + RPSolveMisses; }
+
+  CacheStats &operator+=(const CacheStats &O);
+};
+
+/// Everything a task produces: the batch itself, the in-worker fidelity
+/// summary, optional retained artifacts, and the run's cache accounting.
+struct TaskResult {
+  /// Content hash of the canonicalized Hamiltonian the task compiled.
+  uint64_t Fingerprint = 0;
+
+  /// Per-shot sampling budget N (TaskMethod::Sampling; 0 otherwise).
+  size_t NumSamples = 0;
+
+  BatchResult Batch;
+
+  /// Per-shot fidelities in shot order (Evaluate.FidelityColumns > 0).
+  bool HasFidelity = false;
+  std::vector<double> ShotFidelities;
+  SummaryStat Fidelity;
+
+  /// Shot 0's full result (Evaluate.ExportShotZero).
+  bool HasShotZero = false;
+  CompilationResult ShotZero;
+
+  /// Graphviz rendering of the HTT graph (Evaluate.DumpDot, sampling).
+  std::string GraphDot;
+
+  /// Cache hits/misses incurred by this task alone.
+  CacheStats Stats;
+};
+
+/// Service-level configuration.
+struct ServiceOptions {
+  /// Directory for the persistent component-matrix store; empty keeps
+  /// caching in-memory only. Created on demand.
+  std::string CacheDir;
+};
+
+/// The declarative, cached front-end over CompilerEngine. Thread-safe:
+/// concurrent run() calls share the caches without duplicating solves
+/// (a key being computed blocks other requesters for that key only).
+class SimulationService {
+public:
+  explicit SimulationService(ServiceOptions Opts = {});
+  ~SimulationService();
+
+  SimulationService(const SimulationService &) = delete;
+  SimulationService &operator=(const SimulationService &) = delete;
+
+  /// Runs one task. Returns std::nullopt and fills \p Error on invalid
+  /// specs, unreadable sources, or transition matrices that fail the
+  /// Theorem 4.1 validation.
+  std::optional<TaskResult> run(const TaskSpec &Spec,
+                                std::string *Error = nullptr);
+
+  /// Resolves just the HTT graph of a sampling spec through the caches
+  /// (spectrum inspection, DOT dumps) without compiling anything.
+  std::shared_ptr<const HTTGraph> graphFor(const TaskSpec &Spec,
+                                           std::string *Error = nullptr);
+
+  /// Canonicalizes a Hamiltonian exactly as run() does before compiling:
+  /// merge duplicate terms (sorting into canonical order) and split
+  /// oversized stationary weights. Callers cross-checking service output
+  /// against direct engine/evaluator calls must use this form.
+  static Hamiltonian prepare(const Hamiltonian &Raw);
+
+  /// Resolves a source to the Hamiltonian run() compiles. Sampling tasks
+  /// use the canonical form (\p Canonicalize, the default); the Trotter
+  /// family compiles the operator exactly as given, preserving
+  /// TermOrderKind::Given semantics (the canonical merge/split exists
+  /// only to satisfy the sampling path's MCFP precondition).
+  std::optional<Hamiltonian> resolveHamiltonian(const HamiltonianSource &S,
+                                                std::string *Error = nullptr,
+                                                bool Canonicalize = true);
+
+  /// Cumulative cache accounting across every task this service ran.
+  CacheStats stats() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> M;
+};
+
+} // namespace marqsim
+
+#endif // MARQSIM_SERVICE_SIMULATIONSERVICE_H

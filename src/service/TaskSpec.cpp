@@ -1,0 +1,178 @@
+//===- service/TaskSpec.cpp - Declarative simulation task specs --------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/TaskSpec.h"
+
+using namespace marqsim;
+
+//===----------------------------------------------------------------------===//
+// ChannelMix
+//===----------------------------------------------------------------------===//
+
+std::optional<ChannelMix> ChannelMix::preset(const std::string &Name) {
+  if (Name == "baseline")
+    return ChannelMix{1.0, 0.0, 0.0};
+  if (Name == "gc")
+    return ChannelMix{0.4, 0.6, 0.0};
+  if (Name == "gc-rp")
+    return ChannelMix{0.4, 0.3, 0.3};
+  return std::nullopt;
+}
+
+bool ChannelMix::normalize() {
+  if (WQd < 0.0 || WGc < 0.0 || WRp < 0.0)
+    return false;
+  double Sum = sum();
+  if (Sum <= 0.0)
+    return false;
+  WQd /= Sum;
+  WGc /= Sum;
+  WRp /= Sum;
+  return true;
+}
+
+std::optional<ChannelMix>
+marqsim::parseChannelMix(const CommandLine &CL, std::string *Error) {
+  std::string Name = CL.getString("config", "gc");
+  std::optional<ChannelMix> Mix = ChannelMix::preset(Name);
+  if (!Mix) {
+    detail::fail(Error, "unknown config '" + Name + "'");
+    return std::nullopt;
+  }
+  if (CL.has("qd") || CL.has("gc") || CL.has("rp")) {
+    Mix->WQd = CL.getDouble("qd", 0.0);
+    Mix->WGc = CL.getDouble("gc", 0.0);
+    Mix->WRp = CL.getDouble("rp", 0.0);
+    if (!Mix->normalize()) {
+      detail::fail(Error, "configuration weights must be non-negative with a "
+                  "positive sum");
+      return std::nullopt;
+    }
+  }
+  return Mix;
+}
+
+//===----------------------------------------------------------------------===//
+// TaskSpec
+//===----------------------------------------------------------------------===//
+
+bool TaskSpec::validate(std::string *Error) const {
+  if (Shots < 1)
+    return detail::fail(Error, "a task needs at least one shot");
+  if (Time <= 0.0)
+    return detail::fail(Error, "evolution time must be positive");
+  switch (Method) {
+  case TaskMethod::Sampling: {
+    if (Epsilon <= 0.0)
+      return detail::fail(Error, "target precision epsilon must be positive");
+    ChannelMix Copy = Mix;
+    if (!Copy.normalize())
+      return detail::fail(Error, "channel weights must be non-negative with a "
+                         "positive sum");
+    if (Copy.WRp > 0.0 && PerturbRounds < 1)
+      return detail::fail(Error, "a positive Prp weight needs at least one "
+                         "perturbation round");
+    break;
+  }
+  case TaskMethod::Trotter:
+    if (TrotterOrder != 1 && TrotterOrder != 2 && TrotterOrder != 4)
+      return detail::fail(Error, "supported Trotter orders: 1, 2, 4");
+    [[fallthrough]];
+  case TaskMethod::RandomOrderTrotter:
+  case TaskMethod::SparSto:
+    if (TrotterReps < 1)
+      return detail::fail(Error, "Trotter-family methods need at least one "
+                         "repetition");
+    if (Method == TaskMethod::SparSto && SparStoKeepScale <= 0.0)
+      return detail::fail(Error, "SparSto keep scale must be positive");
+    break;
+  }
+  return true;
+}
+
+std::optional<TaskSpec> TaskSpec::fromCommandLine(const CommandLine &CL,
+                                                  std::string *Error) {
+  TaskSpec Spec;
+
+  // Hamiltonian source: one positional file path or --model=NAME.
+  if (CL.has("model")) {
+    if (!CL.positionals().empty()) {
+      detail::fail(Error, "give either a Hamiltonian file or --model, not both");
+      return std::nullopt;
+    }
+    Spec.Source = HamiltonianSource::fromModel(CL.getString("model"));
+  } else if (CL.positionals().size() == 1) {
+    Spec.Source = HamiltonianSource::fromFile(CL.positionals()[0]);
+  } else {
+    detail::fail(Error, "expected exactly one Hamiltonian file (or --model=NAME)");
+    return std::nullopt;
+  }
+
+  std::optional<ChannelMix> Mix = parseChannelMix(CL, Error);
+  if (!Mix)
+    return std::nullopt;
+  Spec.Mix = *Mix;
+
+  Spec.Time = CL.getDouble("time", Spec.Time);
+  if (Spec.Time <= 0.0) {
+    detail::fail(Error, "--time must be positive");
+    return std::nullopt;
+  }
+  Spec.Epsilon = CL.getDouble("epsilon", Spec.Epsilon);
+  if (Spec.Epsilon <= 0.0) {
+    detail::fail(Error, "--epsilon must be positive");
+    return std::nullopt;
+  }
+
+  // Integer flags: every count/seed is parsed signed and range-checked
+  // before the unsigned narrowing (a bare cast would turn --rounds=-3
+  // into ~4 billion perturbation rounds).
+  int64_t Rounds = CL.getInt("rounds", Spec.PerturbRounds);
+  if (Rounds < 0) {
+    detail::fail(Error, "--rounds must be non-negative");
+    return std::nullopt;
+  }
+  Spec.PerturbRounds = static_cast<unsigned>(Rounds);
+
+  int64_t Seed = CL.getInt("seed", static_cast<int64_t>(Spec.Seed));
+  if (Seed < 0) {
+    detail::fail(Error, "--seed must be non-negative");
+    return std::nullopt;
+  }
+  Spec.Seed = static_cast<uint64_t>(Seed);
+
+  int64_t PerturbSeed =
+      CL.getInt("perturb-seed", static_cast<int64_t>(Spec.PerturbSeed));
+  if (PerturbSeed < 0) {
+    detail::fail(Error, "--perturb-seed must be non-negative");
+    return std::nullopt;
+  }
+  Spec.PerturbSeed = static_cast<uint64_t>(PerturbSeed);
+
+  int64_t Shots = CL.getInt("shots", 1);
+  if (Shots < 1) {
+    detail::fail(Error, "--shots must be at least 1");
+    return std::nullopt;
+  }
+  Spec.Shots = static_cast<size_t>(Shots);
+
+  int64_t Jobs = CL.getInt("jobs", 1);
+  if (Jobs < 0) {
+    detail::fail(Error, "--jobs must be non-negative (0 = all cores)");
+    return std::nullopt;
+  }
+  Spec.Jobs = static_cast<unsigned>(Jobs);
+
+  int64_t Columns = CL.getInt("columns", 0);
+  if (Columns < 0) {
+    detail::fail(Error, "--columns must be non-negative");
+    return std::nullopt;
+  }
+  Spec.Evaluate.FidelityColumns = static_cast<size_t>(Columns);
+
+  Spec.UseCDF = CL.getBool("cdf");
+  return Spec;
+}

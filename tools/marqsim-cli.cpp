@@ -4,150 +4,93 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Command-line compiler: Hamiltonian text file in, OpenQASM 2.0 out.
+// Command-line compiler: Hamiltonian text file (or registry model) in,
+// OpenQASM 2.0 out. The CLI is a thin declarative shell: flags populate a
+// TaskSpec and a SimulationService runs it, so repeated invocations with a
+// persistent --cache-dir reuse min-cost-flow solutions by content hash.
 //
 //   marqsim-cli <hamiltonian.txt> [options]
+//   marqsim-cli --model=Na+ [options]
 //     --time=T            evolution time (default 1.0)
 //     --epsilon=E         target precision (default 0.05)
 //     --config=NAME       baseline | gc | gc-rp   (default gc)
 //     --qd=W --gc=W --rp=W  custom configuration weights (override config)
 //     --rounds=K          Prp perturbation rounds (default 8)
+//     --perturb-seed=S    Prp cost-perturbation seed (default fixed)
 //     --seed=S            sampling seed (default 1)
 //     --shots=N           independent compilation shots (default 1); the
 //                         QASM output is always shot 0
 //     --jobs=J            worker threads for the batch (default 1, 0 = all
 //                         cores); results are bit-identical for every J
+//     --columns=K         fidelity-estimation columns (default 0 = off);
+//                         evaluated per shot on the batch workers
+//     --cache-dir=DIR     persistent matrix cache (default from
+//                         $MARQSIM_CACHE_DIR; empty = in-memory only)
 //     --out=FILE          write QASM here (default stdout)
-//     --stats             print gate statistics to stderr (with --shots>1,
-//                         the per-batch aggregate table)
+//     --stats             print gate + cache statistics to stderr (with
+//                         --shots>1, the per-batch aggregate table)
 //     --dot=FILE          also dump the HTT graph as Graphviz DOT
 //
 // Exit codes: 0 success, 1 usage error, 2 malformed input.
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/CompilerEngine.h"
-#include "core/TransitionBuilders.h"
 #include "circuit/QasmExport.h"
-#include "pauli/HamiltonianIO.h"
-#include "support/CommandLine.h"
+#include "service/SimulationService.h"
 #include "support/Table.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <memory>
 
 using namespace marqsim;
 
 int main(int Argc, char **Argv) {
   CommandLine CL(Argc, Argv);
-  if (CL.positionals().size() != 1 || CL.getBool("help")) {
-    std::cerr << "usage: marqsim-cli <hamiltonian.txt> [--time=T] "
-                 "[--epsilon=E]\n"
+  if ((CL.positionals().empty() && !CL.has("model")) || CL.getBool("help")) {
+    std::cerr << "usage: marqsim-cli <hamiltonian.txt> | --model=NAME\n"
+                 "  [--time=T] [--epsilon=E]\n"
                  "  [--config=baseline|gc|gc-rp] [--qd=W --gc=W --rp=W]\n"
-                 "  [--rounds=K] [--seed=S] [--shots=N] [--jobs=J]\n"
+                 "  [--rounds=K] [--perturb-seed=S] [--seed=S] [--shots=N]\n"
+                 "  [--jobs=J] [--columns=K] [--cache-dir=DIR]\n"
                  "  [--out=FILE] [--stats] [--dot=FILE]\n";
     return 1;
   }
 
   std::string Error;
-  auto Parsed = readHamiltonianFile(CL.positionals()[0], &Error);
-  if (!Parsed) {
+  std::optional<TaskSpec> Spec = TaskSpec::fromCommandLine(CL, &Error);
+  if (!Spec) {
+    std::cerr << "error: " << Error << "\n";
+    return 1;
+  }
+  Spec->Evaluate.ExportShotZero = true; // shot 0 carries the QASM output
+  Spec->Evaluate.DumpDot = CL.has("dot");
+
+  ServiceOptions Options;
+  if (const char *Env = std::getenv("MARQSIM_CACHE_DIR"))
+    Options.CacheDir = Env;
+  Options.CacheDir = CL.getString("cache-dir", Options.CacheDir);
+
+  SimulationService Service(Options);
+  std::optional<TaskResult> Result = Service.run(*Spec, &Error);
+  if (!Result) {
     std::cerr << "error: " << Error << "\n";
     return 2;
-  }
-  Hamiltonian H = Parsed->merged().splitLargeTerms();
-
-  double WQd = 0.4, WGc = 0.6, WRp = 0.0;
-  std::string Config = CL.getString("config", "gc");
-  if (Config == "baseline") {
-    WQd = 1.0;
-    WGc = WRp = 0.0;
-  } else if (Config == "gc-rp") {
-    WQd = 0.4;
-    WGc = WRp = 0.3;
-  } else if (Config != "gc") {
-    std::cerr << "error: unknown config '" << Config << "'\n";
-    return 1;
-  }
-  if (CL.has("qd") || CL.has("gc") || CL.has("rp")) {
-    WQd = CL.getDouble("qd", 0.0);
-    WGc = CL.getDouble("gc", 0.0);
-    WRp = CL.getDouble("rp", 0.0);
-    double Sum = WQd + WGc + WRp;
-    if (Sum <= 0.0) {
-      std::cerr << "error: configuration weights must be positive\n";
-      return 1;
-    }
-    WQd /= Sum;
-    WGc /= Sum;
-    WRp /= Sum;
-  }
-
-  double Time = CL.getDouble("time", 1.0);
-  double Epsilon = CL.getDouble("epsilon", 0.05);
-  unsigned Rounds = static_cast<unsigned>(CL.getInt("rounds", 8));
-  uint64_t Seed = static_cast<uint64_t>(CL.getInt("seed", 1));
-  int64_t ShotsArg = CL.getInt("shots", 1);
-  if (ShotsArg < 1) {
-    std::cerr << "error: --shots must be at least 1\n";
-    return 1;
-  }
-  size_t Shots = static_cast<size_t>(ShotsArg);
-  int64_t JobsArg = CL.getInt("jobs", 1);
-  if (JobsArg < 0) {
-    std::cerr << "error: --jobs must be non-negative (0 = all cores)\n";
-    return 1;
-  }
-  unsigned Jobs = static_cast<unsigned>(JobsArg);
-
-  // Setup once: matrix, graph validation, and sampling tables are shared
-  // by every shot. Single-term Hamiltonians skip the flow machinery.
-  TransitionMatrix P =
-      H.numTerms() < 2
-          ? buildQDrift(H)
-          : makeConfigMatrix(H, WQd, WGc, WRp, Rounds, Seed ^ 0xD1CE);
-  auto Graph = std::make_shared<const HTTGraph>(H, std::move(P));
-  if (!Graph->isValidForCompilation()) {
-    std::cerr << "error: transition matrix failed Theorem 4.1 validation\n";
-    return 2;
-  }
-  auto Strategy =
-      std::make_shared<const SamplingStrategy>(Graph, Time, Epsilon);
-
-  CompilerEngine Engine;
-  // Shot 0 carries the QASM output; with --shots=1 this is the whole run.
-  // With --shots>1 it is lifted out of the batch via PerShot so the shot
-  // is compiled exactly once.
-  CompilationResult R;
-  BatchResult Batch;
-  if (Shots == 1) {
-    R = Engine.compileOne(*Strategy, Seed);
-  } else {
-    BatchRequest Req;
-    Req.Strategy = Strategy;
-    Req.NumShots = Shots;
-    Req.Jobs = Jobs;
-    Req.Seed = Seed;
-    Req.PerShot = [&](size_t Shot, const CompilationResult &Res) {
-      if (Shot == 0)
-        R = Res; // single writer: only the worker that compiled shot 0
-    };
-    Batch = Engine.compileBatch(Req);
   }
 
   if (CL.has("dot")) {
     std::ofstream Dot(CL.getString("dot"));
-    Dot << Graph->toDot();
+    Dot << Result->GraphDot;
   }
   if (CL.has("out")) {
     std::ofstream Out(CL.getString("out"));
-    exportQasm(R.Circ, Out);
+    exportQasm(Result->ShotZero.Circ, Out);
   } else {
-    exportQasm(R.Circ, std::cout);
+    exportQasm(Result->ShotZero.Circ, std::cout);
   }
 
-  if (Shots > 1) {
+  const BatchResult &Batch = Result->Batch;
+  if (Spec->Shots > 1) {
     Table Agg({"metric", "mean", "std", "min", "max"});
     auto AddRow = [&](const char *Name, const SummaryStat &S) {
       Agg.addRow({Name, formatDouble(S.Mean), formatDouble(S.Std),
@@ -157,19 +100,31 @@ int main(int Argc, char **Argv) {
     AddRow("CNOTs", Batch.CNOTs);
     AddRow("1q gates", Batch.Singles);
     AddRow("total gates", Batch.Totals);
-    std::cerr << "batch: " << Shots << " shots, jobs=" << Batch.JobsUsed
-              << ", " << formatDouble(Batch.Seconds) << " s, hash="
-              << Batch.batchHash() << "\n";
+    if (Result->HasFidelity)
+      AddRow("fidelity", Result->Fidelity);
+    std::cerr << "batch: " << Spec->Shots << " shots, jobs="
+              << Batch.JobsUsed << ", " << formatDouble(Batch.Seconds)
+              << " s, hash=" << Batch.batchHash() << "\n";
     Agg.print(std::cerr);
   }
 
   if (CL.getBool("stats")) {
-    std::cerr << "terms=" << H.numTerms() << " lambda="
-              << formatDouble(H.lambda()) << " N=" << R.NumSamples
+    const CompilationResult &R = Result->ShotZero;
+    std::cerr << "fingerprint=" << std::hex << Result->Fingerprint
+              << std::dec << " N=" << R.NumSamples
               << " cnots=" << R.Counts.CNOTs
               << " singles=" << R.Counts.SingleQubit
               << " total=" << R.Counts.total()
               << " depth=" << R.Circ.depth() << "\n";
+    if (Result->HasFidelity && Spec->Shots == 1)
+      std::cerr << "fidelity=" << formatDouble(Result->ShotFidelities[0], 6)
+                << " (" << Spec->Evaluate.FidelityColumns << " columns)\n";
+    const CacheStats &S = Result->Stats;
+    std::cerr << "matrix-cache hits=" << S.matrixHits()
+              << " misses=" << S.matrixMisses() << " disk=" << S.DiskLoads
+              << "\ngraph-cache hits=" << S.GraphHits
+              << " misses=" << S.GraphMisses << " evaluator-cache hits="
+              << S.EvaluatorHits << " misses=" << S.EvaluatorMisses << "\n";
   }
   return 0;
 }
