@@ -1,0 +1,159 @@
+//===- bench/bench_shots_jobs_scaling.cpp - Batch + service scaling ----------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The ROADMAP's engine-scaling coverage, as machine-readable tables:
+//
+//   1. compileBatch shots x jobs grid — wall clock, throughput, and the
+//      batch hash for every cell; the hash column must be constant along
+//      each shots row (bit-identity across worker counts is the engine's
+//      core contract, re-checked here under load).
+//   2. SimulationService cache hit rates under concurrent run() load —
+//      T threads hammer one service with an epsilon sweep; the service
+//      must perform exactly one gate-cancellation MCFP solve in total,
+//      and every thread must observe bit-identical batches.
+//
+// Output is CSV (stdout) so plotting/regression tooling can consume it
+// directly; human-oriented notes go to stderr. Exit code 1 on any
+// determinism or single-solve violation, so CI can gate on it.
+//
+// Flags: --time=T (1.0) --epsilon=E (0.01) --seed=S (1)
+//        --threads=T (4, part 2) --sweeps=K (4 epsilons per thread)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "support/Timer.h"
+
+#include <iostream>
+#include <memory>
+#include <thread>
+
+using namespace marqsim;
+
+namespace {
+
+/// The Fig. 11 / Example 5.3 Hamiltonian.
+Hamiltonian benchHamiltonian() {
+  return Hamiltonian::parse({{1.0, "IIIZY"},
+                             {1.0, "XXIII"},
+                             {0.7, "ZXZYI"},
+                             {0.5, "IIZZX"},
+                             {0.3, "XXYYZ"}})
+      .splitLargeTerms();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  double Time = CL.getDouble("time", 1.0);
+  double Eps = CL.getDouble("epsilon", 0.01);
+  uint64_t Seed = static_cast<uint64_t>(CL.getInt("seed", 1));
+  unsigned Threads = static_cast<unsigned>(CL.getInt("threads", 4));
+  size_t Sweeps = static_cast<size_t>(CL.getInt("sweeps", 4));
+  if (Threads < 1 || Sweeps < 1) {
+    std::cerr << "error: --threads and --sweeps must be at least 1\n";
+    return 1;
+  }
+
+  Hamiltonian H = benchHamiltonian();
+  bool Ok = true;
+
+  // --- Part 1: compileBatch shots x jobs grid -----------------------------
+  std::cerr << "# compileBatch scaling (t=" << formatDouble(Time)
+            << ", eps=" << formatDouble(Eps) << ")\n";
+  TransitionMatrix P = makeConfigMatrix(H, 0.4, 0.6, 0.0);
+  auto Strategy = std::make_shared<const SamplingStrategy>(
+      std::make_shared<const HTTGraph>(H, std::move(P)), Time, Eps);
+  CompilerEngine Engine;
+
+  Table Grid({"shots", "jobs", "wall_s", "shots_per_s", "batch_hash"});
+  for (size_t Shots : {8u, 32u, 128u}) {
+    uint64_t RowHash = 0;
+    for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+      BatchRequest Req;
+      Req.Strategy = Strategy;
+      Req.NumShots = Shots;
+      Req.Jobs = Jobs;
+      Req.Seed = Seed;
+      Timer Wall;
+      BatchResult Batch = Engine.compileBatch(Req);
+      double Seconds = Wall.seconds();
+      if (Jobs == 1)
+        RowHash = Batch.batchHash();
+      else if (Batch.batchHash() != RowHash) {
+        std::cerr << "ERROR: hash diverged at shots=" << Shots
+                  << " jobs=" << Jobs << "\n";
+        Ok = false;
+      }
+      Grid.row(Shots, Jobs, formatDouble(Seconds, 4),
+               formatDouble(double(Shots) / Seconds, 1),
+               std::to_string(Batch.batchHash()));
+    }
+  }
+  Grid.printCSV(std::cout);
+
+  // --- Part 2: service cache hit rates under concurrent load --------------
+  std::cerr << "# service cache hit rates (" << Threads << " threads x "
+            << Sweeps << "-epsilon sweep, shared service)\n";
+  Table Svc({"threads", "tasks", "wall_s", "gc_solves", "matrix_hits",
+             "graph_misses", "graph_hits", "hit_rate"});
+  for (unsigned T = 1; T <= Threads; T *= 2) {
+    SimulationService Service;
+    std::vector<std::vector<uint64_t>> Hashes(T);
+    // One byte per thread (vector<bool> would pack flags into shared
+    // bytes — a data race under concurrent writers).
+    std::vector<char> Failed(T, 0);
+    Timer Wall;
+    std::vector<std::thread> Pool;
+    for (unsigned I = 0; I < T; ++I)
+      Pool.emplace_back([&, I] {
+        for (size_t S = 0; S < Sweeps; ++S) {
+          TaskSpec Task;
+          Task.Source = HamiltonianSource::fromHamiltonian(H);
+          Task.Mix = *ChannelMix::preset("gc");
+          Task.Time = Time;
+          Task.Epsilon = Eps * static_cast<double>(1 + S);
+          Task.Shots = 4;
+          Task.Seed = Seed;
+          std::optional<TaskResult> R = Service.run(Task);
+          if (!R) {
+            Failed[I] = 1;
+            return;
+          }
+          Hashes[I].push_back(R->Batch.batchHash());
+        }
+      });
+    for (std::thread &Worker : Pool)
+      Worker.join();
+    double Seconds = Wall.seconds();
+    for (unsigned I = 0; I < T; ++I) {
+      if (Failed[I] || Hashes[I] != Hashes[0]) {
+        std::cerr << "ERROR: thread " << I
+                  << " diverged or failed under concurrent load\n";
+        Ok = false;
+      }
+    }
+    CacheStats S = Service.stats();
+    if (S.GCSolveMisses != 1) {
+      std::cerr << "ERROR: expected exactly one GC solve, got "
+                << S.GCSolveMisses << "\n";
+      Ok = false;
+    }
+    size_t Lookups = S.matrixHits() + S.matrixMisses() + S.GraphHits +
+                     S.GraphMisses;
+    Svc.row(T, T * Sweeps, formatDouble(Seconds, 4), S.GCSolveMisses,
+            S.matrixHits(), S.GraphMisses, S.GraphHits,
+            formatDouble(double(Lookups - S.matrixMisses() - S.GraphMisses) /
+                             double(Lookups),
+                         3));
+  }
+  Svc.printCSV(std::cout);
+
+  std::cerr << (Ok ? "scaling checks passed\n"
+                   : "SCALING CHECKS FAILED\n");
+  return Ok ? 0 : 1;
+}

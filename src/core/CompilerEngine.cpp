@@ -274,6 +274,24 @@ uint64_t BatchResult::batchHash() const {
   return H;
 }
 
+void BatchResult::recomputeAggregates() {
+  TotalCancelledCNOTs = 0;
+  TotalCancelledSingles = 0;
+  RunningStats CNOTStats, SingleStats, TotalStats, SampleStats;
+  for (const ShotSummary &S : Shots) {
+    CNOTStats.add(static_cast<double>(S.Counts.CNOTs));
+    SingleStats.add(static_cast<double>(S.Counts.SingleQubit));
+    TotalStats.add(static_cast<double>(S.Counts.total()));
+    SampleStats.add(static_cast<double>(S.NumSamples));
+    TotalCancelledCNOTs += S.Stats.CancelledCNOTs;
+    TotalCancelledSingles += S.Stats.CancelledSingles;
+  }
+  CNOTs = toSummary(CNOTStats);
+  Singles = toSummary(SingleStats);
+  Totals = toSummary(TotalStats);
+  Samples = toSummary(SampleStats);
+}
+
 CompilationResult
 CompilerEngine::compileOne(const ScheduleStrategy &Strategy, uint64_t Seed,
                            const CompilationOptions &Opts) const {
@@ -301,7 +319,7 @@ BatchResult CompilerEngine::compileBatch(const BatchRequest &Req) const {
       std::min<size_t>(Jobs, Req.NumShots));
 
   auto RunShot = [&](size_t Shot) {
-    RNG Rng = RNG::forShot(Req.Seed, Shot);
+    RNG Rng = RNG::forShot(Req.Seed, Req.FirstShot + Shot);
     ShotContext Ctx{Shot, Rng};
     CompilationResult R = materializePlan(Strategy.hamiltonian(),
                                           Strategy.produce(Ctx), Req.Opts);
@@ -314,8 +332,10 @@ BatchResult CompilerEngine::compileBatch(const BatchRequest &Req) const {
 
   Timer Clock;
   if (Strategy.isDeterministic()) {
-    // Every shot is identical: compile once, replicate.
-    RNG Rng = RNG::forShot(Req.Seed, 0);
+    // Every shot is identical: compile once, replicate. (The RNG is never
+    // consulted, so the offset is cosmetic; it keeps the derivation rule
+    // uniform.)
+    RNG Rng = RNG::forShot(Req.Seed, Req.FirstShot);
     ShotContext Ctx{0, Rng};
     CompilationResult R = materializePlan(Strategy.hamiltonian(),
                                           Strategy.produce(Ctx), Req.Opts);
@@ -337,18 +357,6 @@ BatchResult CompilerEngine::compileBatch(const BatchRequest &Req) const {
   }
   B.Seconds = Clock.seconds();
 
-  RunningStats CNOTs, Singles, Totals, Samples;
-  for (const ShotSummary &S : B.Shots) {
-    CNOTs.add(static_cast<double>(S.Counts.CNOTs));
-    Singles.add(static_cast<double>(S.Counts.SingleQubit));
-    Totals.add(static_cast<double>(S.Counts.total()));
-    Samples.add(static_cast<double>(S.NumSamples));
-    B.TotalCancelledCNOTs += S.Stats.CancelledCNOTs;
-    B.TotalCancelledSingles += S.Stats.CancelledSingles;
-  }
-  B.CNOTs = toSummary(CNOTs);
-  B.Singles = toSummary(Singles);
-  B.Totals = toSummary(Totals);
-  B.Samples = toSummary(Samples);
+  B.recomputeAggregates();
   return B;
 }

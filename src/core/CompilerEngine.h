@@ -183,8 +183,14 @@ struct BatchRequest {
   /// bit-identical for every value.
   unsigned Jobs = 1;
 
-  /// Base seed; shot k draws from RNG::forShot(Seed, k).
+  /// Base seed; shot k draws from RNG::forShot(Seed, FirstShot + k).
   uint64_t Seed = 1;
+
+  /// Global index of the batch's first shot. Shot substreams are derived
+  /// from global indices, so compiling [FirstShot, FirstShot + NumShots)
+  /// here and the complementary ranges elsewhere reproduces one large
+  /// batch bit for bit — the foundation of cross-process sharding.
+  size_t FirstShot = 0;
 
   /// Lowering options applied to every shot.
   CompilationOptions Opts;
@@ -252,6 +258,13 @@ struct BatchResult {
   /// batches (same strategy, seed, shot count) have equal hashes no matter
   /// how many workers ran them.
   uint64_t batchHash() const;
+
+  /// Recomputes the aggregate summaries (CNOTs/Singles/Totals/Samples and
+  /// the cancelled-gate totals) from Shots. compileBatch and the shard
+  /// merge both run this exact sequential pass, which is what makes a
+  /// merged K-shard batch bit-identical to the single-process one down to
+  /// the floating-point statistics.
+  void recomputeAggregates();
 };
 
 /// Compiles single shots and deterministic parallel batches. Stateless;

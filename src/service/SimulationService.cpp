@@ -9,6 +9,7 @@
 #include "hamgen/Registry.h"
 #include "pauli/HamiltonianIO.h"
 #include "stats/Stats.h"
+#include "support/Serial.h"
 
 #include <unistd.h>
 
@@ -45,16 +46,11 @@ CacheStats &CacheStats::operator+=(const CacheStats &O) {
 
 namespace {
 
-uint64_t doubleBits(double D) {
-  uint64_t U;
-  std::memcpy(&U, &D, sizeof(U));
-  return U;
-}
+using serial::doubleBits;
 
 void appendHex(std::string &S, uint64_t V) {
-  char Buf[20];
-  std::snprintf(Buf, sizeof(Buf), "-%016" PRIx64, V);
-  S += Buf;
+  S += '-';
+  S += serial::hex16(V);
 }
 
 /// File-name-safe content key of the gate-cancellation solve.
@@ -191,6 +187,7 @@ struct SimulationService::Impl {
 
   /// Loads a matrix stored by storeMatrix. The entries are raw IEEE-754
   /// bit patterns in hex, so the round trip is exact. Any anomaly — a
+  /// checksum that does not match the payload (truncation, bit flips), a
   /// dimension that disagrees with \p ExpectedN (the term count is known
   /// from the Hamiltonian, so a mismatch means a stale or corrupt file),
   /// malformed hex, trailing garbage — returns nullopt and the caller
@@ -202,27 +199,34 @@ struct SimulationService::Impl {
     std::ifstream In(diskPath(Key));
     if (!In)
       return std::nullopt;
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+
+    // Verify the trailing checksum before trusting any entry: the hex
+    // payload would happily parse with a flipped bit, silently changing
+    // the transition matrix and everything downstream of it.
+    std::string Body;
+    if (!serial::splitChecksummed(Buf.str(), Body))
+      return std::nullopt;
+
+    std::istringstream Rows(Body);
     std::string Magic;
     size_t N = 0;
-    if (!(In >> Magic >> N) || Magic != "marqsim-matrix-v1" ||
+    if (!(Rows >> Magic >> N) || Magic != "marqsim-matrix-v2" ||
         N != ExpectedN || N == 0)
       return std::nullopt;
     TransitionMatrix P(N);
     for (size_t I = 0; I < N; ++I)
       for (size_t J = 0; J < N; ++J) {
         std::string Word;
-        if (!(In >> Word) || Word.size() != 16)
+        uint64_t Bits = 0;
+        if (!(Rows >> Word) || Word.size() != 16 ||
+            !serial::parseHex64(Word, Bits))
           return std::nullopt;
-        char *End = nullptr;
-        uint64_t Bits = std::strtoull(Word.c_str(), &End, 16);
-        if (End != Word.c_str() + Word.size())
-          return std::nullopt;
-        double D;
-        std::memcpy(&D, &Bits, sizeof(D));
-        P.at(I, J) = D;
+        P.at(I, J) = serial::bitsToDouble(Bits);
       }
     std::string Trailing;
-    if (In >> Trailing)
+    if (Rows >> Trailing)
       return std::nullopt;
     return P;
   }
@@ -234,6 +238,14 @@ struct SimulationService::Impl {
     std::filesystem::create_directories(Options.CacheDir, EC);
     if (EC)
       return;
+    std::ostringstream Body;
+    Body << "marqsim-matrix-v2 " << P.size() << "\n";
+    for (size_t I = 0; I < P.size(); ++I) {
+      for (size_t J = 0; J < P.size(); ++J)
+        Body << serial::hex16(doubleBits(P.at(I, J)))
+             << (J + 1 == P.size() ? "" : " ");
+      Body << "\n";
+    }
     // Write-then-rename keeps concurrent processes from reading torn
     // files; the store is best-effort (failures just mean a re-solve).
     std::filesystem::path Final = diskPath(Key);
@@ -243,16 +255,7 @@ struct SimulationService::Impl {
       std::ofstream Out(Tmp);
       if (!Out)
         return;
-      Out << "marqsim-matrix-v1 " << P.size() << "\n";
-      char Buf[20];
-      for (size_t I = 0; I < P.size(); ++I) {
-        for (size_t J = 0; J < P.size(); ++J) {
-          std::snprintf(Buf, sizeof(Buf), "%016" PRIx64,
-                        doubleBits(P.at(I, J)));
-          Out << Buf << (J + 1 == P.size() ? "" : " ");
-        }
-        Out << "\n";
-      }
+      Out << serial::withChecksum(Body.str());
       if (!Out)
         return;
     }
@@ -466,9 +469,22 @@ SimulationService::graphFor(const TaskSpec &Spec, std::string *Error) {
 
 std::optional<TaskResult> SimulationService::run(const TaskSpec &Spec,
                                                  std::string *Error) {
+  return run(Spec, ShotRange{0, Spec.Shots}, Error);
+}
+
+std::optional<TaskResult> SimulationService::run(const TaskSpec &Spec,
+                                                 const ShotRange &Range,
+                                                 std::string *Error) {
   std::string Validation;
   if (!Spec.validate(&Validation)) {
     detail::fail(Error, Validation);
+    return std::nullopt;
+  }
+  if (Range.Count < 1 || Range.end() > Spec.Shots) {
+    detail::fail(Error, "shot range [" + std::to_string(Range.Begin) + ", " +
+                            std::to_string(Range.end()) +
+                            ") is empty or exceeds the task's " +
+                            std::to_string(Spec.Shots) + " shots");
     return std::nullopt;
   }
   // Only the sampling path canonicalizes (its caches and MCFP need it);
@@ -527,31 +543,37 @@ std::optional<TaskResult> SimulationService::run(const TaskSpec &Spec,
   if (Spec.Evaluate.FidelityColumns > 0) {
     Eval = M->evaluator(H, Result.Fingerprint, Spec, &Result.Stats);
     Result.HasFidelity = true;
-    Result.ShotFidelities.assign(Spec.Shots, 0.0);
+    Result.ShotFidelities.assign(Range.Count, 0.0);
   }
+
+  // Shot zero is a global notion: only the range that contains it can
+  // export it.
+  bool WantShotZero = Spec.Evaluate.ExportShotZero && Range.Begin == 0;
 
   BatchRequest Req;
   Req.Strategy = Strategy;
-  Req.NumShots = Spec.Shots;
+  Req.NumShots = Range.Count;
+  Req.FirstShot = Range.Begin;
   Req.Jobs = Spec.Jobs;
   Req.Seed = Spec.Seed;
   Req.Opts = Spec.Lowering;
   Req.KeepResults = Spec.Evaluate.KeepResults;
-  if (Eval || Spec.Evaluate.ExportShotZero) {
+  if (Eval || WantShotZero) {
     // In-worker evaluation: each shot's fidelity is computed on the
     // worker that compiled it (the evaluator is immutable, the fidelity
     // a pure function of the schedule), writing to the shot's own slot.
+    // The hook's index is range-relative, matching the result vectors.
     Req.PerShot = [&](size_t Shot, const CompilationResult &R) {
       if (Eval)
         Result.ShotFidelities[Shot] = Eval->fidelity(R.Schedule);
-      if (Spec.Evaluate.ExportShotZero && Shot == 0)
+      if (WantShotZero && Shot == 0)
         Result.ShotZero = R; // single writer: shot 0's worker only
     };
   }
 
   CompilerEngine Engine;
   Result.Batch = Engine.compileBatch(Req);
-  Result.HasShotZero = Spec.Evaluate.ExportShotZero;
+  Result.HasShotZero = WantShotZero;
 
   if (Eval) {
     RunningStats Fids;

@@ -136,6 +136,19 @@ public:
   std::optional<TaskResult> run(const TaskSpec &Spec,
                                 std::string *Error = nullptr);
 
+  /// Runs the contiguous shot sub-range [Range.Begin, Range.end()) of
+  /// \p Spec's batch. Shots keep their *global* indices — shot k draws
+  /// from RNG::forShot(Seed, k) no matter which range compiles it — so
+  /// concatenating the results of a partition of [0, Shots) reproduces
+  /// run(Spec) bit for bit. This is the worker-side entry point of the
+  /// cross-process sharding layer (shard/ShardCoordinator). The range
+  /// must be non-empty and end within Spec.Shots; Evaluate.ExportShotZero
+  /// is honored only by the range containing global shot 0, and
+  /// TaskResult vectors (ShotFidelities, Batch.Shots) are indexed
+  /// relative to Range.Begin.
+  std::optional<TaskResult> run(const TaskSpec &Spec, const ShotRange &Range,
+                                std::string *Error = nullptr);
+
   /// Resolves just the HTT graph of a sampling spec through the caches
   /// (spectrum inspection, DOT dumps) without compiling anything.
   std::shared_ptr<const HTTGraph> graphFor(const TaskSpec &Spec,
@@ -151,10 +164,11 @@ public:
   /// use the canonical form (\p Canonicalize, the default); the Trotter
   /// family compiles the operator exactly as given, preserving
   /// TermOrderKind::Given semantics (the canonical merge/split exists
-  /// only to satisfy the sampling path's MCFP precondition).
-  std::optional<Hamiltonian> resolveHamiltonian(const HamiltonianSource &S,
-                                                std::string *Error = nullptr,
-                                                bool Canonicalize = true);
+  /// only to satisfy the sampling path's MCFP precondition). Static: the
+  /// resolution is a pure function of the source, no caches involved.
+  static std::optional<Hamiltonian>
+  resolveHamiltonian(const HamiltonianSource &S, std::string *Error = nullptr,
+                     bool Canonicalize = true);
 
   /// Cumulative cache accounting across every task this service ran.
   CacheStats stats() const;

@@ -6,6 +6,8 @@
 
 #include "service/TaskSpec.h"
 
+#include "support/Serial.h"
+
 using namespace marqsim;
 
 //===----------------------------------------------------------------------===//
@@ -91,6 +93,45 @@ bool TaskSpec::validate(std::string *Error) const {
     break;
   }
   return true;
+}
+
+uint64_t TaskSpec::contentKey() const {
+  using namespace serial;
+  uint64_t H = FNVOffset;
+  H = fnv1aWord(static_cast<uint64_t>(Method), H);
+  H = fnv1aWord(doubleBits(Time), H);
+  H = fnv1aWord(Lowering.Emit.CrossCancellation ? 1 : 0, H);
+  H = fnv1aWord(Lowering.UseCDFSampler ? 1 : 0, H);
+  H = fnv1aWord(Evaluate.FidelityColumns, H);
+  H = fnv1aWord(Evaluate.ColumnSeed, H);
+  // Only the active method's knobs participate: an unused TrotterReps on
+  // a sampling task cannot change its bits, so it must not change its key.
+  switch (Method) {
+  case TaskMethod::Sampling:
+    H = fnv1aWord(doubleBits(Mix.WQd), H);
+    H = fnv1aWord(doubleBits(Mix.WGc), H);
+    H = fnv1aWord(doubleBits(Mix.WRp), H);
+    H = fnv1aWord(PerturbRounds, H);
+    H = fnv1aWord(PerturbSeed, H);
+    H = fnv1aWord(static_cast<uint64_t>(Flow.ProbScale), H);
+    H = fnv1aWord(static_cast<uint64_t>(Flow.CostScale), H);
+    H = fnv1aWord(doubleBits(Epsilon), H);
+    H = fnv1aWord(UseCDF ? 1 : 0, H);
+    break;
+  case TaskMethod::Trotter:
+    H = fnv1aWord(TrotterReps, H);
+    H = fnv1aWord(TrotterOrder, H);
+    H = fnv1aWord(static_cast<uint64_t>(Order), H);
+    break;
+  case TaskMethod::RandomOrderTrotter:
+    H = fnv1aWord(TrotterReps, H);
+    break;
+  case TaskMethod::SparSto:
+    H = fnv1aWord(TrotterReps, H);
+    H = fnv1aWord(doubleBits(SparStoKeepScale), H);
+    break;
+  }
+  return H;
 }
 
 std::optional<TaskSpec> TaskSpec::fromCommandLine(const CommandLine &CL,

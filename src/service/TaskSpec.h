@@ -107,6 +107,18 @@ struct HamiltonianSource {
   }
 };
 
+/// A contiguous sub-range of a batch's global shot indices
+/// [Begin, Begin + Count). Shot seeding is global (shot k always draws
+/// from RNG::forShot(Seed, k)), so compiling a range in one process and
+/// the complement elsewhere reproduces the full batch bit for bit.
+struct ShotRange {
+  size_t Begin = 0;
+  size_t Count = 0;
+
+  size_t end() const { return Begin + Count; }
+  bool contains(size_t Shot) const { return Shot >= Begin && Shot < end(); }
+};
+
 /// Which schedule-producing policy compiles the task.
 enum class TaskMethod {
   /// Algorithm 1: Markov-chain sampling over the HTT graph with the
@@ -194,6 +206,16 @@ struct TaskSpec {
   /// mix, supported Trotter order). Returns false and fills \p Error on
   /// violations. run() validates implicitly.
   bool validate(std::string *Error = nullptr) const;
+
+  /// Content hash of every knob that shapes the compiled bits beyond the
+  /// Hamiltonian itself: method, mix weights, flow options, perturbation
+  /// rounds/seed, time, epsilon, sampler kind, Trotter parameters,
+  /// lowering, and fidelity evaluation. Excludes the source (the
+  /// Hamiltonian fingerprint covers it), Shots and Seed (shard manifests
+  /// check those explicitly), and Jobs (no effect on results). Two specs
+  /// with equal fingerprint, seed, shot count, and contentKey produce
+  /// bit-identical batches.
+  uint64_t contentKey() const;
 
   /// Parses the common CLI surface into a spec: positional Hamiltonian
   /// file or --model=NAME, --time/--epsilon, --config + --qd/--gc/--rp,

@@ -1,0 +1,406 @@
+//===- shard/ShardCoordinator.cpp - Cross-process batch sharding -------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/ShardCoordinator.h"
+
+#include "stats/Stats.h"
+#include "support/Serial.h"
+#include "support/Subprocess.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+
+using namespace marqsim;
+
+std::string ShardCoordinator::manifestPath(const std::string &WorkDir,
+                                           unsigned Index) {
+  return (std::filesystem::path(WorkDir) /
+          ("shard-" + std::to_string(Index) + ".manifest"))
+      .string();
+}
+
+//===----------------------------------------------------------------------===//
+// Worker command line
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string bitsFlag(const char *Name, double Value) {
+  return std::string("--") + Name + "=" + serial::hex16(serial::doubleBits(Value));
+}
+
+std::string intFlag(const char *Name, uint64_t Value) {
+  return std::string("--") + Name + "=" + std::to_string(Value);
+}
+
+} // namespace
+
+std::optional<std::vector<std::string>> ShardCoordinator::workerArgs(
+    const std::string &Binary, const TaskSpec &Spec, unsigned Index,
+    unsigned Count, const std::string &ManifestPath,
+    const std::string &CacheDir, std::string *Error) {
+  auto Fail = [&](const std::string &Message) {
+    detail::fail(Error, "shard worker: " + Message);
+    return std::nullopt;
+  };
+  if (Spec.Method != TaskMethod::Sampling)
+    return Fail("only sampling tasks can re-exec through marqsim-cli");
+  if (!Spec.Lowering.Emit.CrossCancellation || Spec.Lowering.UseCDFSampler)
+    return Fail("custom lowering options cannot travel over the command "
+                "line");
+  // The CLI parses every count/seed as a signed 64-bit integer; a value
+  // past INT64_MAX would wrap in the worker and silently change its key.
+  const uint64_t SignedMax =
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+  if (Spec.Seed > SignedMax || Spec.PerturbSeed > SignedMax ||
+      Spec.Evaluate.ColumnSeed > SignedMax)
+    return Fail("seeds above INT64_MAX cannot travel over the command line");
+  if (Spec.Flow.ProbScale < 0 || Spec.Flow.CostScale < 0)
+    return Fail("negative MCFP scales cannot travel over the command line");
+
+  std::vector<std::string> Argv;
+  Argv.push_back(Binary);
+  switch (Spec.Source.SourceKind) {
+  case HamiltonianSource::Kind::File:
+    Argv.push_back(Spec.Source.Path);
+    break;
+  case HamiltonianSource::Kind::Model:
+    Argv.push_back("--model=" + Spec.Source.Model);
+    break;
+  case HamiltonianSource::Kind::Inline:
+    return Fail("inline Hamiltonian sources cannot re-exec; write the "
+                "operator to a file first");
+  }
+  // Weights, time, and epsilon travel as raw IEEE-754 bit patterns
+  // (hidden worker flags): a decimal round trip could perturb the last
+  // ulp, which would change cache keys and the transition matrix itself.
+  Argv.push_back(bitsFlag("mix-qd-bits", Spec.Mix.WQd));
+  Argv.push_back(bitsFlag("mix-gc-bits", Spec.Mix.WGc));
+  Argv.push_back(bitsFlag("mix-rp-bits", Spec.Mix.WRp));
+  Argv.push_back(bitsFlag("time-bits", Spec.Time));
+  Argv.push_back(bitsFlag("epsilon-bits", Spec.Epsilon));
+  Argv.push_back(intFlag("rounds", Spec.PerturbRounds));
+  Argv.push_back(intFlag("perturb-seed", Spec.PerturbSeed));
+  Argv.push_back(intFlag("prob-scale", static_cast<uint64_t>(Spec.Flow.ProbScale)));
+  Argv.push_back(intFlag("cost-scale", static_cast<uint64_t>(Spec.Flow.CostScale)));
+  Argv.push_back(intFlag("seed", Spec.Seed));
+  Argv.push_back(intFlag("shots", Spec.Shots));
+  Argv.push_back(intFlag("jobs", Spec.Jobs));
+  Argv.push_back(intFlag("columns", Spec.Evaluate.FidelityColumns));
+  Argv.push_back(intFlag("column-seed", Spec.Evaluate.ColumnSeed));
+  if (Spec.UseCDF)
+    Argv.push_back("--cdf");
+  if (!CacheDir.empty())
+    Argv.push_back("--cache-dir=" + CacheDir);
+  Argv.push_back(intFlag("shard-index", Index));
+  Argv.push_back(intFlag("shard-count", Count));
+  Argv.push_back("--shard-out=" + ManifestPath);
+  return Argv;
+}
+
+//===----------------------------------------------------------------------===//
+// Worker-side execution
+//===----------------------------------------------------------------------===//
+
+std::optional<ShardManifest> ShardCoordinator::runShard(
+    SimulationService &Service, const TaskSpec &Spec, unsigned Index,
+    unsigned Count, std::string *Error) {
+  ShardPlan Plan = ShardPlan::split(Spec.Shots, Count);
+  if (Index >= Plan.shardCount()) {
+    detail::fail(Error, "shard index " + std::to_string(Index) +
+                            " out of range: " + std::to_string(Spec.Shots) +
+                            " shots split into " +
+                            std::to_string(Plan.shardCount()) + " shards");
+    return std::nullopt;
+  }
+  ShotRange Range = Plan.Ranges[Index];
+  // Per-shot artifacts that cannot travel through a manifest are dropped
+  // here, not rejected: the worker owes the coordinator summaries only.
+  TaskSpec Ranged = Spec;
+  Ranged.Evaluate.ExportShotZero = false;
+  Ranged.Evaluate.DumpDot = false;
+  Ranged.Evaluate.KeepResults = false;
+  std::optional<TaskResult> Result = Service.run(Ranged, Range, Error);
+  if (!Result)
+    return std::nullopt;
+  return ShardManifest::fromTaskResult(Spec, Range, *Result);
+}
+
+//===----------------------------------------------------------------------===//
+// Merge
+//===----------------------------------------------------------------------===//
+
+std::optional<TaskResult>
+ShardCoordinator::merge(const TaskSpec &Spec, uint64_t ExpectedFingerprint,
+                        std::vector<ShardManifest> Manifests,
+                        std::string *Error) {
+  auto Fail = [&](const std::string &Message) {
+    detail::fail(Error, "shard merge: " + Message);
+    return std::nullopt;
+  };
+  if (Manifests.empty())
+    return Fail("no manifests");
+  std::sort(Manifests.begin(), Manifests.end(),
+            [](const ShardManifest &A, const ShardManifest &B) {
+              return A.Range.Begin < B.Range.Begin;
+            });
+
+  const ShardManifest &First = Manifests.front();
+  const uint64_t SpecKey = Spec.contentKey();
+  bool WantFidelity = Spec.Evaluate.FidelityColumns > 0;
+  size_t NextShot = 0;
+  for (const ShardManifest &M : Manifests) {
+    if (M.Fingerprint != ExpectedFingerprint)
+      return Fail("fingerprint mismatch: manifest for range [" +
+                  std::to_string(M.Range.Begin) + ", " +
+                  std::to_string(M.Range.end()) +
+                  ") was compiled from a different Hamiltonian");
+    if (M.Seed != Spec.Seed)
+      return Fail("seed mismatch");
+    if (M.SpecKey != SpecKey)
+      return Fail("task configuration mismatch: manifest for range [" +
+                  std::to_string(M.Range.Begin) + ", " +
+                  std::to_string(M.Range.end()) +
+                  ") was compiled with different parameters");
+    if (M.TotalShots != Spec.Shots)
+      return Fail("batch size mismatch");
+    if (M.StrategyName != First.StrategyName ||
+        M.NumSamples != First.NumSamples)
+      return Fail("manifests disagree on strategy or sampling budget");
+    if (M.HasFidelity != WantFidelity)
+      return Fail(WantFidelity ? "manifest is missing fidelity samples"
+                               : "manifest has unexpected fidelity samples");
+    if (M.Range.Begin != NextShot)
+      return Fail("shot coverage has a gap or overlap at shot " +
+                  std::to_string(NextShot));
+    if (M.Shots.size() != M.Range.Count)
+      return Fail("manifest shot count disagrees with its range");
+    NextShot = M.Range.end();
+  }
+  if (NextShot != Spec.Shots)
+    return Fail("shot coverage ends at " + std::to_string(NextShot) +
+                ", expected " + std::to_string(Spec.Shots));
+
+  TaskResult Result;
+  Result.Fingerprint = ExpectedFingerprint;
+  Result.NumSamples = First.NumSamples;
+  BatchResult &B = Result.Batch;
+  B.StrategyName = First.StrategyName;
+  B.NumShots = Spec.Shots;
+  B.Seed = Spec.Seed;
+  B.Shots.reserve(Spec.Shots);
+  Result.HasFidelity = WantFidelity;
+  if (WantFidelity)
+    Result.ShotFidelities.reserve(Spec.Shots);
+  for (const ShardManifest &M : Manifests) {
+    B.JobsUsed = std::max(B.JobsUsed, M.JobsUsed);
+    B.Shots.insert(B.Shots.end(), M.Shots.begin(), M.Shots.end());
+    if (WantFidelity)
+      Result.ShotFidelities.insert(Result.ShotFidelities.end(),
+                                   M.Fidelities.begin(), M.Fidelities.end());
+    Result.Stats += M.Stats;
+  }
+
+  // The same sequential pass compileBatch runs, so the merged summaries
+  // are bit-identical to the single-process run, not merely close.
+  B.recomputeAggregates();
+
+  if (WantFidelity) {
+    RunningStats Fids;
+    for (double F : Result.ShotFidelities)
+      Fids.add(F);
+    Result.Fidelity.Mean = Fids.mean();
+    Result.Fidelity.Std = Fids.stddev();
+    Result.Fidelity.Min = Fids.min();
+    Result.Fidelity.Max = Fids.max();
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Coordinator
+//===----------------------------------------------------------------------===//
+
+std::optional<TaskResult> ShardCoordinator::run(const TaskSpec &Spec,
+                                                std::string *Error,
+                                                ShardReport *Report) {
+  auto Fail = [&](const std::string &Message) {
+    detail::fail(Error, "shard coordinator: " + Message);
+    return std::nullopt;
+  };
+  std::string Validation;
+  if (!Spec.validate(&Validation))
+    return Fail(Validation);
+  if (Spec.Evaluate.KeepResults || Spec.Evaluate.ExportShotZero ||
+      Spec.Evaluate.DumpDot)
+    return Fail("per-shot artifacts (KeepResults/ExportShotZero/DumpDot) "
+                "cannot travel through manifests; compile them with a "
+                "ranged single-process run instead");
+  if (Options.WorkDir.empty())
+    return Fail("a work directory is required");
+  std::error_code EC;
+  std::filesystem::create_directories(Options.WorkDir, EC);
+  if (EC)
+    return Fail("cannot create work directory '" + Options.WorkDir + "'");
+
+  ShardReport LocalReport;
+  ShardReport &R = Report ? *Report : LocalReport;
+  R.Plan = ShardPlan::split(Spec.Shots, Options.ShardCount);
+  const size_t K = R.Plan.shardCount();
+  const bool InProcess = Options.WorkerBinary.empty();
+
+  std::optional<Hamiltonian> H =
+      SimulationService::resolveHamiltonian(Spec.Source, Error);
+  if (!H)
+    return std::nullopt;
+  const uint64_t Fingerprint = H->fingerprint();
+  const uint64_t SpecKey = Spec.contentKey();
+  Timer Clock;
+
+  ServiceOptions LocalOptions;
+  LocalOptions.CacheDir = Options.CacheDir;
+  SimulationService LocalService(LocalOptions);
+  if (!InProcess && Spec.Method == TaskMethod::Sampling) {
+    if (Options.CacheDir.empty()) {
+      R.Notes.push_back("no cache directory: every worker performs its own "
+                        "MCFP solves");
+    } else {
+      // Pre-warm the shared store so the whole sharded run costs exactly
+      // one solve per component; this also front-loads the Theorem 4.1
+      // validation before any process is spawned.
+      if (!LocalService.graphFor(Spec, Error))
+        return std::nullopt;
+      R.LocalStats = LocalService.stats();
+    }
+  }
+
+  std::vector<std::optional<ShardManifest>> Accepted(K);
+  const unsigned MaxAttempts = std::max(1u, Options.MaxAttempts);
+  unsigned LaunchRounds = 0;
+  bool FirstCollection = true;
+  while (true) {
+    // Collect: validate whatever manifests exist for still-open ranges.
+    for (size_t I = 0; I < K; ++I) {
+      if (Accepted[I])
+        continue;
+      std::string Path = manifestPath(Options.WorkDir, I);
+      if (!std::filesystem::exists(Path))
+        continue;
+      std::string ReadError;
+      std::optional<ShardManifest> M =
+          ShardManifest::readFile(Path, &ReadError);
+      if (M) {
+        if (M->Fingerprint != Fingerprint)
+          ReadError = "fingerprint mismatch (different Hamiltonian)";
+        else if (M->Seed != Spec.Seed || M->TotalShots != Spec.Shots)
+          ReadError = "seed or batch size mismatch (stale manifest)";
+        else if (M->SpecKey != SpecKey)
+          ReadError = "task configuration mismatch (manifest from a run "
+                      "with different parameters)";
+        else if (M->Range.Begin != R.Plan.Ranges[I].Begin ||
+                 M->Range.Count != R.Plan.Ranges[I].Count)
+          ReadError = "shot range disagrees with the shard plan";
+        else if (M->HasFidelity != (Spec.Evaluate.FidelityColumns > 0))
+          ReadError = "fidelity presence disagrees with the task";
+      }
+      if (M && ReadError.empty()) {
+        Accepted[I] = std::move(M);
+        if (FirstCollection)
+          ++R.Reused;
+        continue;
+      }
+      R.Notes.push_back("shard " + std::to_string(I) + ": rejected '" +
+                        Path + "': " + ReadError + "; re-running the range");
+      std::filesystem::remove(Path, EC);
+    }
+    FirstCollection = false;
+
+    std::vector<size_t> Missing;
+    for (size_t I = 0; I < K; ++I)
+      if (!Accepted[I])
+        Missing.push_back(I);
+    if (Missing.empty())
+      break;
+    if (LaunchRounds >= MaxAttempts) {
+      std::string Message = "range still invalid after " +
+                            std::to_string(MaxAttempts) + " attempts:";
+      for (const std::string &Note : R.Notes)
+        Message += "\n  " + Note;
+      return Fail(Message);
+    }
+    if (LaunchRounds > 0)
+      R.Retries += static_cast<unsigned>(Missing.size());
+
+    if (InProcess) {
+      for (size_t I : Missing) {
+        std::string ShardError;
+        std::optional<ShardManifest> M = runShard(
+            LocalService, Spec, static_cast<unsigned>(I),
+            static_cast<unsigned>(K), &ShardError);
+        // Round-trip through the file even in-process: the on-disk
+        // manifest is the interface under test, and it doubles as the
+        // resume state a later coordinator can pick up.
+        if (!M || !M->writeFile(manifestPath(Options.WorkDir, I),
+                                &ShardError))
+          R.Notes.push_back("shard " + std::to_string(I) + ": " +
+                            ShardError);
+      }
+    } else {
+      // Launch every missing range, then wait on all of them. Each child
+      // is paired with its shard index: a failed spawn must not shift
+      // which shard a later exit status is attributed to.
+      std::vector<std::pair<size_t, Subprocess>> Children;
+      Children.reserve(Missing.size());
+      for (size_t I : Missing) {
+        SubprocessSpec Child;
+        std::optional<std::vector<std::string>> Argv = workerArgs(
+            Options.WorkerBinary, Spec, static_cast<unsigned>(I),
+            static_cast<unsigned>(K), manifestPath(Options.WorkDir, I),
+            Options.CacheDir, Error);
+        if (!Argv)
+          return std::nullopt; // inexpressible spec: no round can fix it
+        Child.Argv = std::move(*Argv);
+        Child.StdoutFile = (std::filesystem::path(Options.WorkDir) /
+                            ("shard-" + std::to_string(I) + ".log"))
+                               .string();
+        Child.StderrFile = Child.StdoutFile;
+        std::string SpawnError;
+        Subprocess Proc;
+        if (!Proc.spawn(Child, &SpawnError)) {
+          R.Notes.push_back("shard " + std::to_string(I) + ": " +
+                            SpawnError);
+          continue;
+        }
+        Children.emplace_back(I, std::move(Proc));
+      }
+      for (auto &[Shard, Proc] : Children) {
+        int Exit = Proc.wait();
+        if (Exit != 0)
+          R.Notes.push_back("shard " + std::to_string(Shard) +
+                            ": worker exited with status " +
+                            std::to_string(Exit));
+      }
+    }
+    ++LaunchRounds;
+  }
+
+  std::vector<ShardManifest> Manifests;
+  Manifests.reserve(K);
+  for (std::optional<ShardManifest> &M : Accepted) {
+    R.WorkerStats += M->Stats;
+    Manifests.push_back(std::move(*M));
+  }
+  std::optional<TaskResult> Merged =
+      merge(Spec, Fingerprint, std::move(Manifests), Error);
+  if (Merged)
+    // Wall clock of the whole sharded phase (launching, workers,
+    // validation, merge) — the honest analogue of BatchResult::Seconds.
+    Merged->Batch.Seconds = Clock.seconds();
+  return Merged;
+}

@@ -1,0 +1,147 @@
+//===- shard/ShardCoordinator.h - Cross-process batch sharding --*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-process scaling layer: split a TaskSpec's shot range over K
+/// workers, run each range through SimulationService (in a re-exec'd
+/// marqsim-cli or in-process), and merge the resulting ShardManifests back
+/// into the TaskResult a single-process run of the same spec produces —
+/// bit-identically, for any K.
+///
+/// The bit-identity argument is the same one that makes --jobs free of
+/// scheduling noise: shot k always draws from the counter-based substream
+/// RNG::forShot(Seed, k) of its *global* index, and every deterministic
+/// artifact on the way (MCFP solutions, alias tables, fidelity targets) is
+/// a pure content function. A shard is therefore just a window onto the
+/// same shot stream, and concatenating windows in order reproduces the
+/// batch exactly.
+///
+/// Workers sharing one ServiceOptions::CacheDir also share the MCFP
+/// solves through the on-disk component store; the coordinator pre-warms
+/// that store before launching, so a K-shard run still performs exactly
+/// one gate-cancellation solve per Hamiltonian.
+///
+/// Failure handling: manifests are validated (checksum, fingerprint, shot
+/// range, range hash) before merging. A missing, corrupt, truncated, or
+/// mismatched manifest is reported in ShardReport::Notes, its file is
+/// discarded, and the range is re-run — up to ShardOptions::MaxAttempts
+/// launch rounds. Valid manifests already present in the work directory
+/// are reused, which doubles as crash recovery for interrupted sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_SHARD_SHARDCOORDINATOR_H
+#define MARQSIM_SHARD_SHARDCOORDINATOR_H
+
+#include "shard/ShardManifest.h"
+#include "shard/ShardPlan.h"
+
+namespace marqsim {
+
+/// How to run a sharded batch.
+struct ShardOptions {
+  /// Number of worker ranges (clamped to the shot count).
+  unsigned ShardCount = 1;
+
+  /// Directory for manifests and worker logs. Required; created on
+  /// demand. Valid manifests found here are reused instead of re-run.
+  std::string WorkDir;
+
+  /// Shared persistent component store handed to every worker
+  /// (--cache-dir). Empty disables cross-process artifact sharing: each
+  /// worker then performs its own MCFP solves (correct but wasteful).
+  std::string CacheDir;
+
+  /// The marqsim-cli binary to re-exec per shard. Empty runs every shard
+  /// in-process through one shared service (library use and tests).
+  std::string WorkerBinary;
+
+  /// Launch rounds per range before giving up (>= 1). A range whose
+  /// manifest fails validation is re-run in the next round.
+  unsigned MaxAttempts = 2;
+};
+
+/// What happened during a sharded run, beyond the merged result.
+struct ShardReport {
+  ShardPlan Plan;
+
+  /// Ranges launched beyond the first round (failed validations).
+  unsigned Retries = 0;
+
+  /// Manifests reused from a previous run in the work directory.
+  unsigned Reused = 0;
+
+  /// Summed cache accounting of the accepted worker manifests.
+  CacheStats WorkerStats;
+
+  /// The coordinator's own service accounting (store pre-warm).
+  CacheStats LocalStats;
+
+  /// Human-readable diagnostics: every rejected manifest and failed
+  /// worker, with the reason.
+  std::vector<std::string> Notes;
+};
+
+/// Splits, launches, validates, and merges. One coordinator runs one task
+/// at a time; construct per task or reuse freely (it holds only options).
+class ShardCoordinator {
+public:
+  explicit ShardCoordinator(ShardOptions Opts) : Options(std::move(Opts)) {}
+
+  /// Runs \p Spec as Options.ShardCount shards and merges the manifests.
+  /// The result is bit-identical to SimulationService::run(Spec) — same
+  /// batch hash, shot summaries, and fidelity samples — for any shard
+  /// count. Specs requesting per-shot artifacts that cannot travel
+  /// through a manifest (KeepResults, ExportShotZero, DumpDot) are
+  /// rejected; compile those separately (a one-shot ranged run suffices
+  /// for shot 0). Returns std::nullopt and fills \p Error when a range
+  /// still has no valid manifest after MaxAttempts rounds.
+  std::optional<TaskResult> run(const TaskSpec &Spec,
+                                std::string *Error = nullptr,
+                                ShardReport *Report = nullptr);
+
+  /// Worker-side entry point: compiles shard \p Index of \p Count through
+  /// \p Service (global shot indices, so seeding matches the full batch)
+  /// and packages the manifest. marqsim-cli's hidden worker mode is a
+  /// thin shell around this.
+  static std::optional<ShardManifest> runShard(SimulationService &Service,
+                                               const TaskSpec &Spec,
+                                               unsigned Index,
+                                               unsigned Count,
+                                               std::string *Error = nullptr);
+
+  /// Merges validated manifests (any order) into the single-process
+  /// TaskResult. Rejects fingerprint mismatches against
+  /// \p ExpectedFingerprint, gaps or overlaps in shot coverage, and
+  /// manifests that disagree on seed, strategy, budget, or fidelity
+  /// presence.
+  static std::optional<TaskResult> merge(const TaskSpec &Spec,
+                                         uint64_t ExpectedFingerprint,
+                                         std::vector<ShardManifest> Manifests,
+                                         std::string *Error = nullptr);
+
+  /// The re-exec command line of one shard worker: the spec-defining
+  /// flags (weights, time, and epsilon travel as IEEE-754 bit patterns so
+  /// the worker's spec is bit-identical to \p Spec), the shard triple,
+  /// and the shared cache directory. Fails for specs a command line
+  /// cannot express (inline Hamiltonians, non-sampling methods, custom
+  /// lowering options).
+  static std::optional<std::vector<std::string>>
+  workerArgs(const std::string &Binary, const TaskSpec &Spec, unsigned Index,
+             unsigned Count, const std::string &ManifestPath,
+             const std::string &CacheDir, std::string *Error = nullptr);
+
+  /// Manifest path of shard \p Index under \p WorkDir.
+  static std::string manifestPath(const std::string &WorkDir,
+                                  unsigned Index);
+
+private:
+  ShardOptions Options;
+};
+
+} // namespace marqsim
+
+#endif // MARQSIM_SHARD_SHARDCOORDINATOR_H

@@ -1,0 +1,29 @@
+//===- shard/ShardPlan.cpp - Splitting a batch into shot ranges --------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/ShardPlan.h"
+
+#include <algorithm>
+
+using namespace marqsim;
+
+ShardPlan ShardPlan::split(size_t TotalShots, unsigned ShardCount) {
+  ShardPlan Plan;
+  Plan.TotalShots = TotalShots;
+  if (TotalShots == 0)
+    return Plan;
+  size_t K = std::max<size_t>(1, std::min<size_t>(ShardCount, TotalShots));
+  size_t Base = TotalShots / K;
+  size_t Extra = TotalShots % K;
+  size_t Begin = 0;
+  Plan.Ranges.reserve(K);
+  for (size_t I = 0; I < K; ++I) {
+    size_t Count = Base + (I < Extra ? 1 : 0);
+    Plan.Ranges.push_back(ShotRange{Begin, Count});
+    Begin += Count;
+  }
+  return Plan;
+}

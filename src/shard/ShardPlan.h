@@ -1,0 +1,46 @@
+//===- shard/ShardPlan.h - Splitting a batch into shot ranges ---*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deterministic split of a TaskSpec's shot range over K workers.
+///
+/// Both the coordinator and every worker derive the same plan from
+/// (TotalShots, ShardCount) alone, so a worker needs only its index — no
+/// range needs to travel over the command line, and a re-run of shard i
+/// always covers exactly the shots the failed attempt covered.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_SHARD_SHARDPLAN_H
+#define MARQSIM_SHARD_SHARDPLAN_H
+
+#include "service/TaskSpec.h"
+
+#include <vector>
+
+namespace marqsim {
+
+/// The contiguous per-shard shot ranges of one batch.
+struct ShardPlan {
+  size_t TotalShots = 0;
+
+  /// One range per shard, in shard-index order; consecutive ranges are
+  /// adjacent and together cover [0, TotalShots) exactly. Never empty:
+  /// a shard count above the shot count is clamped, so every range holds
+  /// at least one shot.
+  std::vector<ShotRange> Ranges;
+
+  size_t shardCount() const { return Ranges.size(); }
+
+  /// Splits \p TotalShots shots over \p ShardCount near-even contiguous
+  /// ranges: the first TotalShots % ShardCount shards take one extra shot.
+  /// ShardCount of 0 behaves as 1; counts above TotalShots are clamped.
+  static ShardPlan split(size_t TotalShots, unsigned ShardCount);
+};
+
+} // namespace marqsim
+
+#endif // MARQSIM_SHARD_SHARDPLAN_H

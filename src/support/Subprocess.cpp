@@ -1,0 +1,127 @@
+//===- support/Subprocess.cpp - Child-process launching ----------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+using namespace marqsim;
+
+Subprocess::~Subprocess() {
+  if (Pid > 0)
+    wait();
+}
+
+Subprocess::Subprocess(Subprocess &&O) noexcept
+    : Pid(O.Pid), Status(O.Status) {
+  O.Pid = -1;
+}
+
+Subprocess &Subprocess::operator=(Subprocess &&O) noexcept {
+  if (this != &O) {
+    if (Pid > 0)
+      wait();
+    Pid = O.Pid;
+    Status = O.Status;
+    O.Pid = -1;
+  }
+  return *this;
+}
+
+namespace {
+
+/// In the child: point \p Fd at \p Path (created/truncated). Must stay
+/// async-signal-safe — only open/dup2/close between fork and exec.
+bool redirect(int Fd, const std::string &Path) {
+  if (Path.empty())
+    return true;
+  int File = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (File < 0)
+    return false;
+  bool Ok = ::dup2(File, Fd) >= 0;
+  ::close(File);
+  return Ok;
+}
+
+} // namespace
+
+bool Subprocess::spawn(const SubprocessSpec &Spec, std::string *Error) {
+  if (Pid > 0) {
+    if (Error)
+      *Error = "subprocess already running";
+    return false;
+  }
+  if (Spec.Argv.empty()) {
+    if (Error)
+      *Error = "subprocess spec has an empty argv";
+    return false;
+  }
+
+  std::vector<char *> Argv;
+  Argv.reserve(Spec.Argv.size() + 1);
+  for (const std::string &Arg : Spec.Argv)
+    Argv.push_back(const_cast<char *>(Arg.c_str()));
+  Argv.push_back(nullptr);
+
+  pid_t Child = ::fork();
+  if (Child < 0) {
+    if (Error)
+      *Error = std::string("fork failed: ") + std::strerror(errno);
+    return false;
+  }
+  if (Child == 0) {
+    if (!redirect(STDOUT_FILENO, Spec.StdoutFile))
+      ::_exit(127);
+    // Same target for both streams: share one open file description, or
+    // the two independent O_TRUNC offsets would overwrite each other.
+    if (!Spec.StderrFile.empty() && Spec.StderrFile == Spec.StdoutFile) {
+      if (::dup2(STDOUT_FILENO, STDERR_FILENO) < 0)
+        ::_exit(127);
+    } else if (!redirect(STDERR_FILENO, Spec.StderrFile)) {
+      ::_exit(127);
+    }
+    ::execvp(Argv[0], Argv.data());
+    ::_exit(127); // exec failed; 127 is the conventional "not runnable"
+  }
+  Pid = Child;
+  Status = -1;
+  return true;
+}
+
+int Subprocess::wait() {
+  if (Pid <= 0)
+    return Status;
+  int Raw = 0;
+  pid_t Waited;
+  do {
+    Waited = ::waitpid(static_cast<pid_t>(Pid), &Raw, 0);
+  } while (Waited < 0 && errno == EINTR);
+  Pid = -1;
+  if (Waited < 0)
+    Status = -1;
+  else if (WIFEXITED(Raw))
+    Status = WEXITSTATUS(Raw);
+  else if (WIFSIGNALED(Raw))
+    Status = 128 + WTERMSIG(Raw);
+  else
+    Status = -1;
+  return Status;
+}
+
+std::string marqsim::currentExecutablePath(const std::string &Fallback) {
+  char Buf[4096];
+  ssize_t Len = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (Len > 0) {
+    Buf[Len] = '\0';
+    return std::string(Buf);
+  }
+  return Fallback;
+}

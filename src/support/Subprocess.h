@@ -1,0 +1,70 @@
+//===- support/Subprocess.h - Child-process launching -----------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal fork/exec wrapper for the cross-process sharding layer: launch a
+/// worker binary with an explicit argv (no shell, so paths with spaces are
+/// safe), optionally redirect its stdout/stderr to files, and wait for its
+/// exit status. Several children may be in flight at once; the coordinator
+/// spawns one per shard and waits on all of them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_SUPPORT_SUBPROCESS_H
+#define MARQSIM_SUPPORT_SUBPROCESS_H
+
+#include <string>
+#include <vector>
+
+namespace marqsim {
+
+/// What to run and where to send its output.
+struct SubprocessSpec {
+  /// argv[0] is the executable path (executed directly, not via PATH when
+  /// it contains a slash — the execvp rule).
+  std::vector<std::string> Argv;
+
+  /// Redirect targets; empty inherits the parent's stream.
+  std::string StdoutFile;
+  std::string StderrFile;
+};
+
+/// A launched child process. Move-only; the destructor of an un-waited
+/// child waits for it (never leaks zombies).
+class Subprocess {
+public:
+  Subprocess() = default;
+  ~Subprocess();
+
+  Subprocess(Subprocess &&O) noexcept;
+  Subprocess &operator=(Subprocess &&O) noexcept;
+  Subprocess(const Subprocess &) = delete;
+  Subprocess &operator=(const Subprocess &) = delete;
+
+  /// Forks and execs \p Spec. Returns false and fills \p Error when the
+  /// fork fails or the spec is empty; exec failures inside the child
+  /// surface as exit code 127 from wait().
+  bool spawn(const SubprocessSpec &Spec, std::string *Error = nullptr);
+
+  /// Blocks until the child exits. Returns its exit code, or 128 + signal
+  /// number when it was killed by a signal, or -1 when nothing was
+  /// spawned. Idempotent: later calls return the recorded status.
+  int wait();
+
+  bool running() const { return Pid > 0; }
+
+private:
+  long Pid = -1;
+  int Status = -1;
+};
+
+/// Absolute path of the current executable (/proc/self/exe), or \p
+/// Fallback (typically argv[0]) when the link cannot be read.
+std::string currentExecutablePath(const std::string &Fallback = "");
+
+} // namespace marqsim
+
+#endif // MARQSIM_SUPPORT_SUBPROCESS_H

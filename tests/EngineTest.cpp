@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <iterator>
 #include <numeric>
 
 using namespace marqsim;
@@ -211,6 +212,68 @@ TEST(SamplerAgreementTest, ChiSquareAgainstExpectedOnRandomWeights) {
     }
     EXPECT_LT(StatAC, Critical) << "samplers disagree, size " << Size;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Fixed-seed draw regression
+//===----------------------------------------------------------------------===//
+
+// The chi-square test above only checks *distributions*, so a sampler
+// change that shifts which draws land where (a reordered alias table, an
+// extra RNG consumption, a different tie-break) sails through it while
+// silently invalidating every recorded batch hash. These golden sequences
+// pin the exact draws: a legitimate sampler change must update them
+// consciously, alongside every other seeded artifact it invalidates.
+
+TEST(SamplerRegressionTest, AliasDrawSequenceIsFrozen) {
+  const std::vector<double> W = {0.15, 0.3, 0.05, 0.25, 0.25};
+  AliasSampler Alias(W);
+  RNG Rng(12345);
+  const size_t Golden[] = {3, 1, 4, 4, 3, 3, 1, 3, 3, 4, 1, 4, 0, 4, 1, 3};
+  for (size_t I = 0; I < std::size(Golden); ++I)
+    EXPECT_EQ(Alias.sample(Rng), Golden[I]) << "draw " << I;
+}
+
+TEST(SamplerRegressionTest, CDFDrawSequenceIsFrozen) {
+  const std::vector<double> W = {0.15, 0.3, 0.05, 0.25, 0.25};
+  CDFSampler CDF(W);
+  RNG Rng(12345);
+  const size_t Golden[] = {3, 0, 4, 0, 3, 0, 1, 1, 1, 4, 4, 3, 4, 4, 0, 4};
+  for (size_t I = 0; I < std::size(Golden); ++I)
+    EXPECT_EQ(CDF.sample(Rng), Golden[I]) << "draw " << I;
+}
+
+TEST(SamplerRegressionTest, ForShotSubstreamIsFrozen) {
+  RNG Rng = RNG::forShot(7, 3);
+  const uint64_t Golden[] = {14711317644352780248ULL, 3901681286276763966ULL,
+                             9208789493979141732ULL, 8053204431652315326ULL};
+  for (size_t I = 0; I < std::size(Golden); ++I)
+    EXPECT_EQ(Rng.next(), Golden[I]) << "draw " << I;
+}
+
+TEST(SamplerRegressionTest, BatchHashesAreFrozen) {
+  // End-to-end pin over the whole pipeline: graph construction, alias (and
+  // CDF) table layout, the Markov walk, and the sequence hashing. Recorded
+  // shard manifests and cached sweeps all assume these values.
+  auto Graph = testGraph();
+  CompilerEngine Engine;
+  BatchRequest Req;
+  Req.Strategy = std::make_shared<const SamplingStrategy>(Graph, 0.5, 0.05);
+  Req.NumShots = 4;
+  Req.Seed = 2025;
+  BatchResult Batch = Engine.compileBatch(Req);
+  EXPECT_EQ(Batch.batchHash(), 9422497201697092697ULL);
+  const uint64_t GoldenShots[] = {
+      13436589725562461351ULL, 4164583861295183526ULL,
+      14740134279793469888ULL, 17535853739059979203ULL};
+  ASSERT_EQ(Batch.Shots.size(), std::size(GoldenShots));
+  for (size_t I = 0; I < std::size(GoldenShots); ++I)
+    EXPECT_EQ(Batch.Shots[I].SequenceHash, GoldenShots[I]) << "shot " << I;
+
+  Req.Strategy =
+      std::make_shared<const SamplingStrategy>(Graph, 0.5, 0.05,
+                                               /*UseCDF=*/true);
+  EXPECT_EQ(Engine.compileBatch(Req).batchHash(), 4882182761049389600ULL);
 }
 
 //===----------------------------------------------------------------------===//

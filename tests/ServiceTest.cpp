@@ -250,6 +250,74 @@ TEST(ServiceCacheTest, DiskStorePersistsAcrossServices) {
   EXPECT_EQ(Warm.stats().DiskLoads, 1u);
 }
 
+TEST(ServiceCacheTest, DiskStoreCorruptionFallsBackToReSolve) {
+  // The PR 2 fallback path, now under test: a damaged component file must
+  // never poison a run. Truncation and single-character flips both fail
+  // the store's checksum, the service silently re-solves, and the batch
+  // is bit-identical to the healthy-cache run.
+  std::string Dir = testing::TempDir() + "svc_corrupt_cache";
+  std::filesystem::remove_all(Dir);
+  ServiceOptions Options;
+  Options.CacheDir = Dir;
+  TaskSpec Spec = testSpec(testHamiltonian());
+
+  uint64_t CleanHash = 0;
+  {
+    SimulationService Cold(Options);
+    std::optional<TaskResult> R = Cold.run(Spec);
+    ASSERT_TRUE(R);
+    CleanHash = R->Batch.batchHash();
+  }
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir))
+    if (Entry.path().extension() == ".mat")
+      Files.push_back(Entry.path());
+  ASSERT_EQ(Files.size(), 1u); // one Pgc component for the gc mix
+
+  auto ReadAll = [](const std::filesystem::path &P) {
+    std::ifstream In(P);
+    return std::string((std::istreambuf_iterator<char>(In)),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string Healthy = ReadAll(Files[0]);
+
+  // Truncation: drop the second half of the file.
+  std::ofstream(Files[0]) << Healthy.substr(0, Healthy.size() / 2);
+  {
+    SimulationService Service(Options);
+    std::optional<TaskResult> R = Service.run(Spec);
+    ASSERT_TRUE(R);
+    EXPECT_EQ(R->Batch.batchHash(), CleanHash);
+    EXPECT_EQ(Service.stats().GCSolveMisses, 1u) << "must re-solve";
+    EXPECT_EQ(Service.stats().DiskLoads, 0u);
+  }
+  // The re-solve overwrote the damaged artifact: healed, byte-identical.
+  EXPECT_EQ(ReadAll(Files[0]), Healthy);
+
+  // Bit flip: change one payload character. The hex would still parse —
+  // into a *different* matrix — so only the checksum stands between a
+  // flipped bit and silently divergent schedules.
+  std::string Flipped = Healthy;
+  size_t Pos = Flipped.find('\n') + 3; // inside the first entry's hex
+  Flipped[Pos] = Flipped[Pos] == '0' ? '1' : '0';
+  std::ofstream(Files[0]) << Flipped;
+  {
+    SimulationService Service(Options);
+    std::optional<TaskResult> R = Service.run(Spec);
+    ASSERT_TRUE(R);
+    EXPECT_EQ(R->Batch.batchHash(), CleanHash);
+    EXPECT_EQ(Service.stats().GCSolveMisses, 1u) << "must re-solve";
+    EXPECT_EQ(Service.stats().DiskLoads, 0u);
+  }
+  EXPECT_EQ(ReadAll(Files[0]), Healthy);
+
+  // Control: an undamaged store is a disk hit, no solve.
+  SimulationService Warm(Options);
+  ASSERT_TRUE(Warm.run(Spec));
+  EXPECT_EQ(Warm.stats().GCSolveMisses, 0u);
+  EXPECT_EQ(Warm.stats().DiskLoads, 1u);
+}
+
 TEST(ServiceCacheTest, RatioSweepPerformsOneGCSolve) {
   // The fig14 shape: four (Pqd, Pgc) ratios x two epsilons over one
   // Hamiltonian must cost exactly one gate-cancellation MCFP solve.

@@ -22,6 +22,14 @@
 //                         QASM output is always shot 0
 //     --jobs=J            worker threads for the batch (default 1, 0 = all
 //                         cores); results are bit-identical for every J
+//     --shards=K          split the batch over K re-exec'd worker
+//                         processes and merge their manifests; the merged
+//                         output is bit-identical to --shards=1 (give a
+//                         shared --cache-dir so the sweep performs one
+//                         MCFP solve total)
+//     --shard-dir=DIR     manifest/log directory for --shards (default: a
+//                         per-invocation directory under the system temp
+//                         dir; valid manifests found there are reused)
 //     --columns=K         fidelity-estimation columns (default 0 = off);
 //                         evaluated per shot on the batch workers
 //     --cache-dir=DIR     persistent matrix cache (default from
@@ -31,19 +39,100 @@
 //                         --shots>1, the per-batch aggregate table)
 //     --dot=FILE          also dump the HTT graph as Graphviz DOT
 //
-// Exit codes: 0 success, 1 usage error, 2 malformed input.
+// Hidden worker mode (used by the --shards coordinator when it re-execs
+// this binary; not part of the supported surface): --shard-index=I
+// --shard-count=K --shard-out=FILE compiles shard I's shot range and
+// writes its manifest instead of QASM, and --mix-qd-bits/--mix-gc-bits/
+// --mix-rp-bits/--time-bits/--epsilon-bits override the corresponding
+// spec fields with raw IEEE-754 bit patterns so the worker's spec is
+// bit-identical to the coordinator's.
+//
+// Exit codes: 0 success, 1 usage error, 2 malformed input / failed run.
 //
 //===----------------------------------------------------------------------===//
 
 #include "circuit/QasmExport.h"
-#include "service/SimulationService.h"
+#include "shard/ShardCoordinator.h"
+#include "support/Serial.h"
+#include "support/Subprocess.h"
 #include "support/Table.h"
 
+#include <unistd.h>
+
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
 using namespace marqsim;
+
+namespace {
+
+/// Applies one hidden --NAME=HEX16 bit-pattern override.
+bool applyBitsFlag(const CommandLine &CL, const char *Name, double &Out) {
+  if (!CL.has(Name))
+    return true;
+  uint64_t Bits = 0;
+  if (!serial::parseHex64(CL.getString(Name), Bits)) {
+    std::cerr << "error: --" << Name << " expects 16 hex digits\n";
+    return false;
+  }
+  Out = serial::bitsToDouble(Bits);
+  return true;
+}
+
+void printBatchTable(const TaskSpec &Spec, const TaskResult &Result) {
+  const BatchResult &Batch = Result.Batch;
+  Table Agg({"metric", "mean", "std", "min", "max"});
+  auto AddRow = [&](const char *Name, const SummaryStat &S) {
+    Agg.addRow({Name, formatDouble(S.Mean), formatDouble(S.Std),
+                formatDouble(S.Min), formatDouble(S.Max)});
+  };
+  AddRow("samples N", Batch.Samples);
+  AddRow("CNOTs", Batch.CNOTs);
+  AddRow("1q gates", Batch.Singles);
+  AddRow("total gates", Batch.Totals);
+  if (Result.HasFidelity)
+    AddRow("fidelity", Result.Fidelity);
+  std::cerr << "batch: " << Spec.Shots << " shots, jobs=" << Batch.JobsUsed
+            << ", " << formatDouble(Batch.Seconds)
+            << " s, hash=" << Batch.batchHash() << "\n";
+  Agg.print(std::cerr);
+}
+
+void printCacheStats(const CacheStats &S) {
+  std::cerr << "matrix-cache hits=" << S.matrixHits()
+            << " misses=" << S.matrixMisses() << " disk=" << S.DiskLoads
+            << "\ngraph-cache hits=" << S.GraphHits
+            << " misses=" << S.GraphMisses << " evaluator-cache hits="
+            << S.EvaluatorHits << " misses=" << S.EvaluatorMisses << "\n";
+}
+
+/// The hidden re-exec entry point: compile one shard's shot range and
+/// write its manifest.
+int runWorkerMode(const CommandLine &CL, const TaskSpec &Spec,
+                  const ServiceOptions &Options) {
+  int64_t Index = CL.getInt("shard-index", -1);
+  int64_t Count = CL.getInt("shard-count", 0);
+  std::string OutPath = CL.getString("shard-out");
+  if (Index < 0 || Count < 1 || Index >= Count || OutPath.empty()) {
+    std::cerr << "error: worker mode needs --shard-index in [0, "
+                 "--shard-count) and --shard-out=FILE\n";
+    return 1;
+  }
+  SimulationService Service(Options);
+  std::string Error;
+  std::optional<ShardManifest> Manifest = ShardCoordinator::runShard(
+      Service, Spec, static_cast<unsigned>(Index),
+      static_cast<unsigned>(Count), &Error);
+  if (!Manifest || !Manifest->writeFile(OutPath, &Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   CommandLine CL(Argc, Argv);
@@ -52,8 +141,8 @@ int main(int Argc, char **Argv) {
                  "  [--time=T] [--epsilon=E]\n"
                  "  [--config=baseline|gc|gc-rp] [--qd=W --gc=W --rp=W]\n"
                  "  [--rounds=K] [--perturb-seed=S] [--seed=S] [--shots=N]\n"
-                 "  [--jobs=J] [--columns=K] [--cache-dir=DIR]\n"
-                 "  [--out=FILE] [--stats] [--dot=FILE]\n";
+                 "  [--jobs=J] [--shards=K] [--shard-dir=DIR] [--columns=K]\n"
+                 "  [--cache-dir=DIR] [--out=FILE] [--stats] [--dot=FILE]\n";
     return 1;
   }
 
@@ -63,16 +152,90 @@ int main(int Argc, char **Argv) {
     std::cerr << "error: " << Error << "\n";
     return 1;
   }
-  Spec->Evaluate.ExportShotZero = true; // shot 0 carries the QASM output
-  Spec->Evaluate.DumpDot = CL.has("dot");
+  // Hidden bit-exact overrides (see the worker-mode note above).
+  if (!applyBitsFlag(CL, "mix-qd-bits", Spec->Mix.WQd) ||
+      !applyBitsFlag(CL, "mix-gc-bits", Spec->Mix.WGc) ||
+      !applyBitsFlag(CL, "mix-rp-bits", Spec->Mix.WRp) ||
+      !applyBitsFlag(CL, "time-bits", Spec->Time) ||
+      !applyBitsFlag(CL, "epsilon-bits", Spec->Epsilon))
+    return 1;
+  // Remaining worker-transport flags for spec fields fromCommandLine does
+  // not expose (they complete TaskSpec::contentKey coverage).
+  Spec->Flow.ProbScale = CL.getInt("prob-scale", Spec->Flow.ProbScale);
+  Spec->Flow.CostScale = CL.getInt("cost-scale", Spec->Flow.CostScale);
+  Spec->Evaluate.ColumnSeed = static_cast<uint64_t>(
+      CL.getInt("column-seed", static_cast<int64_t>(Spec->Evaluate.ColumnSeed)));
 
   ServiceOptions Options;
   if (const char *Env = std::getenv("MARQSIM_CACHE_DIR"))
     Options.CacheDir = Env;
   Options.CacheDir = CL.getString("cache-dir", Options.CacheDir);
 
+  bool WorkerMode =
+      CL.has("shard-index") || CL.has("shard-count") || CL.has("shard-out");
+  bool CoordinatorMode = CL.has("shards");
+  if (WorkerMode && CoordinatorMode) {
+    std::cerr << "error: --shards (coordinator) and --shard-index/--shard-"
+                 "out (worker) are mutually exclusive\n";
+    return 1;
+  }
+  if (WorkerMode)
+    return runWorkerMode(CL, *Spec, Options);
+
   SimulationService Service(Options);
-  std::optional<TaskResult> Result = Service.run(*Spec, &Error);
+  std::optional<TaskResult> Result;
+  ShardReport Report;
+  bool Sharded = false;
+
+  if (CoordinatorMode) {
+    int64_t Shards = CL.getInt("shards", 1);
+    if (Shards < 1) {
+      std::cerr << "error: --shards must be at least 1\n";
+      return 1;
+    }
+    ShardOptions Shard;
+    Shard.ShardCount = static_cast<unsigned>(Shards);
+    Shard.WorkDir = CL.getString("shard-dir");
+    bool AutoWorkDir = Shard.WorkDir.empty();
+    if (AutoWorkDir)
+      Shard.WorkDir = (std::filesystem::temp_directory_path() /
+                       ("marqsim-shards-" + std::to_string(::getpid())))
+                          .string();
+    Shard.CacheDir = Options.CacheDir;
+    Shard.WorkerBinary = currentExecutablePath(Argv[0]);
+    ShardCoordinator Coordinator(Shard);
+    Result = Coordinator.run(*Spec, &Error, &Report);
+    Sharded = true;
+    if (Result) {
+      // Shot 0 (QASM) and the DOT dump cannot travel through manifests;
+      // a one-shot ranged run against the shared cache recompiles exactly
+      // that shot — deterministically the same circuit the batch saw.
+      TaskSpec ShotZeroSpec = *Spec;
+      ShotZeroSpec.Evaluate.ExportShotZero = true;
+      ShotZeroSpec.Evaluate.DumpDot = CL.has("dot");
+      ShotZeroSpec.Evaluate.FidelityColumns = 0;
+      std::optional<TaskResult> ShotZero =
+          Service.run(ShotZeroSpec, ShotRange{0, 1}, &Error);
+      if (!ShotZero) {
+        Result.reset();
+      } else {
+        Result->ShotZero = std::move(ShotZero->ShotZero);
+        Result->HasShotZero = true;
+        Result->GraphDot = std::move(ShotZero->GraphDot);
+      }
+    }
+    // The per-invocation default work directory has no resume value (its
+    // pid-based name is never reused): drop it on success, keep it — and
+    // any explicit --shard-dir — for diagnosis and resume otherwise.
+    if (Result && AutoWorkDir) {
+      std::error_code EC;
+      std::filesystem::remove_all(Shard.WorkDir, EC);
+    }
+  } else {
+    Spec->Evaluate.ExportShotZero = true; // shot 0 carries the QASM output
+    Spec->Evaluate.DumpDot = CL.has("dot");
+    Result = Service.run(*Spec, &Error);
+  }
   if (!Result) {
     std::cerr << "error: " << Error << "\n";
     return 2;
@@ -89,24 +252,8 @@ int main(int Argc, char **Argv) {
     exportQasm(Result->ShotZero.Circ, std::cout);
   }
 
-  const BatchResult &Batch = Result->Batch;
-  if (Spec->Shots > 1) {
-    Table Agg({"metric", "mean", "std", "min", "max"});
-    auto AddRow = [&](const char *Name, const SummaryStat &S) {
-      Agg.addRow({Name, formatDouble(S.Mean), formatDouble(S.Std),
-                  formatDouble(S.Min), formatDouble(S.Max)});
-    };
-    AddRow("samples N", Batch.Samples);
-    AddRow("CNOTs", Batch.CNOTs);
-    AddRow("1q gates", Batch.Singles);
-    AddRow("total gates", Batch.Totals);
-    if (Result->HasFidelity)
-      AddRow("fidelity", Result->Fidelity);
-    std::cerr << "batch: " << Spec->Shots << " shots, jobs="
-              << Batch.JobsUsed << ", " << formatDouble(Batch.Seconds)
-              << " s, hash=" << Batch.batchHash() << "\n";
-    Agg.print(std::cerr);
-  }
+  if (Spec->Shots > 1)
+    printBatchTable(*Spec, *Result);
 
   if (CL.getBool("stats")) {
     const CompilationResult &R = Result->ShotZero;
@@ -119,12 +266,24 @@ int main(int Argc, char **Argv) {
     if (Result->HasFidelity && Spec->Shots == 1)
       std::cerr << "fidelity=" << formatDouble(Result->ShotFidelities[0], 6)
                 << " (" << Spec->Evaluate.FidelityColumns << " columns)\n";
-    const CacheStats &S = Result->Stats;
-    std::cerr << "matrix-cache hits=" << S.matrixHits()
-              << " misses=" << S.matrixMisses() << " disk=" << S.DiskLoads
-              << "\ngraph-cache hits=" << S.GraphHits
-              << " misses=" << S.GraphMisses << " evaluator-cache hits="
-              << S.EvaluatorHits << " misses=" << S.EvaluatorMisses << "\n";
+    if (Sharded) {
+      // Whole-run accounting: coordinator pre-warm + every worker + the
+      // local shot-0 service. "gc-solves=1" is the one-solve contract.
+      CacheStats Total = Report.LocalStats;
+      Total += Report.WorkerStats;
+      Total += Service.stats();
+      std::cerr << "shard: shards=" << Report.Plan.shardCount()
+                << " retries=" << Report.Retries
+                << " reused=" << Report.Reused
+                << " gc-solves=" << Total.GCSolveMisses
+                << " rp-solves=" << Total.RPSolveMisses
+                << " disk-loads=" << Total.DiskLoads << "\n";
+      for (const std::string &Note : Report.Notes)
+        std::cerr << "shard-note: " << Note << "\n";
+      printCacheStats(Total);
+    } else {
+      printCacheStats(Result->Stats);
+    }
   }
   return 0;
 }
