@@ -14,6 +14,12 @@
 //      T threads hammer one service with an epsilon sweep; the service
 //      must perform exactly one gate-cancellation MCFP solve in total,
 //      and every thread must observe bit-identical batches.
+//   3. ArtifactStore tiers under a mix sweep — the same task list run
+//      cold (fresh disk store), warm (second service over that store),
+//      and capped (warm store, in-memory budget so tiny every artifact
+//      evicts). Records what the store buys (solves and wall clock) and
+//      re-checks the eviction contract: capped output is bit-identical
+//      and the disk tier keeps the sweep at one GC solve.
 //
 // Output is CSV (stdout) so plotting/regression tooling can consume it
 // directly; human-oriented notes go to stderr. Exit code 1 on any
@@ -21,12 +27,18 @@
 //
 // Flags: --time=T (1.0) --epsilon=E (0.01) --seed=S (1)
 //        --threads=T (4, part 2) --sweeps=K (4 epsilons per thread)
+//        --store-dir=DIR (part 3 disk tier parent; the bench creates and
+//                         deletes its own subdirectory under it; default
+//                         is the system temp dir)
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 #include "support/Timer.h"
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <thread>
@@ -152,6 +164,97 @@ int main(int Argc, char **Argv) {
                          3));
   }
   Svc.printCSV(std::cout);
+
+  // --- Part 3: store tiers, cold vs warm vs capped ------------------------
+  std::cerr << "# artifact store tiers (mix sweep, shared disk store)\n";
+  // The bench owns (and deletes) only its own subdirectory, so pointing
+  // --store-dir at an existing directory never wipes unrelated contents.
+  std::string StoreDir =
+      (std::filesystem::path(CL.getString(
+           "store-dir", std::filesystem::temp_directory_path().string())) /
+       ("marqsim-store-bench-" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(StoreDir);
+  const ChannelMix Mixes[] = {{1.0, 0.0, 0.0},
+                              {0.4, 0.6, 0.0},
+                              {0.2, 0.8, 0.0},
+                              {0.4, 0.3, 0.3}};
+  auto SweepTasks = [&] {
+    std::vector<TaskSpec> Tasks;
+    for (const ChannelMix &Mix : Mixes)
+      for (double E : {Eps, Eps * 2.0}) {
+        TaskSpec Task;
+        Task.Source = HamiltonianSource::fromHamiltonian(H);
+        Task.Mix = Mix;
+        Task.Time = Time;
+        Task.Epsilon = E;
+        Task.Shots = 4;
+        Task.Seed = Seed;
+        Task.Evaluate.FidelityColumns = 4;
+        Tasks.push_back(Task);
+      }
+    return Tasks;
+  };
+  const std::vector<TaskSpec> Tasks = SweepTasks();
+
+  Table Tiers({"scenario", "tasks", "wall_s", "gc_solves", "disk_hits",
+               "evictions", "peak_bytes", "hash_ok"});
+  std::vector<uint64_t> ColdHashes;
+  auto RunScenario = [&](const char *Name, const ServiceOptions &Options,
+                         size_t ExpectedSolves) {
+    SimulationService Service(Options);
+    std::vector<uint64_t> Hashes;
+    Timer Wall;
+    for (const TaskSpec &Task : Tasks) {
+      std::optional<TaskResult> R = Service.run(Task);
+      if (!R) {
+        std::cerr << "ERROR: " << Name << " scenario failed a task\n";
+        Ok = false;
+        return;
+      }
+      Hashes.push_back(R->Batch.batchHash());
+    }
+    double Seconds = Wall.seconds();
+    bool HashOk = ColdHashes.empty() || Hashes == ColdHashes;
+    if (ColdHashes.empty())
+      ColdHashes = Hashes;
+    if (!HashOk) {
+      std::cerr << "ERROR: " << Name
+                << " scenario diverged from the cold run\n";
+      Ok = false;
+    }
+    CacheStats S = Service.stats();
+    ArtifactStore::Stats Store = Service.storeStats();
+    if (ExpectedSolves != size_t(-1) && S.GCSolveMisses != ExpectedSolves) {
+      std::cerr << "ERROR: " << Name << " scenario expected "
+                << ExpectedSolves << " GC solve(s), got " << S.GCSolveMisses
+                << "\n";
+      Ok = false;
+    }
+    Tiers.row(Name, Tasks.size(), formatDouble(Seconds, 4), S.GCSolveMisses,
+              Store.DiskHits, Store.Evictions, Store.PeakBytes,
+              HashOk ? "yes" : "NO");
+  };
+
+  ServiceOptions ColdOptions;
+  ColdOptions.CacheDir = StoreDir;
+  RunScenario("cold", ColdOptions, 1);
+  // Warm: a fresh service over the now-populated disk tier — zero solves.
+  RunScenario("warm", ColdOptions, 0);
+  // Capped: a one-byte budget evicts every artifact after use; the disk
+  // tier must keep the sweep at zero solves, bit-identically.
+  ServiceOptions CappedOptions = ColdOptions;
+  CappedOptions.CacheLimitBytes = 1;
+  RunScenario("capped", CappedOptions, 0);
+  // Memory-capped with no disk tier: eviction costs real re-solves, the
+  // honest price of a budget without persistence (the solve count is
+  // informational — it depends on the eviction cascade). Bits must still
+  // match.
+  ServiceOptions UncachedCapped;
+  UncachedCapped.CacheLimitBytes = 1;
+  RunScenario("capped-nodisk", UncachedCapped, size_t(-1));
+  Tiers.printCSV(std::cout);
+  std::filesystem::remove_all(StoreDir);
 
   std::cerr << (Ok ? "scaling checks passed\n"
                    : "SCALING CHECKS FAILED\n");

@@ -7,6 +7,7 @@
 #include "core/CompilerEngine.h"
 
 #include "stats/Stats.h"
+#include "support/Serial.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
@@ -236,14 +237,9 @@ ShotPlan SparStoStrategy::produce(ShotContext &Ctx) const {
 
 /// FNV-1a over the byte representation of the index sequence.
 static uint64_t hashSequence(const std::vector<size_t> &Sequence) {
-  uint64_t H = 0xcbf29ce484222325ULL;
-  for (size_t Value : Sequence) {
-    uint64_t V = static_cast<uint64_t>(Value);
-    for (unsigned Byte = 0; Byte < 8; ++Byte) {
-      H ^= (V >> (8 * Byte)) & 0xFF;
-      H *= 0x100000001b3ULL;
-    }
-  }
+  uint64_t H = serial::FNVOffset;
+  for (size_t Value : Sequence)
+    H = serial::fnv1aWord(static_cast<uint64_t>(Value), H);
   return H;
 }
 
@@ -265,14 +261,14 @@ static SummaryStat toSummary(const RunningStats &Stats) {
   return S;
 }
 
-uint64_t BatchResult::batchHash() const {
-  uint64_t H = 0xcbf29ce484222325ULL;
-  for (const ShotSummary &S : Shots) {
-    H ^= S.SequenceHash;
-    H *= 0x100000001b3ULL;
-  }
+uint64_t marqsim::hashShotSummaries(const std::vector<ShotSummary> &Shots) {
+  uint64_t H = serial::FNVOffset;
+  for (const ShotSummary &S : Shots)
+    H = serial::fnv1aMixWord(H, S.SequenceHash);
   return H;
 }
+
+uint64_t BatchResult::batchHash() const { return hashShotSummaries(Shots); }
 
 void BatchResult::recomputeAggregates() {
   TotalCancelledCNOTs = 0;

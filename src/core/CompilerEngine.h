@@ -229,6 +229,12 @@ struct ShotSummary {
   uint64_t SequenceHash = 0;
 };
 
+/// Order-sensitive hash chain over per-shot sequence hashes. The one
+/// implementation behind BatchResult::batchHash and the shard manifests'
+/// range hash — they must stay bit-identical for merged manifests to
+/// validate, so they share this helper instead of a sync-by-comment.
+uint64_t hashShotSummaries(const std::vector<ShotSummary> &Shots);
+
 /// Everything a batch produces.
 struct BatchResult {
   std::string StrategyName;

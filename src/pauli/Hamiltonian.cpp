@@ -6,6 +6,7 @@
 
 #include "pauli/Hamiltonian.h"
 
+#include "support/Serial.h"
 #include "support/Table.h"
 
 #include <cmath>
@@ -66,23 +67,13 @@ uint64_t Hamiltonian::fingerprint() const {
   // Hash the merged form: merged() sorts terms by Pauli string, so the
   // sequential FNV walk below is automatically insensitive to the input
   // term order and to split/duplicated terms that merge back together.
-  auto Mix = [](uint64_t H, uint64_t V) {
-    for (unsigned Byte = 0; Byte < 8; ++Byte) {
-      H ^= (V >> (8 * Byte)) & 0xFF;
-      H *= 0x100000001b3ULL;
-    }
-    return H;
-  };
-  uint64_t H = 0xcbf29ce484222325ULL;
-  H = Mix(H, NQubits);
+  uint64_t H = serial::FNVOffset;
+  H = serial::fnv1aWord(NQubits, H);
   const Hamiltonian Canonical = merged();
   for (const PauliTerm &T : Canonical.Terms) {
-    uint64_t CoeffBits;
-    static_assert(sizeof(CoeffBits) == sizeof(T.Coeff), "double width");
-    std::memcpy(&CoeffBits, &T.Coeff, sizeof(CoeffBits));
-    H = Mix(H, CoeffBits);
-    H = Mix(H, T.String.xMask());
-    H = Mix(H, T.String.zMask());
+    H = serial::fnv1aWord(serial::doubleBits(T.Coeff), H);
+    H = serial::fnv1aWord(T.String.xMask(), H);
+    H = serial::fnv1aWord(T.String.zMask(), H);
   }
   return H;
 }

@@ -9,17 +9,11 @@
 #include "hamgen/Registry.h"
 #include "pauli/HamiltonianIO.h"
 #include "stats/Stats.h"
-#include "support/Serial.h"
+#include "store/Codecs.h"
 
-#include <unistd.h>
-
-#include <cinttypes>
-#include <cstdio>
-#include <cstring>
-#include <filesystem>
-#include <fstream>
+#include <algorithm>
 #include <functional>
-#include <sstream>
+#include <mutex>
 
 using namespace marqsim;
 
@@ -41,85 +35,10 @@ CacheStats &CacheStats::operator+=(const CacheStats &O) {
 }
 
 //===----------------------------------------------------------------------===//
-// Key formatting
-//===----------------------------------------------------------------------===//
-
-namespace {
-
-using serial::doubleBits;
-
-void appendHex(std::string &S, uint64_t V) {
-  S += '-';
-  S += serial::hex16(V);
-}
-
-/// File-name-safe content key of the gate-cancellation solve.
-std::string gcKey(uint64_t Fingerprint, const MCFPOptions &Flow) {
-  std::string Key = "gc";
-  appendHex(Key, Fingerprint);
-  appendHex(Key, static_cast<uint64_t>(Flow.ProbScale));
-  appendHex(Key, static_cast<uint64_t>(Flow.CostScale));
-  return Key;
-}
-
-/// Content key of the random-perturbation solve.
-std::string rpKey(uint64_t Fingerprint, const MCFPOptions &Flow,
-                  unsigned Rounds, uint64_t PerturbSeed) {
-  std::string Key = "rp";
-  appendHex(Key, Fingerprint);
-  appendHex(Key, static_cast<uint64_t>(Flow.ProbScale));
-  appendHex(Key, static_cast<uint64_t>(Flow.CostScale));
-  appendHex(Key, Rounds);
-  appendHex(Key, PerturbSeed);
-  return Key;
-}
-
-/// Content key of a graph + alias-table bundle. Fields that cannot affect
-/// the artifact (flow options under a pure-qDrift mix, perturbation knobs
-/// when WRp == 0) are normalized to zero so irrelevant flag changes never
-/// force a rebuild.
-std::string graphKey(uint64_t Fingerprint, const ChannelMix &Mix,
-                     const MCFPOptions &Flow, unsigned Rounds,
-                     uint64_t PerturbSeed, bool UseCDF) {
-  bool NeedsFlow = Mix.WGc > 0.0 || Mix.WRp > 0.0;
-  bool NeedsPerturb = Mix.WRp > 0.0;
-  std::string Key = "graph";
-  appendHex(Key, Fingerprint);
-  appendHex(Key, doubleBits(Mix.WQd));
-  appendHex(Key, doubleBits(Mix.WGc));
-  appendHex(Key, doubleBits(Mix.WRp));
-  appendHex(Key, NeedsFlow ? static_cast<uint64_t>(Flow.ProbScale) : 0);
-  appendHex(Key, NeedsFlow ? static_cast<uint64_t>(Flow.CostScale) : 0);
-  appendHex(Key, NeedsPerturb ? Rounds : 0);
-  appendHex(Key, NeedsPerturb ? PerturbSeed : 0);
-  Key += UseCDF ? "-cdf" : "-alias";
-  return Key;
-}
-
-std::string evalKey(uint64_t Fingerprint, double T, size_t Columns,
-                    uint64_t ColumnSeed) {
-  std::string Key = "eval";
-  appendHex(Key, Fingerprint);
-  appendHex(Key, doubleBits(T));
-  appendHex(Key, Columns);
-  appendHex(Key, ColumnSeed);
-  return Key;
-}
-
-} // namespace
-
-//===----------------------------------------------------------------------===//
 // SimulationService::Impl
 //===----------------------------------------------------------------------===//
 
 namespace {
-
-/// One cached artifact: computed at most once per service, concurrent
-/// requesters of the same key block on the in-flight computation.
-template <typename T> struct Slot {
-  std::once_flag Once;
-  std::shared_ptr<const T> Value;
-};
 
 /// An HTT graph plus the sampling tables built over it. The base strategy
 /// carries the alias (or CDF) tables; tasks re-target it to their own
@@ -130,27 +49,26 @@ struct GraphBundle {
   bool Valid = false; // Theorem 4.1 validation, checked once at build
 };
 
-template <typename T>
-using SlotMap = std::map<std::string, std::shared_ptr<Slot<T>>>;
+/// Builds a bundle over \p P — the one construction path shared by the
+/// compute and disk-decode tiers, so a reloaded matrix reproduces the
+/// computed bundle exactly (alias-table construction is a deterministic
+/// function of the matrix bits).
+GraphBundle makeBundle(const Hamiltonian &H, TransitionMatrix P,
+                       const TaskSpec &Spec) {
+  GraphBundle B;
+  B.Graph = std::make_shared<const HTTGraph>(H, std::move(P));
+  B.Valid = B.Graph->isValidForCompilation();
+  if (B.Valid)
+    B.Base = std::make_shared<const SamplingStrategy>(
+        B.Graph, Spec.Time, Spec.Epsilon, Spec.UseCDF);
+  return B;
+}
 
-template <typename T, typename ComputeFn>
-std::shared_ptr<const T> getOrCompute(SlotMap<T> &Map, std::mutex &MapMutex,
-                                      const std::string &Key,
-                                      ComputeFn Compute, bool &WasComputed) {
-  std::shared_ptr<Slot<T>> S;
-  {
-    std::lock_guard<std::mutex> Lock(MapMutex);
-    std::shared_ptr<Slot<T>> &Ref = Map[Key];
-    if (!Ref)
-      Ref = std::make_shared<Slot<T>>();
-    S = Ref;
-  }
-  WasComputed = false;
-  std::call_once(S->Once, [&] {
-    S->Value = Compute();
-    WasComputed = true;
-  });
-  return S->Value;
+/// LRU charge of a bundle: the combined matrix (8 bytes/entry) plus the
+/// alias or CDF row tables (~12 bytes/entry) plus per-state vectors.
+size_t bundleBytes(const GraphBundle &B) {
+  size_t N = B.Graph->numStates();
+  return N * N * 20 + N * 32;
 }
 
 } // namespace
@@ -158,17 +76,17 @@ std::shared_ptr<const T> getOrCompute(SlotMap<T> &Map, std::mutex &MapMutex,
 struct SimulationService::Impl {
   ServiceOptions Options;
 
-  std::mutex MatrixMutex;
-  SlotMap<TransitionMatrix> Matrices;
-
-  std::mutex GraphMutex;
-  SlotMap<GraphBundle> Graphs;
-
-  std::mutex EvalMutex;
-  SlotMap<FidelityEvaluator> Evaluators;
+  /// The one cache of the service: every artifact type resolves through
+  /// this tiered store (no per-type maps).
+  ArtifactStore Store;
 
   mutable std::mutex StatsMutex;
   CacheStats Total;
+
+  explicit Impl(ServiceOptions O)
+      : Options(std::move(O)),
+        Store(ArtifactStore::Options{Options.CacheDir,
+                                     Options.CacheLimitBytes}) {}
 
   void note(const CacheStats &Delta, CacheStats *Local) {
     if (Local)
@@ -178,122 +96,38 @@ struct SimulationService::Impl {
   }
 
   //===--------------------------------------------------------------------===//
-  // Persistent component store
-  //===--------------------------------------------------------------------===//
-
-  std::filesystem::path diskPath(const std::string &Key) const {
-    return std::filesystem::path(Options.CacheDir) / (Key + ".mat");
-  }
-
-  /// Loads a matrix stored by storeMatrix. The entries are raw IEEE-754
-  /// bit patterns in hex, so the round trip is exact. Any anomaly — a
-  /// checksum that does not match the payload (truncation, bit flips), a
-  /// dimension that disagrees with \p ExpectedN (the term count is known
-  /// from the Hamiltonian, so a mismatch means a stale or corrupt file),
-  /// malformed hex, trailing garbage — returns nullopt and the caller
-  /// re-solves, overwriting the bad artifact.
-  std::optional<TransitionMatrix> loadMatrix(const std::string &Key,
-                                             size_t ExpectedN) const {
-    if (Options.CacheDir.empty())
-      return std::nullopt;
-    std::ifstream In(diskPath(Key));
-    if (!In)
-      return std::nullopt;
-    std::ostringstream Buf;
-    Buf << In.rdbuf();
-
-    // Verify the trailing checksum before trusting any entry: the hex
-    // payload would happily parse with a flipped bit, silently changing
-    // the transition matrix and everything downstream of it.
-    std::string Body;
-    if (!serial::splitChecksummed(Buf.str(), Body))
-      return std::nullopt;
-
-    std::istringstream Rows(Body);
-    std::string Magic;
-    size_t N = 0;
-    if (!(Rows >> Magic >> N) || Magic != "marqsim-matrix-v2" ||
-        N != ExpectedN || N == 0)
-      return std::nullopt;
-    TransitionMatrix P(N);
-    for (size_t I = 0; I < N; ++I)
-      for (size_t J = 0; J < N; ++J) {
-        std::string Word;
-        uint64_t Bits = 0;
-        if (!(Rows >> Word) || Word.size() != 16 ||
-            !serial::parseHex64(Word, Bits))
-          return std::nullopt;
-        P.at(I, J) = serial::bitsToDouble(Bits);
-      }
-    std::string Trailing;
-    if (Rows >> Trailing)
-      return std::nullopt;
-    return P;
-  }
-
-  void storeMatrix(const std::string &Key, const TransitionMatrix &P) const {
-    if (Options.CacheDir.empty())
-      return;
-    std::error_code EC;
-    std::filesystem::create_directories(Options.CacheDir, EC);
-    if (EC)
-      return;
-    std::ostringstream Body;
-    Body << "marqsim-matrix-v2 " << P.size() << "\n";
-    for (size_t I = 0; I < P.size(); ++I) {
-      for (size_t J = 0; J < P.size(); ++J)
-        Body << serial::hex16(doubleBits(P.at(I, J)))
-             << (J + 1 == P.size() ? "" : " ");
-      Body << "\n";
-    }
-    // Write-then-rename keeps concurrent processes from reading torn
-    // files; the store is best-effort (failures just mean a re-solve).
-    std::filesystem::path Final = diskPath(Key);
-    std::filesystem::path Tmp = Final;
-    Tmp += "." + std::to_string(::getpid()) + ".tmp";
-    {
-      std::ofstream Out(Tmp);
-      if (!Out)
-        return;
-      Out << serial::withChecksum(Body.str());
-      if (!Out)
-        return;
-    }
-    std::filesystem::rename(Tmp, Final, EC);
-    if (EC)
-      std::filesystem::remove(Tmp, EC);
-  }
-
-  //===--------------------------------------------------------------------===//
   // Cached resolution
   //===--------------------------------------------------------------------===//
 
-  /// Resolves one MCFP component (Pgc or Prp) through the in-memory and
-  /// on-disk stores. \p Solve runs at most once per key per process, and
-  /// not at all when the disk store has the artifact.
+  /// Resolves one MCFP component (Pgc or Prp) through the store. \p Solve
+  /// runs at most once per key per process, and not at all when the disk
+  /// tier has the artifact.
   std::shared_ptr<const TransitionMatrix>
-  component(const std::string &Key, size_t ExpectedN, bool IsGC,
+  component(const ArtifactKey &Key, size_t ExpectedN, bool IsGC,
             const std::function<TransitionMatrix()> &Solve,
             CacheStats *Local) {
+    ArtifactCodec<TransitionMatrix> Codec;
+    Codec.Encode = [](const TransitionMatrix &P) {
+      return store::encodeMatrixBody(store::MatrixMagic, P);
+    };
+    Codec.Decode = [ExpectedN](const std::string &Body) {
+      return store::decodeMatrixBody(store::MatrixMagic, ExpectedN, Body);
+    };
+    Codec.Size = store::matrixBytes;
+    ArtifactStore::Outcome Out;
+    auto Value = Store.get<TransitionMatrix>(Key, Codec, Solve, &Out);
     CacheStats Delta;
-    bool Computed = false;
-    auto Value = getOrCompute<TransitionMatrix>(
-        Matrices, MatrixMutex, Key, [&]() {
-          if (std::optional<TransitionMatrix> Disk =
-                  loadMatrix(Key, ExpectedN)) {
-            Delta.DiskLoads++;
-            (IsGC ? Delta.GCSolveHits : Delta.RPSolveHits)++;
-            return std::make_shared<const TransitionMatrix>(
-                std::move(*Disk));
-          }
-          (IsGC ? Delta.GCSolveMisses : Delta.RPSolveMisses)++;
-          auto P = std::make_shared<const TransitionMatrix>(Solve());
-          storeMatrix(Key, *P);
-          return P;
-        },
-        Computed);
-    if (!Computed)
+    switch (Out) {
+    case ArtifactStore::Outcome::Computed:
+      (IsGC ? Delta.GCSolveMisses : Delta.RPSolveMisses)++;
+      break;
+    case ArtifactStore::Outcome::DiskHit:
+      Delta.DiskLoads++;
+      [[fallthrough]];
+    case ArtifactStore::Outcome::MemoryHit:
       (IsGC ? Delta.GCSolveHits : Delta.RPSolveHits)++;
+      break;
+    }
     note(Delta, Local);
     return Value;
   }
@@ -319,8 +153,8 @@ struct SimulationService::Impl {
       Weights.push_back(Mix.WQd);
     }
     if (Mix.WGc > 0.0) {
-      GC = component(gcKey(Fingerprint, Spec.Flow), H.numTerms(),
-                     /*IsGC=*/true,
+      GC = component(store::componentKeyGC(Fingerprint, Spec.Flow),
+                     H.numTerms(), /*IsGC=*/true,
                      [&] { return buildGateCancellation(H, Spec.Flow); },
                      Local);
       Parts.push_back(GC.get());
@@ -328,7 +162,8 @@ struct SimulationService::Impl {
     }
     if (Mix.WRp > 0.0) {
       RP = component(
-          rpKey(Fingerprint, Spec.Flow, Spec.PerturbRounds, Spec.PerturbSeed),
+          store::componentKeyRP(Fingerprint, Spec.Flow, Spec.PerturbRounds,
+                                Spec.PerturbSeed),
           H.numTerms(), /*IsGC=*/false,
           [&] {
             RNG PerturbRng(Spec.PerturbSeed);
@@ -344,31 +179,70 @@ struct SimulationService::Impl {
     return TransitionMatrix::combine(Parts, Weights);
   }
 
-  /// Resolves the graph + sampling-table bundle of a sampling spec.
+  /// Resolves the graph + sampling-table bundle of a sampling spec. The
+  /// disk tier persists the combined matrix, so a warm store skips the
+  /// whole provenance chain (component solves + convex combination); a
+  /// disk hit therefore also credits the component hits it made
+  /// unnecessary.
   std::shared_ptr<const GraphBundle> bundle(const Hamiltonian &H,
                                             uint64_t Fingerprint,
                                             const TaskSpec &Spec,
                                             const ChannelMix &Mix,
                                             CacheStats *Local) {
-    std::string Key = graphKey(Fingerprint, Mix, Spec.Flow,
-                               Spec.PerturbRounds, Spec.PerturbSeed,
-                               Spec.UseCDF);
-    CacheStats Delta;
-    bool Computed = false;
-    auto Value = getOrCompute<GraphBundle>(
-        Graphs, GraphMutex, Key, [&]() {
-          auto B = std::make_shared<GraphBundle>();
-          TransitionMatrix P =
-              combinedMatrix(H, Fingerprint, Spec, Mix, Local);
-          B->Graph = std::make_shared<const HTTGraph>(H, std::move(P));
-          B->Valid = B->Graph->isValidForCompilation();
-          if (B->Valid)
-            B->Base = std::make_shared<const SamplingStrategy>(
-                B->Graph, Spec.Time, Spec.Epsilon, Spec.UseCDF);
-          return B;
+    ArtifactKey Key = store::aliasBundleKey(
+        Fingerprint, Mix.WQd, Mix.WGc, Mix.WRp, Spec.Flow,
+        Spec.PerturbRounds, Spec.PerturbSeed, Spec.UseCDF);
+    // Only flow-backed bundles are worth a disk file: a pure-qDrift
+    // matrix rebuilds in O(n^2) with no solve to skip.
+    const bool FlowBacked =
+        H.numTerms() >= 2 && (Mix.WGc > 0.0 || Mix.WRp > 0.0);
+    ArtifactCodec<GraphBundle> Codec;
+    Codec.Size = bundleBytes;
+    if (FlowBacked) {
+      Codec.Encode = [](const GraphBundle &B) {
+        // Never persist a matrix that failed Theorem 4.1: a warm store
+        // must only ever skip work, not launder invalid artifacts.
+        if (!B.Valid)
+          return std::string();
+        return store::encodeMatrixBody(store::AliasMagic,
+                                       B.Graph->transitionMatrix());
+      };
+      Codec.Decode =
+          [&H, &Spec](const std::string &Body) -> std::optional<GraphBundle> {
+        std::optional<TransitionMatrix> P = store::decodeMatrixBody(
+            store::AliasMagic, H.numTerms(), Body);
+        if (!P)
+          return std::nullopt;
+        return makeBundle(H, std::move(*P), Spec);
+      };
+    }
+    ArtifactStore::Outcome Out;
+    auto Value = Store.get<GraphBundle>(
+        Key, Codec,
+        [&] {
+          return makeBundle(
+              H, combinedMatrix(H, Fingerprint, Spec, Mix, Local), Spec);
         },
-        Computed);
-    (Computed ? Delta.GraphMisses : Delta.GraphHits)++;
+        &Out);
+    CacheStats Delta;
+    switch (Out) {
+    case ArtifactStore::Outcome::Computed:
+      Delta.GraphMisses++;
+      break;
+    case ArtifactStore::Outcome::DiskHit:
+      Delta.GraphHits++;
+      Delta.DiskLoads++;
+      // The components never had to be resolved: credit the avoided
+      // solves so "hits" keeps meaning "solves the cache saved us".
+      if (Mix.WGc > 0.0)
+        Delta.GCSolveHits++;
+      if (Mix.WRp > 0.0)
+        Delta.RPSolveHits++;
+      break;
+    case ArtifactStore::Outcome::MemoryHit:
+      Delta.GraphHits++;
+      break;
+    }
     note(Delta, Local);
     return Value;
   }
@@ -376,19 +250,42 @@ struct SimulationService::Impl {
   std::shared_ptr<const FidelityEvaluator>
   evaluator(const Hamiltonian &H, uint64_t Fingerprint, const TaskSpec &Spec,
             CacheStats *Local) {
-    std::string Key =
-        evalKey(Fingerprint, Spec.Time, Spec.Evaluate.FidelityColumns,
-                Spec.Evaluate.ColumnSeed);
-    CacheStats Delta;
-    bool Computed = false;
-    auto Value = getOrCompute<FidelityEvaluator>(
-        Evaluators, EvalMutex, Key, [&]() {
-          return std::make_shared<const FidelityEvaluator>(
-              H, Spec.Time, Spec.Evaluate.FidelityColumns,
-              Spec.Evaluate.ColumnSeed);
+    ArtifactKey Key = store::fidelityColumnsKey(
+        Fingerprint, Spec.Time, Spec.Evaluate.FidelityColumns,
+        Spec.Evaluate.ColumnSeed);
+    // The computing constructor clamps to "all columns" past 2^n; the
+    // stored artifact holds the clamped count.
+    const size_t Dim = size_t(1) << H.numQubits();
+    const size_t ExpectedColumns =
+        std::min(Spec.Evaluate.FidelityColumns, Dim);
+    ArtifactCodec<FidelityEvaluator> Codec;
+    Codec.Encode = store::encodeFidelityBody;
+    Codec.Decode = [NQubits = H.numQubits(),
+                    ExpectedColumns](const std::string &Body) {
+      return store::decodeFidelityBody(NQubits, ExpectedColumns, Body);
+    };
+    Codec.Size = store::fidelityBytes;
+    ArtifactStore::Outcome Out;
+    auto Value = Store.get<FidelityEvaluator>(
+        Key, Codec,
+        [&] {
+          return FidelityEvaluator(H, Spec.Time,
+                                   Spec.Evaluate.FidelityColumns,
+                                   Spec.Evaluate.ColumnSeed);
         },
-        Computed);
-    (Computed ? Delta.EvaluatorMisses : Delta.EvaluatorHits)++;
+        &Out);
+    CacheStats Delta;
+    switch (Out) {
+    case ArtifactStore::Outcome::Computed:
+      Delta.EvaluatorMisses++;
+      break;
+    case ArtifactStore::Outcome::DiskHit:
+      Delta.DiskLoads++;
+      [[fallthrough]];
+    case ArtifactStore::Outcome::MemoryHit:
+      Delta.EvaluatorHits++;
+      break;
+    }
     note(Delta, Local);
     return Value;
   }
@@ -399,9 +296,7 @@ struct SimulationService::Impl {
 //===----------------------------------------------------------------------===//
 
 SimulationService::SimulationService(ServiceOptions Opts)
-    : M(std::make_unique<Impl>()) {
-  M->Options = std::move(Opts);
-}
+    : M(std::make_unique<Impl>(std::move(Opts))) {}
 
 SimulationService::~SimulationService() = default;
 
@@ -467,6 +362,32 @@ SimulationService::graphFor(const TaskSpec &Spec, std::string *Error) {
   return Bundle->Graph;
 }
 
+bool SimulationService::prewarm(const TaskSpec &Spec, std::string *Error) {
+  std::string Validation;
+  if (!Spec.validate(&Validation))
+    return detail::fail(Error, Validation);
+  // Resolve exactly as run() would (sampling canonicalizes, the Trotter
+  // family does not), so the warmed keys are the keys the run will ask
+  // for.
+  bool Canonical = Spec.Method == TaskMethod::Sampling;
+  std::optional<Hamiltonian> H =
+      resolveHamiltonian(Spec.Source, Error, Canonical);
+  if (!H)
+    return false;
+  const uint64_t Fingerprint = H->fingerprint();
+  if (Spec.Method == TaskMethod::Sampling) {
+    ChannelMix Mix = Spec.Mix;
+    Mix.normalize();
+    auto Bundle = M->bundle(*H, Fingerprint, Spec, Mix, nullptr);
+    if (!Bundle->Valid)
+      return detail::fail(Error,
+                          "transition matrix failed Theorem 4.1 validation");
+  }
+  if (Spec.Evaluate.FidelityColumns > 0)
+    M->evaluator(*H, Fingerprint, Spec, nullptr);
+  return true;
+}
+
 std::optional<TaskResult> SimulationService::run(const TaskSpec &Spec,
                                                  std::string *Error) {
   return run(Spec, ShotRange{0, Spec.Shots}, Error);
@@ -480,7 +401,9 @@ std::optional<TaskResult> SimulationService::run(const TaskSpec &Spec,
     detail::fail(Error, Validation);
     return std::nullopt;
   }
-  if (Range.Count < 1 || Range.end() > Spec.Shots) {
+  // Overflow-safe: Range.end() could wrap for adversarial Begin/Count.
+  if (Range.Count < 1 || Range.Begin > Spec.Shots ||
+      Range.Count > Spec.Shots - Range.Begin) {
     detail::fail(Error, "shot range [" + std::to_string(Range.Begin) + ", " +
                             std::to_string(Range.end()) +
                             ") is empty or exceeds the task's " +
@@ -558,13 +481,17 @@ std::optional<TaskResult> SimulationService::run(const TaskSpec &Spec,
   Req.Seed = Spec.Seed;
   Req.Opts = Spec.Lowering;
   Req.KeepResults = Spec.Evaluate.KeepResults;
+  // Deterministic strategies replicate one compiled shot across the
+  // batch, so their fidelity is evaluated once and replicated too — not
+  // recomputed per shot on the identical schedule.
+  const bool EvalOnce = Eval && Strategy->isDeterministic();
   if (Eval || WantShotZero) {
     // In-worker evaluation: each shot's fidelity is computed on the
     // worker that compiled it (the evaluator is immutable, the fidelity
     // a pure function of the schedule), writing to the shot's own slot.
     // The hook's index is range-relative, matching the result vectors.
     Req.PerShot = [&](size_t Shot, const CompilationResult &R) {
-      if (Eval)
+      if (Eval && (!EvalOnce || Shot == 0))
         Result.ShotFidelities[Shot] = Eval->fidelity(R.Schedule);
       if (WantShotZero && Shot == 0)
         Result.ShotZero = R; // single writer: shot 0's worker only
@@ -574,6 +501,9 @@ std::optional<TaskResult> SimulationService::run(const TaskSpec &Spec,
   CompilerEngine Engine;
   Result.Batch = Engine.compileBatch(Req);
   Result.HasShotZero = WantShotZero;
+  if (EvalOnce)
+    std::fill(Result.ShotFidelities.begin() + 1, Result.ShotFidelities.end(),
+              Result.ShotFidelities.front());
 
   if (Eval) {
     RunningStats Fids;
@@ -590,4 +520,8 @@ std::optional<TaskResult> SimulationService::run(const TaskSpec &Spec,
 CacheStats SimulationService::stats() const {
   std::lock_guard<std::mutex> Lock(M->StatsMutex);
   return M->Total;
+}
+
+ArtifactStore::Stats SimulationService::storeStats() const {
+  return M->Store.stats();
 }

@@ -26,9 +26,16 @@
 ///
 /// A ratio sweep over N channel mixes therefore performs exactly one
 /// gate-cancellation MCFP solve per (Hamiltonian, MCFPOptions) — the
-/// combination step is the only per-mix work. MCFP component matrices can
-/// additionally persist to a directory (ServiceOptions::CacheDir), so the
-/// amortization carries across CLI invocations and processes.
+/// combination step is the only per-mix work. Every artifact type —
+/// component matrices, combined alias-bundle matrices, and fidelity target
+/// columns — can additionally persist to a directory
+/// (ServiceOptions::CacheDir), so the amortization carries across CLI
+/// invocations and processes.
+///
+/// All caching goes through one tiered ArtifactStore (store/ArtifactStore.h):
+/// a size-accounted in-memory LRU (ServiceOptions::CacheLimitBytes) over
+/// the optional disk tier, with store-level single-flight — the service
+/// itself holds no per-type cache maps.
 ///
 /// Fidelity is evaluated inside the batch workers through the PerShot
 /// hook: the evaluator is immutable after construction, so TaskSpec::Jobs
@@ -43,10 +50,9 @@
 #include "core/CompilerEngine.h"
 #include "service/TaskSpec.h"
 #include "sim/Fidelity.h"
+#include "store/ArtifactStore.h"
 
-#include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
@@ -55,7 +61,9 @@ namespace marqsim {
 /// Hit/miss accounting of the service caches. "Hits" include entries
 /// computed once and reused by a concurrent caller (the second caller
 /// blocks on the in-flight computation instead of duplicating it) and
-/// component matrices loaded from the on-disk store.
+/// artifacts loaded from the on-disk store. A disk-loaded alias bundle
+/// also counts as a hit for the MCFP components it transitively avoids
+/// resolving — the solve was skipped thanks to the cache either way.
 struct CacheStats {
   /// Gate-cancellation MCFP solves avoided / performed.
   size_t GCSolveHits = 0;
@@ -73,8 +81,8 @@ struct CacheStats {
   size_t EvaluatorHits = 0;
   size_t EvaluatorMisses = 0;
 
-  /// Component matrices satisfied from the on-disk store (also counted
-  /// in the corresponding *Hits above).
+  /// Artifacts satisfied from the on-disk store (also counted in the
+  /// corresponding *Hits above).
   size_t DiskLoads = 0;
 
   /// Total MCFP-level accounting (the ROADMAP's "cache min-cost-flow
@@ -114,9 +122,18 @@ struct TaskResult {
 
 /// Service-level configuration.
 struct ServiceOptions {
-  /// Directory for the persistent component-matrix store; empty keeps
-  /// caching in-memory only. Created on demand.
+  /// Directory for the persistent artifact store (component matrices,
+  /// alias bundles, fidelity columns); empty keeps caching in-memory
+  /// only. Created on demand. Entry points should pre-validate with
+  /// ArtifactStore::validateCacheDir so a bad path fails loudly instead
+  /// of silently running uncached.
   std::string CacheDir;
+
+  /// In-memory cache budget in bytes; 0 means unbounded. Artifacts are
+  /// charged their actual footprint and evicted least-recently-used;
+  /// eviction never changes results (artifacts are pure content
+  /// functions, recomputed or disk-reloaded bit-identically).
+  size_t CacheLimitBytes = 0;
 };
 
 /// The declarative, cached front-end over CompilerEngine. Thread-safe:
@@ -170,8 +187,20 @@ public:
   resolveHamiltonian(const HamiltonianSource &S, std::string *Error = nullptr,
                      bool Canonicalize = true);
 
+  /// Resolves every deterministic artifact of \p Spec through the store
+  /// without compiling any shot: the alias bundle (with its MCFP
+  /// components) for sampling specs, and the fidelity target columns when
+  /// Evaluate.FidelityColumns > 0. With a CacheDir configured this
+  /// persists all artifact types, so e.g. a shard coordinator can warm
+  /// the store once and have every worker hit disk instead of solving.
+  /// Returns false on invalid specs or Theorem 4.1 validation failures.
+  bool prewarm(const TaskSpec &Spec, std::string *Error = nullptr);
+
   /// Cumulative cache accounting across every task this service ran.
   CacheStats stats() const;
+
+  /// Store-level accounting: tier hits, evictions, byte charges.
+  ArtifactStore::Stats storeStats() const;
 
 private:
   struct Impl;

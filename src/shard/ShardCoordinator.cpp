@@ -44,7 +44,8 @@ std::string intFlag(const char *Name, uint64_t Value) {
 std::optional<std::vector<std::string>> ShardCoordinator::workerArgs(
     const std::string &Binary, const TaskSpec &Spec, unsigned Index,
     unsigned Count, const std::string &ManifestPath,
-    const std::string &CacheDir, std::string *Error) {
+    const std::string &CacheDir, size_t CacheLimitBytes,
+    std::string *Error) {
   auto Fail = [&](const std::string &Message) {
     detail::fail(Error, "shard worker: " + Message);
     return std::nullopt;
@@ -98,6 +99,8 @@ std::optional<std::vector<std::string>> ShardCoordinator::workerArgs(
     Argv.push_back("--cdf");
   if (!CacheDir.empty())
     Argv.push_back("--cache-dir=" + CacheDir);
+  if (CacheLimitBytes > 0)
+    Argv.push_back(intFlag("cache-limit-bytes", CacheLimitBytes));
   Argv.push_back(intFlag("shard-index", Index));
   Argv.push_back(intFlag("shard-count", Count));
   Argv.push_back("--shard-out=" + ManifestPath);
@@ -244,6 +247,12 @@ std::optional<TaskResult> ShardCoordinator::run(const TaskSpec &Spec,
                 "ranged single-process run instead");
   if (Options.WorkDir.empty())
     return Fail("a work directory is required");
+  // A broken shared store must fail loudly: silently degrading to
+  // per-worker MCFP solves would violate the one-solve contract without
+  // any visible signal.
+  std::string DirError;
+  if (!ArtifactStore::validateCacheDir(Options.CacheDir, &DirError))
+    return Fail(DirError);
   std::error_code EC;
   std::filesystem::create_directories(Options.WorkDir, EC);
   if (EC)
@@ -265,16 +274,27 @@ std::optional<TaskResult> ShardCoordinator::run(const TaskSpec &Spec,
 
   ServiceOptions LocalOptions;
   LocalOptions.CacheDir = Options.CacheDir;
+  LocalOptions.CacheLimitBytes = Options.CacheLimitBytes;
   SimulationService LocalService(LocalOptions);
-  if (!InProcess && Spec.Method == TaskMethod::Sampling) {
+  if (!InProcess) {
+    // Reject inexpressible specs (non-sampling methods, inline sources,
+    // oversized seeds) before spending any pre-warm work on them: the
+    // fidelity-column evolution alone can dwarf the whole run.
+    if (!workerArgs(Options.WorkerBinary, Spec, 0, static_cast<unsigned>(K),
+                    manifestPath(Options.WorkDir, 0), Options.CacheDir,
+                    Options.CacheLimitBytes, Error))
+      return std::nullopt;
     if (Options.CacheDir.empty()) {
       R.Notes.push_back("no cache directory: every worker performs its own "
                         "MCFP solves");
     } else {
-      // Pre-warm the shared store so the whole sharded run costs exactly
-      // one solve per component; this also front-loads the Theorem 4.1
-      // validation before any process is spawned.
-      if (!LocalService.graphFor(Spec, Error))
+      // Pre-warm the shared store with every artifact type the workers
+      // will ask for — the alias bundle (with its MCFP components) and
+      // the fidelity target columns — so the whole sharded run costs one
+      // solve per component and one column evolution total. This also
+      // front-loads the Theorem 4.1 validation before any process is
+      // spawned.
+      if (!LocalService.prewarm(Spec, Error))
         return std::nullopt;
       R.LocalStats = LocalService.stats();
     }
@@ -362,7 +382,7 @@ std::optional<TaskResult> ShardCoordinator::run(const TaskSpec &Spec,
         std::optional<std::vector<std::string>> Argv = workerArgs(
             Options.WorkerBinary, Spec, static_cast<unsigned>(I),
             static_cast<unsigned>(K), manifestPath(Options.WorkDir, I),
-            Options.CacheDir, Error);
+            Options.CacheDir, Options.CacheLimitBytes, Error);
         if (!Argv)
           return std::nullopt; // inexpressible spec: no round can fix it
         Child.Argv = std::move(*Argv);

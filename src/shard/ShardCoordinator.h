@@ -19,10 +19,13 @@
 /// same shot stream, and concatenating windows in order reproduces the
 /// batch exactly.
 ///
-/// Workers sharing one ServiceOptions::CacheDir also share the MCFP
-/// solves through the on-disk component store; the coordinator pre-warms
-/// that store before launching, so a K-shard run still performs exactly
-/// one gate-cancellation solve per Hamiltonian.
+/// Workers sharing one ServiceOptions::CacheDir also share every
+/// deterministic artifact through the on-disk tier of the ArtifactStore;
+/// the coordinator pre-warms that store before launching
+/// (SimulationService::prewarm), so a K-shard run performs exactly one
+/// gate-cancellation solve per Hamiltonian and every worker loads the
+/// alias bundle and fidelity target columns from disk instead of
+/// rebuilding them.
 ///
 /// Failure handling: manifests are validated (checksum, fingerprint, shot
 /// range, range hash) before merging. A missing, corrupt, truncated, or
@@ -50,10 +53,17 @@ struct ShardOptions {
   /// demand. Valid manifests found here are reused instead of re-run.
   std::string WorkDir;
 
-  /// Shared persistent component store handed to every worker
+  /// Shared persistent artifact store handed to every worker
   /// (--cache-dir). Empty disables cross-process artifact sharing: each
   /// worker then performs its own MCFP solves (correct but wasteful).
+  /// Validated up front: an unwritable path fails the run instead of
+  /// silently degrading to per-worker solves.
   std::string CacheDir;
+
+  /// In-memory cache budget per process (coordinator and workers), in
+  /// bytes; 0 means unbounded. Travels to re-exec'd workers as a hidden
+  /// flag. Eviction never changes results, only recompute counts.
+  size_t CacheLimitBytes = 0;
 
   /// The marqsim-cli binary to re-exec per shard. Empty runs every shard
   /// in-process through one shared service (library use and tests).
@@ -126,13 +136,15 @@ public:
   /// The re-exec command line of one shard worker: the spec-defining
   /// flags (weights, time, and epsilon travel as IEEE-754 bit patterns so
   /// the worker's spec is bit-identical to \p Spec), the shard triple,
-  /// and the shared cache directory. Fails for specs a command line
+  /// the shared cache directory, and the in-memory cache budget
+  /// (\p CacheLimitBytes, 0 = unbounded). Fails for specs a command line
   /// cannot express (inline Hamiltonians, non-sampling methods, custom
   /// lowering options).
   static std::optional<std::vector<std::string>>
   workerArgs(const std::string &Binary, const TaskSpec &Spec, unsigned Index,
              unsigned Count, const std::string &ManifestPath,
-             const std::string &CacheDir, std::string *Error = nullptr);
+             const std::string &CacheDir, size_t CacheLimitBytes = 0,
+             std::string *Error = nullptr);
 
   /// Manifest path of shard \p Index under \p WorkDir.
   static std::string manifestPath(const std::string &WorkDir,

@@ -30,12 +30,9 @@ bool fail(std::string *Error, const std::string &Message) {
 } // namespace
 
 uint64_t ShardManifest::rangeHash() const {
-  uint64_t H = FNVOffset;
-  for (const ShotSummary &S : Shots) {
-    H ^= S.SequenceHash;
-    H *= FNVPrime;
-  }
-  return H;
+  // The same chain as BatchResult::batchHash, windowed to this range: a
+  // full batch's hash is the concatenation of its ranges' chains.
+  return hashShotSummaries(Shots);
 }
 
 std::string ShardManifest::serialize() const {

@@ -9,6 +9,7 @@
 #include "sim/Evolution.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 using namespace marqsim;
@@ -52,6 +53,15 @@ FidelityEvaluator::FidelityEvaluator(const Hamiltonian &H, double T,
     Basis[X] = 1.0;
     Targets.push_back(evolveExact(H, T, Basis));
   }
+}
+
+FidelityEvaluator::FidelityEvaluator(unsigned NQubits,
+                                     std::vector<uint64_t> Columns,
+                                     std::vector<CVector> Targets)
+    : NQubits(NQubits), Columns(std::move(Columns)),
+      Targets(std::move(Targets)) {
+  assert(this->Columns.size() == this->Targets.size() &&
+         "one target per column");
 }
 
 double

@@ -42,6 +42,13 @@ public:
   FidelityEvaluator(const Hamiltonian &H, double T, size_t NumColumns,
                     uint64_t Seed = 7);
 
+  /// Rehydrates an evaluator from previously computed targets (the
+  /// ArtifactStore's disk tier). \p Targets must be the exact columns the
+  /// computing constructor produced for the same (H, T, columns, seed) —
+  /// the store guarantees this by content-hash keying plus checksums.
+  FidelityEvaluator(unsigned NQubits, std::vector<uint64_t> Columns,
+                    std::vector<CVector> Targets);
+
   /// Fidelity of a schedule of analytic Pauli exponentials.
   double fidelity(const std::vector<ScheduledRotation> &Schedule) const;
 
@@ -51,6 +58,11 @@ public:
   unsigned numQubits() const { return NQubits; }
   size_t numColumns() const { return Columns.size(); }
   bool isExact() const { return Columns.size() == (size_t(1) << NQubits); }
+
+  /// The chosen basis indices and their exact targets e^{iHt}|x>, in
+  /// matching order (serialization surface of the artifact store).
+  const std::vector<uint64_t> &columns() const { return Columns; }
+  const std::vector<CVector> &targets() const { return Targets; }
 
 private:
   unsigned NQubits;

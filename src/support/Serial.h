@@ -91,6 +91,15 @@ inline uint64_t fnv1aWord(uint64_t V, uint64_t H = FNVOffset) {
   return H;
 }
 
+/// One coarse word-granularity FNV-1a-style step: folds the whole 64-bit
+/// value in with a single xor-multiply. This is the combiner of the
+/// order-sensitive hash chains built over values that are already hashes
+/// (per-shot sequence hashes -> batch/range hashes); byte-granular mixing
+/// (fnv1aWord) buys nothing there and costs 8x the multiplies.
+inline uint64_t fnv1aMixWord(uint64_t H, uint64_t V) {
+  return (H ^ V) * FNVPrime;
+}
+
 /// Appends the corruption-guard trailer ("checksum <hex16>\n") every
 /// persistent artifact in the project carries.
 inline std::string withChecksum(const std::string &Body) {

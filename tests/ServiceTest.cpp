@@ -251,10 +251,13 @@ TEST(ServiceCacheTest, DiskStorePersistsAcrossServices) {
 }
 
 TEST(ServiceCacheTest, DiskStoreCorruptionFallsBackToReSolve) {
-  // The PR 2 fallback path, now under test: a damaged component file must
+  // The fallback path of the tiered store: a damaged component file must
   // never poison a run. Truncation and single-character flips both fail
-  // the store's checksum, the service silently re-solves, and the batch
-  // is bit-identical to the healthy-cache run.
+  // the store's whole-file checksum, the service silently re-solves, and
+  // the batch is bit-identical to the healthy-cache run. The alias-bundle
+  // tier sits above the components, so it is removed before each warm run
+  // here; StoreTest covers the per-type fallbacks (including the bundle
+  // masking a corrupt component).
   std::string Dir = testing::TempDir() + "svc_corrupt_cache";
   std::filesystem::remove_all(Dir);
   ServiceOptions Options;
@@ -279,10 +282,16 @@ TEST(ServiceCacheTest, DiskStoreCorruptionFallsBackToReSolve) {
     return std::string((std::istreambuf_iterator<char>(In)),
                        std::istreambuf_iterator<char>());
   };
+  auto DropAliasTier = [&Dir] {
+    for (const auto &Entry : std::filesystem::directory_iterator(Dir))
+      if (Entry.path().extension() == ".alias")
+        std::filesystem::remove(Entry.path());
+  };
   const std::string Healthy = ReadAll(Files[0]);
 
   // Truncation: drop the second half of the file.
   std::ofstream(Files[0]) << Healthy.substr(0, Healthy.size() / 2);
+  DropAliasTier();
   {
     SimulationService Service(Options);
     std::optional<TaskResult> R = Service.run(Spec);
@@ -301,6 +310,7 @@ TEST(ServiceCacheTest, DiskStoreCorruptionFallsBackToReSolve) {
   size_t Pos = Flipped.find('\n') + 3; // inside the first entry's hex
   Flipped[Pos] = Flipped[Pos] == '0' ? '1' : '0';
   std::ofstream(Files[0]) << Flipped;
+  DropAliasTier();
   {
     SimulationService Service(Options);
     std::optional<TaskResult> R = Service.run(Spec);
@@ -311,7 +321,8 @@ TEST(ServiceCacheTest, DiskStoreCorruptionFallsBackToReSolve) {
   }
   EXPECT_EQ(ReadAll(Files[0]), Healthy);
 
-  // Control: an undamaged store is a disk hit, no solve.
+  // Control: an undamaged store is a disk hit (the alias bundle, which
+  // subsumes the component), no solve.
   SimulationService Warm(Options);
   ASSERT_TRUE(Warm.run(Spec));
   EXPECT_EQ(Warm.stats().GCSolveMisses, 0u);

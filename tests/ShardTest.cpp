@@ -530,10 +530,14 @@ TEST(ShardSubprocessTest, WorkersShareOneCacheAndMergeBitIdentically) {
   expectBitIdentical(*Single, *Merged);
 
   // The coordinator pre-warmed the shared store with the only solve;
-  // every worker loaded the component from disk.
+  // every worker loaded both the alias bundle (which subsumes the MCFP
+  // component) and the fidelity target columns from disk — two disk
+  // loads per worker, zero solves and zero evaluator rebuilds.
   EXPECT_EQ(Report.LocalStats.GCSolveMisses, 1u);
+  EXPECT_EQ(Report.LocalStats.EvaluatorMisses, 1u);
   EXPECT_EQ(Report.WorkerStats.GCSolveMisses, 0u);
-  EXPECT_EQ(Report.WorkerStats.DiskLoads, 3u);
+  EXPECT_EQ(Report.WorkerStats.EvaluatorMisses, 0u);
+  EXPECT_EQ(Report.WorkerStats.DiskLoads, 6u);
   EXPECT_EQ(Report.Retries, 0u);
 }
 
@@ -541,6 +545,6 @@ TEST(ShardSubprocessTest, InlineSourcesCannotReExec) {
   TaskSpec Spec = testSpec(4);
   std::string Error;
   EXPECT_FALSE(ShardCoordinator::workerArgs("marqsim-cli", Spec, 0, 2,
-                                            "out.manifest", "", &Error));
+                                            "out.manifest", "", 0, &Error));
   EXPECT_NE(Error.find("inline"), std::string::npos);
 }

@@ -32,8 +32,15 @@
 //                         dir; valid manifests found there are reused)
 //     --columns=K         fidelity-estimation columns (default 0 = off);
 //                         evaluated per shot on the batch workers
-//     --cache-dir=DIR     persistent matrix cache (default from
-//                         $MARQSIM_CACHE_DIR; empty = in-memory only)
+//     --cache-dir=DIR     persistent artifact store: MCFP components,
+//                         alias bundles, fidelity columns (default from
+//                         $MARQSIM_CACHE_DIR; empty = in-memory only);
+//                         validated up front — an unwritable path is an
+//                         error, not a silent uncached run
+//     --cache-limit-mb=M  in-memory artifact cache budget in MiB
+//                         (fractions allowed; default 0 = unbounded);
+//                         artifacts evict least-recently-used, results
+//                         are bit-identical for every budget
 //     --out=FILE          write QASM here (default stdout)
 //     --stats             print gate + cache statistics to stderr (with
 //                         --shots>1, the per-batch aggregate table)
@@ -42,10 +49,11 @@
 // Hidden worker mode (used by the --shards coordinator when it re-execs
 // this binary; not part of the supported surface): --shard-index=I
 // --shard-count=K --shard-out=FILE compiles shard I's shot range and
-// writes its manifest instead of QASM, and --mix-qd-bits/--mix-gc-bits/
+// writes its manifest instead of QASM, --mix-qd-bits/--mix-gc-bits/
 // --mix-rp-bits/--time-bits/--epsilon-bits override the corresponding
 // spec fields with raw IEEE-754 bit patterns so the worker's spec is
-// bit-identical to the coordinator's.
+// bit-identical to the coordinator's, and --cache-limit-bytes carries
+// the coordinator's cache budget without a decimal round trip.
 //
 // Exit codes: 0 success, 1 usage error, 2 malformed input / failed run.
 //
@@ -59,6 +67,8 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -108,6 +118,15 @@ void printCacheStats(const CacheStats &S) {
             << S.EvaluatorHits << " misses=" << S.EvaluatorMisses << "\n";
 }
 
+void printStoreStats(const ArtifactStore::Stats &S, size_t LimitBytes) {
+  std::cerr << "store: mem-hits=" << S.MemoryHits
+            << " disk-hits=" << S.DiskHits << " computes=" << S.Computes
+            << " evictions=" << S.Evictions
+            << " bytes=" << S.BytesInUse << " peak=" << S.PeakBytes
+            << " limit=" << LimitBytes << " disk-writes=" << S.DiskWrites
+            << "\n";
+}
+
 /// The hidden re-exec entry point: compile one shard's shot range and
 /// write its manifest.
 int runWorkerMode(const CommandLine &CL, const TaskSpec &Spec,
@@ -142,7 +161,8 @@ int main(int Argc, char **Argv) {
                  "  [--config=baseline|gc|gc-rp] [--qd=W --gc=W --rp=W]\n"
                  "  [--rounds=K] [--perturb-seed=S] [--seed=S] [--shots=N]\n"
                  "  [--jobs=J] [--shards=K] [--shard-dir=DIR] [--columns=K]\n"
-                 "  [--cache-dir=DIR] [--out=FILE] [--stats] [--dot=FILE]\n";
+                 "  [--cache-dir=DIR] [--cache-limit-mb=M] [--out=FILE]\n"
+                 "  [--stats] [--dot=FILE]\n";
     return 1;
   }
 
@@ -170,6 +190,31 @@ int main(int Argc, char **Argv) {
   if (const char *Env = std::getenv("MARQSIM_CACHE_DIR"))
     Options.CacheDir = Env;
   Options.CacheDir = CL.getString("cache-dir", Options.CacheDir);
+  // An unusable cache directory is a hard error: every downstream layer
+  // treats the store as best-effort, so without this check a typo'd path
+  // would silently re-solve everything on every invocation.
+  if (!ArtifactStore::validateCacheDir(Options.CacheDir, &Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return 1;
+  }
+  double LimitMB = CL.getDouble("cache-limit-mb", 0.0);
+  if (LimitMB < 0.0) {
+    std::cerr << "error: --cache-limit-mb must be non-negative\n";
+    return 1;
+  }
+  if (LimitMB > 0.0) {
+    // A positive budget must never truncate to 0 (0 means unbounded —
+    // the opposite of the tightest cap a sub-byte fraction asks for),
+    // and a huge one must not overflow the size_t cast.
+    constexpr double MaxBytes = 9.0e18;
+    Options.CacheLimitBytes = static_cast<size_t>(
+        std::min(std::max(std::ceil(LimitMB * 1024.0 * 1024.0), 1.0),
+                 MaxBytes));
+  }
+  // Hidden worker transport: the coordinator's budget, byte-exact.
+  int64_t LimitBytes = CL.getInt("cache-limit-bytes", -1);
+  if (LimitBytes >= 0)
+    Options.CacheLimitBytes = static_cast<size_t>(LimitBytes);
 
   bool WorkerMode =
       CL.has("shard-index") || CL.has("shard-count") || CL.has("shard-out");
@@ -202,6 +247,7 @@ int main(int Argc, char **Argv) {
                        ("marqsim-shards-" + std::to_string(::getpid())))
                           .string();
     Shard.CacheDir = Options.CacheDir;
+    Shard.CacheLimitBytes = Options.CacheLimitBytes;
     Shard.WorkerBinary = currentExecutablePath(Argv[0]);
     ShardCoordinator Coordinator(Shard);
     Result = Coordinator.run(*Spec, &Error, &Report);
@@ -281,8 +327,12 @@ int main(int Argc, char **Argv) {
       for (const std::string &Note : Report.Notes)
         std::cerr << "shard-note: " << Note << "\n";
       printCacheStats(Total);
+      // No store: line here — each worker process has its own store, so
+      // this process's tier counters would misleadingly sit next to the
+      // whole-run shard accounting above.
     } else {
       printCacheStats(Result->Stats);
+      printStoreStats(Service.storeStats(), Options.CacheLimitBytes);
     }
   }
   return 0;
