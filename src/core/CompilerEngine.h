@@ -183,6 +183,15 @@ struct BatchRequest {
   /// bit-identical for every value.
   unsigned Jobs = 1;
 
+  /// Worker threads granted to each shot's *evaluation* stage: hook
+  /// owners fan per-shot work that is independent of the sequential
+  /// Markov walk — fidelity column blocks, chiefly — across this many
+  /// workers (FidelityEvaluator::fidelity's EvalJobs argument). 0 selects
+  /// the hardware thread count. Evaluation partitions and reductions are
+  /// fixed-order, so results are bit-identical for every value; this knob
+  /// only moves wall-clock, exactly like Jobs.
+  unsigned EvalJobs = 1;
+
   /// Base seed; shot k draws from RNG::forShot(Seed, FirstShot + k).
   uint64_t Seed = 1;
 
@@ -259,6 +268,16 @@ struct BatchResult {
   /// Wall-clock seconds spent compiling the shots (setup excluded — that
   /// happens once, at strategy construction).
   double Seconds = 0.0;
+
+  /// Seconds spent in per-shot *evaluation*, summed over shots. The
+  /// engine leaves it 0; the hook owner fills it in (SimulationService
+  /// times exactly its fidelity calls, so artifact copies in the hook
+  /// never masquerade as evaluation). Under Jobs > 1 the hooks run
+  /// concurrently, so this is a CPU-seconds figure that can exceed the
+  /// wall-clock Seconds; with Jobs = 1 it is the exact evaluation share
+  /// of the batch, and Seconds - EvalSeconds is the walk/emission share.
+  /// The shard merge sums it across manifests.
+  double EvalSeconds = 0.0;
 
   /// Order-sensitive combination of the per-shot sequence hashes; equal
   /// batches (same strategy, seed, shot count) have equal hashes no matter

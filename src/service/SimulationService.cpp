@@ -10,6 +10,7 @@
 #include "pauli/HamiltonianIO.h"
 #include "stats/Stats.h"
 #include "store/Codecs.h"
+#include "support/Timer.h"
 
 #include <algorithm>
 #include <functional>
@@ -478,6 +479,7 @@ std::optional<TaskResult> SimulationService::run(const TaskSpec &Spec,
   Req.NumShots = Range.Count;
   Req.FirstShot = Range.Begin;
   Req.Jobs = Spec.Jobs;
+  Req.EvalJobs = Spec.EvalJobs;
   Req.Seed = Spec.Seed;
   Req.Opts = Spec.Lowering;
   Req.KeepResults = Spec.Evaluate.KeepResults;
@@ -485,14 +487,27 @@ std::optional<TaskResult> SimulationService::run(const TaskSpec &Spec,
   // batch, so their fidelity is evaluated once and replicated too — not
   // recomputed per shot on the identical schedule.
   const bool EvalOnce = Eval && Strategy->isDeterministic();
+  // Per-shot evaluation seconds: each worker writes its own slot, the sum
+  // lands in BatchResult::EvalSeconds after the batch (timing is a
+  // diagnostic, never a golden). Only the fidelity call is timed — the
+  // shot-0 artifact copy below is walk/emission bookkeeping, not
+  // evaluation.
+  std::vector<double> EvalSecs(Eval ? Range.Count : 0, 0.0);
   if (Eval || WantShotZero) {
     // In-worker evaluation: each shot's fidelity is computed on the
     // worker that compiled it (the evaluator is immutable, the fidelity
     // a pure function of the schedule), writing to the shot's own slot.
-    // The hook's index is range-relative, matching the result vectors.
-    Req.PerShot = [&](size_t Shot, const CompilationResult &R) {
-      if (Eval && (!EvalOnce || Shot == 0))
-        Result.ShotFidelities[Shot] = Eval->fidelity(R.Schedule);
+    // Within the shot, the evaluator fans its column blocks across
+    // Req.EvalJobs workers — the fixed block partition keeps every value
+    // bit-identical. The hook's index is range-relative, matching the
+    // result vectors.
+    Req.PerShot = [&, EvalJobs = Req.EvalJobs](size_t Shot,
+                                               const CompilationResult &R) {
+      if (Eval && (!EvalOnce || Shot == 0)) {
+        Timer EvalClock;
+        Result.ShotFidelities[Shot] = Eval->fidelity(R.Schedule, EvalJobs);
+        EvalSecs[Shot] = EvalClock.seconds();
+      }
       if (WantShotZero && Shot == 0)
         Result.ShotZero = R; // single writer: shot 0's worker only
     };
@@ -500,6 +515,8 @@ std::optional<TaskResult> SimulationService::run(const TaskSpec &Spec,
 
   CompilerEngine Engine;
   Result.Batch = Engine.compileBatch(Req);
+  for (double S : EvalSecs)
+    Result.Batch.EvalSeconds += S;
   Result.HasShotZero = WantShotZero;
   if (EvalOnce)
     std::fill(Result.ShotFidelities.begin() + 1, Result.ShotFidelities.end(),

@@ -207,6 +207,13 @@ std::optional<TaskSpec> TaskSpec::fromCommandLine(const CommandLine &CL,
   }
   Spec.Jobs = static_cast<unsigned>(Jobs);
 
+  int64_t EvalJobs = CL.getInt("eval-jobs", 1);
+  if (EvalJobs < 0) {
+    detail::fail(Error, "--eval-jobs must be non-negative (0 = all cores)");
+    return std::nullopt;
+  }
+  Spec.EvalJobs = static_cast<unsigned>(EvalJobs);
+
   int64_t Columns = CL.getInt("columns", 0);
   if (Columns < 0) {
     detail::fail(Error, "--columns must be non-negative");

@@ -197,6 +197,14 @@ struct TaskSpec {
   unsigned Jobs = 1;
   uint64_t Seed = 1;
 
+  /// Within-shot evaluation workers: each shot's fidelity evaluation fans
+  /// its fixed-width column blocks across this many threads (0 = all
+  /// cores). Complements Jobs — cross-shot parallelism saturates first,
+  /// EvalJobs soaks up the rest when shots are few and columns are many.
+  /// Like Jobs it never changes a bit of output, so it is excluded from
+  /// contentKey.
+  unsigned EvalJobs = 1;
+
   /// Lowering options applied to every shot.
   CompilationOptions Lowering;
 
@@ -219,8 +227,9 @@ struct TaskSpec {
 
   /// Parses the common CLI surface into a spec: positional Hamiltonian
   /// file or --model=NAME, --time/--epsilon, --config + --qd/--gc/--rp,
-  /// --rounds/--perturb-seed, --seed/--shots/--jobs, --columns (fidelity),
-  /// --cdf. Rejects negative counts/seeds and non-positive time/epsilon.
+  /// --rounds/--perturb-seed, --seed/--shots/--jobs/--eval-jobs,
+  /// --columns (fidelity), --cdf. Rejects negative counts/seeds and
+  /// non-positive time/epsilon.
   static std::optional<TaskSpec> fromCommandLine(const CommandLine &CL,
                                                  std::string *Error = nullptr);
 };

@@ -93,6 +93,7 @@ std::optional<std::vector<std::string>> ShardCoordinator::workerArgs(
   Argv.push_back(intFlag("seed", Spec.Seed));
   Argv.push_back(intFlag("shots", Spec.Shots));
   Argv.push_back(intFlag("jobs", Spec.Jobs));
+  Argv.push_back(intFlag("eval-jobs", Spec.EvalJobs));
   Argv.push_back(intFlag("columns", Spec.Evaluate.FidelityColumns));
   Argv.push_back(intFlag("column-seed", Spec.Evaluate.ColumnSeed));
   if (Spec.UseCDF)
@@ -203,6 +204,7 @@ ShardCoordinator::merge(const TaskSpec &Spec, uint64_t ExpectedFingerprint,
     Result.ShotFidelities.reserve(Spec.Shots);
   for (const ShardManifest &M : Manifests) {
     B.JobsUsed = std::max(B.JobsUsed, M.JobsUsed);
+    B.EvalSeconds += M.EvalSeconds;
     B.Shots.insert(B.Shots.end(), M.Shots.begin(), M.Shots.end());
     if (WantFidelity)
       Result.ShotFidelities.insert(Result.ShotFidelities.end(),

@@ -19,7 +19,10 @@ using namespace marqsim::serial;
 
 namespace {
 
-constexpr const char *Magic = "marqsim-shard-v1";
+// v2 added the eval-seconds phase accounting. Old-version manifests fail
+// the magic check and their range is simply re-run — resume across format
+// versions degrades to recompute, never to misparse.
+constexpr const char *Magic = "marqsim-shard-v2";
 
 bool fail(std::string *Error, const std::string &Message) {
   if (Error)
@@ -46,6 +49,7 @@ std::string ShardManifest::serialize() const {
   OS << "range " << Range.Begin << " " << Range.Count << "\n";
   OS << "num-samples " << NumSamples << "\n";
   OS << "jobs " << JobsUsed << "\n";
+  OS << "eval-seconds " << hex16(doubleBits(EvalSeconds)) << "\n";
   OS << "cache " << Stats.GCSolveHits << " " << Stats.GCSolveMisses << " "
      << Stats.RPSolveHits << " " << Stats.RPSolveMisses << " "
      << Stats.GraphHits << " " << Stats.GraphMisses << " "
@@ -92,6 +96,7 @@ std::optional<ShardManifest> ShardManifest::parse(const std::string &Text,
   };
 
   size_t FidelityFlag = 0, ShotCount = 0;
+  uint64_t EvalSecondsBits = 0;
   bool Ok = ExpectLabel("fingerprint") && ReadHex(M.Fingerprint) &&
             ExpectLabel("seed") && ReadHex(M.Seed) &&
             ExpectLabel("spec") && ReadHex(M.SpecKey) &&
@@ -102,7 +107,9 @@ std::optional<ShardManifest> ShardManifest::parse(const std::string &Text,
             static_cast<bool>(In >> M.Range.Begin >> M.Range.Count) &&
             ExpectLabel("num-samples") &&
             static_cast<bool>(In >> M.NumSamples) && ExpectLabel("jobs") &&
-            static_cast<bool>(In >> M.JobsUsed) && ExpectLabel("cache") &&
+            static_cast<bool>(In >> M.JobsUsed) &&
+            ExpectLabel("eval-seconds") && ReadHex(EvalSecondsBits) &&
+            ExpectLabel("cache") &&
             static_cast<bool>(
                 In >> M.Stats.GCSolveHits >> M.Stats.GCSolveMisses >>
                 M.Stats.RPSolveHits >> M.Stats.RPSolveMisses >>
@@ -116,6 +123,7 @@ std::optional<ShardManifest> ShardManifest::parse(const std::string &Text,
     fail(Error, "malformed header");
     return std::nullopt;
   }
+  M.EvalSeconds = bitsToDouble(EvalSecondsBits);
   M.HasFidelity = FidelityFlag != 0;
   if (ShotCount != M.Range.Count) {
     fail(Error, "shot count disagrees with the declared range");
@@ -207,6 +215,7 @@ ShardManifest ShardManifest::fromTaskResult(const TaskSpec &Spec,
   M.Range = Range;
   M.NumSamples = Result.NumSamples;
   M.JobsUsed = Result.Batch.JobsUsed;
+  M.EvalSeconds = Result.Batch.EvalSeconds;
   M.HasFidelity = Result.HasFidelity;
   M.Stats = Result.Stats;
   M.Shots = Result.Batch.Shots;

@@ -62,6 +62,12 @@ struct ShardManifest {
   /// Worker threads the shard ran with (informational).
   unsigned JobsUsed = 0;
 
+  /// Seconds the shard spent in per-shot evaluation hooks, summed over
+  /// its shots (BatchResult::EvalSeconds). Travels as IEEE-754 hex; the
+  /// merge sums it so the coordinator can report the batch's
+  /// walk/emission vs evaluation split.
+  double EvalSeconds = 0.0;
+
   bool HasFidelity = false;
 
   /// The worker's cache accounting; the coordinator sums these to report

@@ -18,6 +18,16 @@
 /// epsilon, and repetition — mirroring how the paper amortizes its GPU
 /// evaluation.
 ///
+/// Evaluation runs on StatePanel: columns are partitioned into fixed-width
+/// panel blocks (StatePanel::PreferredWidth, independent of any worker
+/// count), each block replays the schedule once for all its columns, and
+/// the per-column overlaps are reduced in ascending column order. The
+/// blocks are independent, so an EvalJobs argument fans them across
+/// ThreadPool workers — the within-shot parallelism the schedule's
+/// sequential Markov walk cannot offer — while the fixed partition and
+/// fixed-order reduction keep the result bit-identical to the serial
+/// evaluation for every EvalJobs value.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MARQSIM_SIM_FIDELITY_H
@@ -25,8 +35,11 @@
 
 #include "circuit/PauliEvolution.h"
 #include "pauli/Hamiltonian.h"
+#include "sim/StatePanel.h"
 #include "sim/StateVector.h"
 #include "support/RNG.h"
+
+#include <functional>
 
 namespace marqsim {
 
@@ -49,11 +62,14 @@ public:
   FidelityEvaluator(unsigned NQubits, std::vector<uint64_t> Columns,
                     std::vector<CVector> Targets);
 
-  /// Fidelity of a schedule of analytic Pauli exponentials.
-  double fidelity(const std::vector<ScheduledRotation> &Schedule) const;
+  /// Fidelity of a schedule of analytic Pauli exponentials. \p EvalJobs
+  /// fans the fixed-width column blocks across that many workers (0 = all
+  /// cores); the result is bit-identical for every value.
+  double fidelity(const std::vector<ScheduledRotation> &Schedule,
+                  unsigned EvalJobs = 1) const;
 
   /// Fidelity of an explicit gate-level circuit (slower; for validation).
-  double fidelityOfCircuit(const Circuit &C) const;
+  double fidelityOfCircuit(const Circuit &C, unsigned EvalJobs = 1) const;
 
   unsigned numQubits() const { return NQubits; }
   size_t numColumns() const { return Columns.size(); }
@@ -65,6 +81,12 @@ public:
   const std::vector<CVector> &targets() const { return Targets; }
 
 private:
+  /// Shared evaluation harness: partitions the columns into fixed-width
+  /// panel blocks, lets \p Evolve drive each block's panel, and reduces
+  /// the per-column overlaps in fixed column order.
+  double evaluatePanels(unsigned EvalJobs,
+                        const std::function<void(StatePanel &)> &Evolve) const;
+
   unsigned NQubits;
   std::vector<uint64_t> Columns;  // basis indices
   std::vector<CVector> Targets;   // e^{iHt}|x> per column

@@ -1,0 +1,122 @@
+//===- sim/StatePanel.cpp - Multi-column statevector panel -------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/StatePanel.h"
+
+#include <cmath>
+
+using namespace marqsim;
+
+StatePanel::StatePanel(unsigned NumQubits, const uint64_t *Basis,
+                       size_t NumColumns)
+    : NQubits(NumQubits), Dim(size_t(1) << NumQubits), Cols(NumColumns),
+      Data(Dim * NumColumns, Complex(0.0, 0.0)) {
+  assert(NumQubits <= 26 && "statevector too large");
+  for (size_t Col = 0; Col < Cols; ++Col) {
+    assert(Basis[Col] < Dim && "basis state out of range");
+    Data[Col * Dim + Basis[Col]] = 1.0;
+  }
+}
+
+StatePanel::StatePanel(unsigned NumQubits, const std::vector<uint64_t> &Basis)
+    : StatePanel(NumQubits, Basis.data(), Basis.size()) {}
+
+void StatePanel::applyPauliExpAll(const PauliString &P, double Theta) {
+  assert((P.supportMask() >> NQubits) == 0 &&
+         "Pauli string acts outside the register");
+  // Per-rotation setup — masks, trig, the +/- i^k phase constants — done
+  // once here and amortized over every column below.
+  const Complex CosT(std::cos(Theta), 0.0);
+  const Complex ISinT(0.0, std::sin(Theta));
+  if (P.isIdentity()) {
+    const Complex Phase = CosT + ISinT;
+    for (Complex &A : Data)
+      A *= Phase;
+    return;
+  }
+  const uint64_t XM = P.xMask();
+  const detail::PauliPhases Phases(P);
+  if (XM == 0) {
+    // Diagonal fast path, swept index-outer: the phase for basis index X
+    // is selected once and applied to X's slot in every column. Same
+    // two-product expression as StateVector's diagonal path (a fused
+    // cos +/- i sin factor would flip zero signs when cos(Theta) < 0).
+    for (uint64_t X = 0; X < Dim; ++X) {
+      const Complex Ph = Phases.at(X);
+      Complex *Slot = Data.data() + X;
+      for (size_t Col = 0; Col < Cols; ++Col, Slot += Dim) {
+        const Complex A = *Slot;
+        *Slot = CosT * A + ISinT * (Ph * A);
+      }
+    }
+    return;
+  }
+  // Fused butterflies, pair-outer / column-inner: each pair's phase pair
+  // is selected once per sweep instead of once per column. The per-element
+  // arithmetic matches StateVector::applyPauliExp exactly.
+  const uint64_t Pivot = XM & (~XM + 1); // lowest set bit of XM
+  for (uint64_t X = 0; X < Dim; ++X) {
+    if (X & Pivot)
+      continue;
+    const uint64_t Y = X ^ XM;
+    const Complex PhX = Phases.at(X);
+    const Complex PhY = Phases.at(Y);
+    Complex *SlotX = Data.data() + X;
+    Complex *SlotY = Data.data() + Y;
+    for (size_t Col = 0; Col < Cols; ++Col, SlotX += Dim, SlotY += Dim) {
+      const Complex A0 = *SlotX;
+      const Complex A1 = *SlotY;
+      *SlotX = CosT * A0 + ISinT * (PhY * A1);
+      *SlotY = CosT * A1 + ISinT * (PhX * A0);
+    }
+  }
+}
+
+void StatePanel::applyAll(const Gate &G) {
+  Complex M[2][2];
+  if (detail::singleQubitMatrix(G, M)) {
+    assert(G.Qubit0 < NQubits && "qubit out of range");
+    const uint64_t Bit = 1ULL << G.Qubit0;
+    for (size_t Col = 0; Col < Cols; ++Col) {
+      Complex *Amp = column(Col);
+      for (uint64_t Base = 0; Base < Dim; ++Base) {
+        if (Base & Bit)
+          continue;
+        Complex A0 = Amp[Base];
+        Complex A1 = Amp[Base | Bit];
+        Amp[Base] = M[0][0] * A0 + M[0][1] * A1;
+        Amp[Base | Bit] = M[1][0] * A0 + M[1][1] * A1;
+      }
+    }
+    return;
+  }
+  assert(G.Kind == GateKind::CNOT && "invalid GateKind");
+  if (G.Kind != GateKind::CNOT)
+    return; // release builds: an invalid kind stays a no-op
+  const uint64_t CBit = 1ULL << G.Qubit0;
+  const uint64_t TBit = 1ULL << G.Qubit1;
+  for (size_t Col = 0; Col < Cols; ++Col) {
+    Complex *Amp = column(Col);
+    for (uint64_t X = 0; X < Dim; ++X)
+      if ((X & CBit) && !(X & TBit))
+        std::swap(Amp[X], Amp[X | TBit]);
+  }
+}
+
+void StatePanel::applyAll(const Circuit &C) {
+  assert(C.numQubits() <= NQubits && "circuit wider than panel");
+  for (const Gate &G : C.gates())
+    applyAll(G);
+}
+
+Complex StatePanel::overlapWith(const CVector &Target, size_t Col) const {
+  assert(Target.size() == Dim && "overlap size mismatch");
+  const Complex *Amp = column(Col);
+  Complex S = 0.0;
+  for (size_t I = 0; I < Dim; ++I)
+    S += std::conj(Target[I]) * Amp[I];
+  return S;
+}

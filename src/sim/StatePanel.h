@@ -1,0 +1,83 @@
+//===- sim/StatePanel.h - Multi-column statevector panel --------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A panel of C statevectors evolved in lockstep under one gate stream.
+///
+/// Fidelity evaluation replays the same compiled schedule against many
+/// target columns; doing that one column at a time re-derives every
+/// per-rotation quantity (masks, cos/sin, the +/- i^k phase constants) C
+/// times and re-reads the schedule C times. StatePanel stores the C
+/// statevectors column-major (each column contiguous, column c at
+/// Data[c * 2^n]) and applies each rotation to all columns in one sweep:
+/// the per-rotation setup happens once, and each butterfly pair's phase
+/// pair is selected once and reused across the columns.
+///
+/// Determinism contract: every column of the panel evolves with exactly
+/// the per-element arithmetic of a standalone StateVector — the kernels
+/// share the phase-selection helper and gate matrices — so a panel of C
+/// columns is bit-identical to C serial single-state replays for every
+/// panel width. SimTest pins this across widths and fast paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_SIM_STATEPANEL_H
+#define MARQSIM_SIM_STATEPANEL_H
+
+#include "sim/StateVector.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace marqsim {
+
+/// A cache-blocked, column-major panel of statevectors (one per requested
+/// basis column) evolved together. n <= 26 as for StateVector; callers
+/// bound the width (see PreferredWidth) to keep the working set in cache.
+class StatePanel {
+public:
+  /// The default column-block width of panel consumers: wide enough to
+  /// amortize per-rotation setup, narrow enough that a block of 2^n
+  /// columns stays cache-resident at the experiment sizes. Fixed —
+  /// never derived from worker counts — so chunked evaluation partitions
+  /// identically for every EvalJobs value.
+  static constexpr size_t PreferredWidth = 8;
+
+  /// Initializes column k to the basis state |Basis[k]>.
+  StatePanel(unsigned NumQubits, const uint64_t *Basis, size_t NumColumns);
+  StatePanel(unsigned NumQubits, const std::vector<uint64_t> &Basis);
+
+  unsigned numQubits() const { return NQubits; }
+  size_t dim() const { return Dim; }
+  size_t numColumns() const { return Cols; }
+
+  Complex *column(size_t Col) { return Data.data() + Col * Dim; }
+  const Complex *column(size_t Col) const { return Data.data() + Col * Dim; }
+
+  /// Applies exp(i * Theta * P) to every column in one schedule sweep.
+  /// Diagonal (Z-only) strings take the per-element phase fast path.
+  void applyPauliExpAll(const PauliString &P, double Theta);
+
+  /// Applies one gate to every column.
+  void applyAll(const Gate &G);
+
+  /// Applies all gates of a circuit in order to every column.
+  void applyAll(const Circuit &C);
+
+  /// <Target | column Col>, accumulated in ascending basis order — the
+  /// same chain as innerProduct over a standalone statevector.
+  Complex overlapWith(const CVector &Target, size_t Col) const;
+
+private:
+  unsigned NQubits;
+  size_t Dim;
+  size_t Cols;
+  std::vector<Complex> Data;
+};
+
+} // namespace marqsim
+
+#endif // MARQSIM_SIM_STATEPANEL_H

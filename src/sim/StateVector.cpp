@@ -6,6 +6,8 @@
 
 #include "sim/StateVector.h"
 
+#include "sim/StatePanel.h"
+
 #include <cmath>
 
 using namespace marqsim;
@@ -23,6 +25,76 @@ StateVector::StateVector(unsigned NumQubits, CVector Amplitudes)
          "amplitude vector size mismatch");
 }
 
+bool marqsim::detail::singleQubitMatrix(const Gate &G, Complex M[2][2]) {
+  const Complex I(0.0, 1.0);
+  switch (G.Kind) {
+  case GateKind::H: {
+    const double S = 1.0 / std::sqrt(2.0);
+    M[0][0] = S;
+    M[0][1] = S;
+    M[1][0] = S;
+    M[1][1] = -S;
+    return true;
+  }
+  case GateKind::X:
+    M[0][0] = 0.0;
+    M[0][1] = 1.0;
+    M[1][0] = 1.0;
+    M[1][1] = 0.0;
+    return true;
+  case GateKind::Y:
+    M[0][0] = 0.0;
+    M[0][1] = -I;
+    M[1][0] = I;
+    M[1][1] = 0.0;
+    return true;
+  case GateKind::Z:
+    M[0][0] = 1.0;
+    M[0][1] = 0.0;
+    M[1][0] = 0.0;
+    M[1][1] = -1.0;
+    return true;
+  case GateKind::S:
+    M[0][0] = 1.0;
+    M[0][1] = 0.0;
+    M[1][0] = 0.0;
+    M[1][1] = I;
+    return true;
+  case GateKind::Sdg:
+    M[0][0] = 1.0;
+    M[0][1] = 0.0;
+    M[1][0] = 0.0;
+    M[1][1] = -I;
+    return true;
+  case GateKind::Rx: {
+    double C = std::cos(G.Angle / 2), Sn = std::sin(G.Angle / 2);
+    M[0][0] = C;
+    M[0][1] = -I * Sn;
+    M[1][0] = -I * Sn;
+    M[1][1] = C;
+    return true;
+  }
+  case GateKind::Ry: {
+    double C = std::cos(G.Angle / 2), Sn = std::sin(G.Angle / 2);
+    M[0][0] = C;
+    M[0][1] = -Sn;
+    M[1][0] = Sn;
+    M[1][1] = C;
+    return true;
+  }
+  case GateKind::Rz:
+    M[0][0] = std::exp(-I * (G.Angle / 2));
+    M[0][1] = 0.0;
+    M[1][0] = 0.0;
+    M[1][1] = std::exp(I * (G.Angle / 2));
+    return true;
+  case GateKind::CNOT:
+    return false;
+  }
+  assert(false && "invalid GateKind");
+  return false;
+}
+
 void StateVector::applySingleQubit(unsigned Q, const Complex M[2][2]) {
   assert(Q < NQubits && "qubit out of range");
   const uint64_t Bit = 1ULL << Q;
@@ -38,69 +110,20 @@ void StateVector::applySingleQubit(unsigned Q, const Complex M[2][2]) {
 }
 
 void StateVector::apply(const Gate &G) {
-  const Complex I(0.0, 1.0);
-  switch (G.Kind) {
-  case GateKind::H: {
-    const double S = 1.0 / std::sqrt(2.0);
-    const Complex M[2][2] = {{S, S}, {S, -S}};
+  Complex M[2][2];
+  if (detail::singleQubitMatrix(G, M)) {
     applySingleQubit(G.Qubit0, M);
     return;
   }
-  case GateKind::X: {
-    const Complex M[2][2] = {{0.0, 1.0}, {1.0, 0.0}};
-    applySingleQubit(G.Qubit0, M);
-    return;
-  }
-  case GateKind::Y: {
-    const Complex M[2][2] = {{0.0, -I}, {I, 0.0}};
-    applySingleQubit(G.Qubit0, M);
-    return;
-  }
-  case GateKind::Z: {
-    const Complex M[2][2] = {{1.0, 0.0}, {0.0, -1.0}};
-    applySingleQubit(G.Qubit0, M);
-    return;
-  }
-  case GateKind::S: {
-    const Complex M[2][2] = {{1.0, 0.0}, {0.0, I}};
-    applySingleQubit(G.Qubit0, M);
-    return;
-  }
-  case GateKind::Sdg: {
-    const Complex M[2][2] = {{1.0, 0.0}, {0.0, -I}};
-    applySingleQubit(G.Qubit0, M);
-    return;
-  }
-  case GateKind::Rx: {
-    double C = std::cos(G.Angle / 2), Sn = std::sin(G.Angle / 2);
-    const Complex M[2][2] = {{C, -I * Sn}, {-I * Sn, C}};
-    applySingleQubit(G.Qubit0, M);
-    return;
-  }
-  case GateKind::Ry: {
-    double C = std::cos(G.Angle / 2), Sn = std::sin(G.Angle / 2);
-    const Complex M[2][2] = {{C, -Sn}, {Sn, C}};
-    applySingleQubit(G.Qubit0, M);
-    return;
-  }
-  case GateKind::Rz: {
-    Complex E0 = std::exp(-I * (G.Angle / 2));
-    Complex E1 = std::exp(I * (G.Angle / 2));
-    const Complex M[2][2] = {{E0, 0.0}, {0.0, E1}};
-    applySingleQubit(G.Qubit0, M);
-    return;
-  }
-  case GateKind::CNOT: {
-    const uint64_t CBit = 1ULL << G.Qubit0;
-    const uint64_t TBit = 1ULL << G.Qubit1;
-    const size_t Dim = Amp.size();
-    for (uint64_t X = 0; X < Dim; ++X)
-      if ((X & CBit) && !(X & TBit))
-        std::swap(Amp[X], Amp[X | TBit]);
-    return;
-  }
-  }
-  assert(false && "invalid GateKind");
+  assert(G.Kind == GateKind::CNOT && "invalid GateKind");
+  if (G.Kind != GateKind::CNOT)
+    return; // release builds: an invalid kind stays a no-op
+  const uint64_t CBit = 1ULL << G.Qubit0;
+  const uint64_t TBit = 1ULL << G.Qubit1;
+  const size_t Dim = Amp.size();
+  for (uint64_t X = 0; X < Dim; ++X)
+    if ((X & CBit) && !(X & TBit))
+      std::swap(Amp[X], Amp[X | TBit]);
 }
 
 void StateVector::apply(const Circuit &C) {
@@ -112,12 +135,27 @@ void StateVector::apply(const Circuit &C) {
 void StateVector::applyPauli(const PauliString &P) {
   assert((P.supportMask() >> NQubits) == 0 &&
          "Pauli string acts outside the register");
-  if (Scratch.size() != Amp.size())
-    Scratch.resize(Amp.size());
   const uint64_t XM = P.xMask();
-  for (uint64_t X = 0; X < Amp.size(); ++X)
-    Scratch[X ^ XM] = P.applyToBasis(X) * Amp[X];
-  Amp.swap(Scratch);
+  const detail::PauliPhases Phases(P);
+  if (XM == 0) {
+    // Diagonal: a pure per-element phase, in place.
+    for (uint64_t X = 0; X < Amp.size(); ++X)
+      Amp[X] = Phases.at(X) * Amp[X];
+    return;
+  }
+  // One in-place pass over the {X, X ^ XM} pairs: P|psi>[X] is the
+  // partner amplitude times its phase, exactly the value the old scratch
+  // pass stored.
+  const uint64_t Pivot = XM & (~XM + 1); // lowest set bit of XM
+  for (uint64_t X = 0; X < Amp.size(); ++X) {
+    if (X & Pivot)
+      continue;
+    const uint64_t Y = X ^ XM;
+    const Complex A0 = Amp[X];
+    const Complex A1 = Amp[Y];
+    Amp[X] = Phases.at(Y) * A1;
+    Amp[Y] = Phases.at(X) * A0;
+  }
 }
 
 void StateVector::applyPauliExp(const PauliString &P, double Theta) {
@@ -132,13 +170,34 @@ void StateVector::applyPauliExp(const PauliString &P, double Theta) {
       A *= Phase;
     return;
   }
-  if (Scratch.size() != Amp.size())
-    Scratch.resize(Amp.size());
   const uint64_t XM = P.xMask();
-  for (uint64_t X = 0; X < Amp.size(); ++X)
-    Scratch[X ^ XM] = P.applyToBasis(X) * Amp[X];
-  for (size_t X = 0; X < Amp.size(); ++X)
-    Amp[X] = CosT * Amp[X] + ISinT * Scratch[X];
+  const detail::PauliPhases Phases(P);
+  if (XM == 0) {
+    // Diagonal fast path: P|X> = (+/-1)|X>, so each element only needs
+    // its own slot — no partner load, no scratch pass, no applyToBasis
+    // call. The update keeps the literal two-product expression (rather
+    // than one fused factor cos +/- i sin) because a single multiply
+    // flips the sign of exact-zero amplitudes when cos(Theta) < 0; this
+    // form is bit-identical to the reference kernel including zero signs.
+    for (uint64_t X = 0; X < Amp.size(); ++X) {
+      const Complex A = Amp[X];
+      Amp[X] = CosT * A + ISinT * (Phases.at(X) * A);
+    }
+    return;
+  }
+  // Fused butterfly: each {X, X ^ XM} pair is visited once and updated in
+  // place with the same per-element arithmetic as the two-pass scratch
+  // formulation (cos * psi + i sin * P psi), so results are bit-identical.
+  const uint64_t Pivot = XM & (~XM + 1); // lowest set bit of XM
+  for (uint64_t X = 0; X < Amp.size(); ++X) {
+    if (X & Pivot)
+      continue;
+    const uint64_t Y = X ^ XM;
+    const Complex A0 = Amp[X];
+    const Complex A1 = Amp[Y];
+    Amp[X] = CosT * A0 + ISinT * (Phases.at(Y) * A1);
+    Amp[Y] = CosT * A1 + ISinT * (Phases.at(X) * A0);
+  }
 }
 
 Complex StateVector::overlap(const StateVector &Other) const {
@@ -151,11 +210,21 @@ Matrix marqsim::circuitUnitary(const Circuit &C) {
   assert(C.numQubits() <= 12 && "circuit unitary too large");
   const size_t Dim = size_t(1) << C.numQubits();
   Matrix U(Dim, Dim);
-  for (uint64_t Col = 0; Col < Dim; ++Col) {
-    StateVector SV(C.numQubits(), Col);
-    SV.apply(C);
-    for (size_t Row = 0; Row < Dim; ++Row)
-      U.at(Row, Col) = SV.amplitudes()[Row];
+  // Panels of basis columns share each gate's setup; every column still
+  // sees the exact per-element arithmetic of a standalone StateVector.
+  for (uint64_t Base = 0; Base < Dim; Base += StatePanel::PreferredWidth) {
+    const size_t Count =
+        std::min<size_t>(StatePanel::PreferredWidth, Dim - Base);
+    std::vector<uint64_t> Cols(Count);
+    for (size_t L = 0; L < Count; ++L)
+      Cols[L] = Base + L;
+    StatePanel Panel(C.numQubits(), Cols);
+    Panel.applyAll(C);
+    for (size_t L = 0; L < Count; ++L) {
+      const Complex *Col = Panel.column(L);
+      for (size_t Row = 0; Row < Dim; ++Row)
+        U.at(Row, Base + L) = Col[Row];
+    }
   }
   return U;
 }

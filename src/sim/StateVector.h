@@ -13,6 +13,16 @@
 /// validates the Pauli-rotation synthesis (circuit unitary vs dense
 /// exponential) and evaluates compiled circuits in the experiment harnesses.
 ///
+/// The Pauli kernels are fused single-pass updates: exp(i theta P) visits
+/// each {X, X^xMask} butterfly pair exactly once and updates it in place
+/// (no scratch round trip), and Z-only strings take a diagonal fast path
+/// that touches each element's own slot only — half the memory traffic
+/// again. Both paths perform bit-for-bit the arithmetic of the textbook
+/// two-pass formulation (including the signs of zeros), so fidelities and
+/// golden schedules are unchanged — see detail::PauliPhases below for the
+/// phase-selection helper (shared with StatePanel) and SimTest's
+/// reference-kernel equivalence tests for the pinning.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MARQSIM_SIM_STATEVECTOR_H
@@ -22,7 +32,38 @@
 #include "linalg/Matrix.h"
 #include "pauli/PauliString.h"
 
+#include <cstdint>
+
 namespace marqsim {
+
+namespace detail {
+/// Fills \p M with the 2x2 unitary of a single-qubit gate. Returns false
+/// for CNOT (the only two-qubit gate; callers special-case the controlled
+/// flip). One home for the gate constants so the single-state and panel
+/// simulators apply bit-identical matrices.
+bool singleQubitMatrix(const Gate &G, Complex M[2][2]);
+
+/// The per-rotation phase table of one Pauli string. applyToBasis(X) is
+/// always +/- i^{|xMask & zMask|} with the sign given by the parity of
+/// zMask & X, so a kernel can precompute the two constants once per
+/// rotation and select per element — the selected value is bit-identical
+/// to what PauliString::applyToBasis returns, at a fraction of the cost.
+struct PauliPhases {
+  Complex Pos, Neg;
+  uint64_t ZMask;
+
+  explicit PauliPhases(const PauliString &P) : ZMask(P.zMask()) {
+    static const Complex IPow[4] = {
+        {1.0, 0.0}, {0.0, 1.0}, {-1.0, 0.0}, {0.0, -1.0}};
+    Pos = IPow[__builtin_popcountll(P.xMask() & P.zMask()) % 4];
+    Neg = -Pos; // the same unary negation applyToBasis applies
+  }
+
+  const Complex &at(uint64_t X) const {
+    return (__builtin_popcountll(ZMask & X) & 1) ? Neg : Pos;
+  }
+};
+} // namespace detail
 
 /// An n-qubit pure state (n <= 26 to keep memory bounded).
 class StateVector {
@@ -44,11 +85,12 @@ public:
   /// Applies all gates of a circuit in order.
   void apply(const Circuit &C);
 
-  /// Applies a bare Pauli string (phase-tracked permutation).
+  /// Applies a bare Pauli string (phase-tracked permutation), in place.
   void applyPauli(const PauliString &P);
 
   /// Applies exp(i * Theta * P) analytically:
   /// cos(Theta) |psi> + i sin(Theta) P|psi>.
+  /// One fused pass: each butterfly pair is loaded and stored exactly once.
   void applyPauliExp(const PauliString &P, double Theta);
 
   /// <this | Other>.
@@ -62,11 +104,10 @@ private:
 
   unsigned NQubits;
   CVector Amp;
-  CVector Scratch;
 };
 
-/// Builds the full 2^n x 2^n unitary of a circuit by applying it to every
-/// basis column (intended for tests and small systems).
+/// Builds the full 2^n x 2^n unitary of a circuit by applying it to panels
+/// of basis columns (intended for tests and small systems).
 Matrix circuitUnitary(const Circuit &C);
 
 } // namespace marqsim

@@ -6,9 +6,10 @@
 
 #include "support/ThreadPool.h"
 
-#include <atomic>
+#include <algorithm>
 #include <cassert>
 #include <exception>
+#include <memory>
 
 using namespace marqsim;
 
@@ -72,6 +73,76 @@ void ThreadPool::workerLoop() {
   }
 }
 
+void ThreadPool::ensureWorkers(unsigned NumWorkers) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  assert(!ShuttingDown && "growing a pool after shutdown");
+  while (Workers.size() < NumWorkers)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool &ThreadPool::shared() {
+  // Intentionally leaked: helper stubs may still sit queued at static
+  // destruction time, and the workers hold no resources beyond threads
+  // the OS reclaims at exit.
+  static ThreadPool *Pool = new ThreadPool(1);
+  return *Pool;
+}
+
+namespace {
+
+/// The state of one parallelFor call. Helper stubs on the shared pool hold
+/// it by shared_ptr, so a stub that only gets scheduled after the call
+/// finished (all indices claimed) finds an exhausted counter and returns
+/// without touching the caller's Body.
+struct ParallelCall {
+  ParallelCall(size_t Count, const std::function<void(size_t)> &Body)
+      : Count(Count), Body(&Body) {}
+
+  const size_t Count;
+  const std::function<void(size_t)> *Body; // alive until awaitCompletion ends
+  std::mutex M;
+  std::condition_variable Changed;
+  size_t Next = 0;    // first unclaimed index
+  size_t Running = 0; // bodies currently executing
+  std::exception_ptr FirstError;
+
+  /// Claims and runs indices until none are left. A thrown Body records the
+  /// first error and stops further claims; already-claimed indices finish.
+  void drain() {
+    std::unique_lock<std::mutex> Lock(M);
+    while (Next < Count) {
+      const size_t I = Next++;
+      ++Running;
+      Lock.unlock();
+      std::exception_ptr Error;
+      try {
+        (*Body)(I);
+      } catch (...) {
+        Error = std::current_exception();
+      }
+      Lock.lock();
+      --Running;
+      if (Error) {
+        if (!FirstError)
+          FirstError = Error;
+        Next = Count; // stop early
+      }
+    }
+    Changed.notify_all();
+  }
+
+  /// Blocks until every claimed index has finished, then rethrows the
+  /// first recorded error, if any.
+  void awaitCompletion() {
+    std::unique_lock<std::mutex> Lock(M);
+    Changed.wait(Lock, [this] { return Next >= Count && Running == 0; });
+    if (FirstError)
+      std::rethrow_exception(FirstError);
+  }
+};
+
+} // namespace
+
 void marqsim::parallelFor(size_t Count, unsigned Jobs,
                           const std::function<void(size_t)> &Body) {
   if (Jobs == 0)
@@ -84,33 +155,20 @@ void marqsim::parallelFor(size_t Count, unsigned Jobs,
     return;
   }
 
-  unsigned Effective =
+  const unsigned Effective =
       static_cast<unsigned>(std::min<size_t>(Jobs, Count));
-  std::atomic<size_t> NextIndex{0};
-  std::exception_ptr FirstError;
-  std::mutex ErrorMutex;
-
-  {
-    ThreadPool Pool(Effective);
-    for (unsigned W = 0; W < Effective; ++W) {
-      Pool.submit([&] {
-        for (;;) {
-          size_t I = NextIndex.fetch_add(1, std::memory_order_relaxed);
-          if (I >= Count)
-            return;
-          try {
-            Body(I);
-          } catch (...) {
-            std::unique_lock<std::mutex> Lock(ErrorMutex);
-            if (!FirstError)
-              FirstError = std::current_exception();
-            NextIndex.store(Count, std::memory_order_relaxed); // stop early
-          }
-        }
-      });
-    }
-    Pool.wait();
-  }
-  if (FirstError)
-    std::rethrow_exception(FirstError);
+  auto Call = std::make_shared<ParallelCall>(Count, Body);
+  // The caller participates as one worker, so Effective - 1 helper stubs
+  // suffice. The pool is process-wide and lazily grown: a hot caller —
+  // per-shot fidelity evaluation, say — pays an enqueue per call, never a
+  // thread spawn/join. The caller draining its own counter also makes
+  // nested parallelFor deadlock-free: a call progresses on its own thread
+  // even when every pool worker is busy with (or blocked on) other calls,
+  // and in-flight bodies always belong to an actively executing thread.
+  ThreadPool &Pool = ThreadPool::shared();
+  Pool.ensureWorkers(Effective - 1);
+  for (unsigned W = 1; W < Effective; ++W)
+    Pool.submit([Call] { Call->drain(); });
+  Call->drain();
+  Call->awaitCompletion();
 }

@@ -47,6 +47,15 @@ public:
   /// Blocks until every submitted task has finished.
   void wait();
 
+  /// Grows the pool to at least \p NumWorkers threads (never shrinks).
+  /// Safe to call concurrently with running work.
+  void ensureWorkers(unsigned NumWorkers);
+
+  /// The process-wide pool parallelFor drains through. Lazily created,
+  /// grown on demand, and never destroyed, so hot callers pay an enqueue
+  /// per fan-out instead of a thread spawn/join.
+  static ThreadPool &shared();
+
   unsigned numWorkers() const {
     return static_cast<unsigned>(Workers.size());
   }
@@ -69,9 +78,13 @@ private:
 /// Runs Body(0) .. Body(Count - 1), spreading the indices over up to
 /// \p Jobs workers (0 selects the hardware thread count). Jobs <= 1 or
 /// Count <= 1 runs inline on the calling thread. Indices are claimed from
-/// an atomic counter, so per-index work may be arbitrarily unbalanced.
-/// The first exception thrown by any index is rethrown on the caller after
-/// all workers stop.
+/// a shared counter, so per-index work may be arbitrarily unbalanced.
+/// The calling thread participates in the work and up to Jobs - 1 helpers
+/// come from the persistent ThreadPool::shared() pool — no per-call thread
+/// spawn/join — and because the caller always drains its own counter,
+/// nesting parallelFor inside a Body cannot deadlock. The first exception
+/// thrown by any index is rethrown on the caller after every claimed index
+/// has finished.
 void parallelFor(size_t Count, unsigned Jobs,
                  const std::function<void(size_t)> &Body);
 

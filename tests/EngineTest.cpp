@@ -16,6 +16,8 @@
 
 #include "core/CompilerEngine.h"
 #include "core/TransitionBuilders.h"
+#include "sim/Fidelity.h"
+#include "support/Serial.h"
 #include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
@@ -121,6 +123,37 @@ TEST(ThreadPoolTest, PropagatesTheFirstException) {
                                throw std::runtime_error("boom");
                            }),
                std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletesEveryIndex) {
+  // Per-shot evaluation nests parallelFor (EvalJobs) inside the batch's
+  // parallelFor (Jobs). The caller-participates design must drain every
+  // inner index even when all shared-pool workers are busy with outer
+  // work — an implementation that parks inner stubs behind blocked outer
+  // stubs would deadlock or drop indices here.
+  const size_t Outer = 16, Inner = 8;
+  std::vector<std::atomic<int>> Visits(Outer * Inner);
+  for (auto &V : Visits)
+    V.store(0);
+  parallelFor(Outer, 4, [&](size_t O) {
+    parallelFor(Inner, 4,
+                [&](size_t I) { Visits[O * Inner + I].fetch_add(1); });
+  });
+  for (size_t K = 0; K < Outer * Inner; ++K)
+    EXPECT_EQ(Visits[K].load(), 1) << "slot " << K;
+}
+
+TEST(ThreadPoolTest, SharedPoolPersistsAcrossCalls) {
+  // Repeated fan-outs must reuse the process-wide pool, not respawn
+  // threads: the pool only ever grows to the largest helper demand.
+  parallelFor(8, 3, [](size_t) {});
+  const unsigned AfterFirst = ThreadPool::shared().numWorkers();
+  EXPECT_GE(AfterFirst, 2u); // Jobs - 1 helpers
+  for (int Round = 0; Round < 50; ++Round)
+    parallelFor(8, 3, [](size_t) {});
+  EXPECT_EQ(ThreadPool::shared().numWorkers(), AfterFirst);
+  parallelFor(8, 5, [](size_t) {});
+  EXPECT_GE(ThreadPool::shared().numWorkers(), 4u);
 }
 
 TEST(ThreadPoolTest, SubmitAndWaitDrainsAllTasks) {
@@ -276,6 +309,54 @@ TEST(SamplerRegressionTest, BatchHashesAreFrozen) {
   EXPECT_EQ(Engine.compileBatch(Req).batchHash(), 4882182761049389600ULL);
 }
 
+TEST(SamplerRegressionTest, FidelityHexesAreFrozen) {
+  // End-to-end pin over the evaluation substrate: the Markov walk, the
+  // fused Pauli kernels (butterfly + diagonal fast path), the StatePanel
+  // sweep, and the fixed-order overlap reduction. These hexes were
+  // recorded against the pre-fusion two-pass implementation; a kernel
+  // change that perturbs one bit of one amplitude lands here. Unlike the
+  // integer-sequence goldens above they pass through libm cos/sin/exp, so
+  // they assume the CI platform's libm (x86-64 glibc); a 1-ulp libm
+  // difference elsewhere fails this test without a real kernel
+  // regression — the portable fusion contract lives in SimTest's
+  // reference-kernel comparisons and bench_eval_kernels.
+  auto Graph = testGraph();
+  CompilerEngine Engine;
+  BatchRequest Req;
+  Req.Strategy = std::make_shared<const SamplingStrategy>(Graph, 0.5, 0.05);
+  Req.NumShots = 4;
+  Req.Seed = 2025;
+  Req.KeepResults = true;
+  BatchResult Batch = Engine.compileBatch(Req);
+
+  Hamiltonian H = testHamiltonian();
+  FidelityEvaluator Eval(H, 0.5, 8, 7);
+  const char *Golden[] = {"3fefd1c62990a8de", "3fefbee47aa924b1",
+                          "3fef3fd24f07a2eb", "3fefe98d81be7c8f"};
+  ASSERT_EQ(Batch.Results.size(), std::size(Golden));
+  for (size_t Shot = 0; Shot < std::size(Golden); ++Shot)
+    EXPECT_EQ(serial::hex16(serial::doubleBits(
+                  Eval.fidelity(Batch.Results[Shot].Schedule))),
+              Golden[Shot])
+        << "shot " << Shot;
+
+  // The gate-level circuit path shares the panel substrate.
+  EXPECT_EQ(serial::hex16(serial::doubleBits(
+                Eval.fidelityOfCircuit(Batch.Results[0].Circ))),
+            "3fefd1c62990a84a");
+
+  // Within-shot fan-out must not move a bit: a 16-column (two-block)
+  // evaluator under EvalJobs 1 and 4 yields identical hexes per shot.
+  FidelityEvaluator Exact(H, 0.5, 16, 7);
+  ASSERT_TRUE(Exact.isExact());
+  for (size_t Shot = 0; Shot < Batch.Results.size(); ++Shot) {
+    const auto &Schedule = Batch.Results[Shot].Schedule;
+    EXPECT_EQ(serial::doubleBits(Exact.fidelity(Schedule, 1)),
+              serial::doubleBits(Exact.fidelity(Schedule, 4)))
+        << "shot " << Shot;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // CompilerEngine batches
 //===----------------------------------------------------------------------===//
@@ -397,6 +478,10 @@ TEST(CompilerEngineTest, PerShotHookSeesEveryShotOnce) {
   for (size_t Shot = 0; Shot < Req.NumShots; ++Shot)
     EXPECT_EQ(SeenCNOTs[Shot], Batch.Shots[Shot].Counts.CNOTs)
         << "shot " << Shot;
+  // Evaluation accounting belongs to the hook owner (SimulationService
+  // times its fidelity calls); the engine never guesses at what a generic
+  // hook spends its time on.
+  EXPECT_EQ(Batch.EvalSeconds, 0.0);
 }
 
 TEST(CompilerEngineTest, PerShotHookFiresPerReplicatedShot) {

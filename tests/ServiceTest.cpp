@@ -21,9 +21,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "service/SimulationService.h"
+#include "shard/ShardCoordinator.h"
+#include "support/Serial.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <thread>
@@ -390,6 +393,83 @@ TEST(ServiceFidelityTest, JobInvariantAndEqualToCallerThreadLoop) {
         << "shot " << Shot;
 }
 
+TEST(ServiceFidelityTest, EvalJobsBitIdenticalAndTimed) {
+  SimulationService Service;
+  TaskSpec Spec = testSpec(testHamiltonian());
+  Spec.Shots = 4;
+  // 12 columns = two fixed-width panel blocks, so EvalJobs > 1 actually
+  // redistributes work.
+  Spec.Evaluate.FidelityColumns = 12;
+
+  Spec.EvalJobs = 1;
+  std::optional<TaskResult> Serial = Service.run(Spec);
+  Spec.EvalJobs = 3;
+  std::optional<TaskResult> FannedOut = Service.run(Spec);
+  Spec.EvalJobs = 0; // all cores
+  std::optional<TaskResult> AllCores = Service.run(Spec);
+  ASSERT_TRUE(Serial && FannedOut && AllCores);
+
+  EXPECT_EQ(Serial->Batch.batchHash(), FannedOut->Batch.batchHash());
+  ASSERT_EQ(Serial->ShotFidelities.size(), Spec.Shots);
+  for (size_t Shot = 0; Shot < Spec.Shots; ++Shot) {
+    EXPECT_EQ(Serial->ShotFidelities[Shot], FannedOut->ShotFidelities[Shot])
+        << "shot " << Shot;
+    EXPECT_EQ(Serial->ShotFidelities[Shot], AllCores->ShotFidelities[Shot])
+        << "shot " << Shot;
+  }
+  EXPECT_EQ(Serial->Fidelity.Mean, FannedOut->Fidelity.Mean);
+  EXPECT_EQ(Serial->Fidelity.Std, FannedOut->Fidelity.Std);
+
+  // The evaluation phase is real work here, so its accounting is nonzero.
+  EXPECT_GT(Serial->Batch.EvalSeconds, 0.0);
+}
+
+TEST(ServiceFidelityTest, EvalJobsTravelsThroughShardWorkersByteIdentically) {
+  // The within-shot knob must survive the shard path end to end: it is
+  // placed on the worker command line, and a sharded run under any
+  // EvalJobs merges to the exact bytes of the single-process run.
+  TaskSpec Spec = testSpec(testHamiltonian());
+  Spec.Shots = 5;
+  Spec.Evaluate.FidelityColumns = 12;
+  Spec.EvalJobs = 3;
+
+  // Command-line transport: workerArgs forwards the knob verbatim.
+  TaskSpec FileSpec = Spec;
+  FileSpec.Source = HamiltonianSource::fromFile("h.txt");
+  std::optional<std::vector<std::string>> Argv = ShardCoordinator::workerArgs(
+      "marqsim-cli", FileSpec, 0, 2, "out.manifest", "");
+  ASSERT_TRUE(Argv);
+  EXPECT_NE(std::find(Argv->begin(), Argv->end(),
+                      std::string("--eval-jobs=3")),
+            Argv->end());
+
+  SimulationService Single;
+  TaskSpec SerialSpec = Spec;
+  SerialSpec.EvalJobs = 1;
+  std::optional<TaskResult> Unsharded = Single.run(SerialSpec);
+  ASSERT_TRUE(Unsharded);
+
+  ShardOptions Options;
+  Options.ShardCount = 2;
+  Options.WorkDir = testing::TempDir() + "mq-evaljobs-shards";
+  std::filesystem::remove_all(Options.WorkDir);
+  ShardCoordinator Coordinator(Options); // in-process workers
+  std::string Error;
+  std::optional<TaskResult> Sharded = Coordinator.run(Spec, &Error);
+  ASSERT_TRUE(Sharded) << Error;
+
+  EXPECT_EQ(Sharded->Batch.batchHash(), Unsharded->Batch.batchHash());
+  ASSERT_EQ(Sharded->ShotFidelities.size(), Unsharded->ShotFidelities.size());
+  for (size_t Shot = 0; Shot < Spec.Shots; ++Shot)
+    EXPECT_EQ(serial::doubleBits(Sharded->ShotFidelities[Shot]),
+              serial::doubleBits(Unsharded->ShotFidelities[Shot]))
+        << "shot " << Shot;
+  EXPECT_EQ(Sharded->Fidelity.Mean, Unsharded->Fidelity.Mean);
+  // The merge carries the workers' evaluation accounting through.
+  EXPECT_GT(Sharded->Batch.EvalSeconds, 0.0);
+  std::filesystem::remove_all(Options.WorkDir);
+}
+
 //===----------------------------------------------------------------------===//
 // Task surface
 //===----------------------------------------------------------------------===//
@@ -520,6 +600,12 @@ TEST(TaskSpecParseTest, RejectsNegativeAndNonPositiveFlags) {
   EXPECT_FALSE(parseArgs({"h.txt", "--shots=0"}, &Error));
   EXPECT_FALSE(parseArgs({"h.txt", "--jobs=-2"}, &Error));
   EXPECT_FALSE(parseArgs({"h.txt", "--columns=-4"}, &Error));
+  EXPECT_FALSE(parseArgs({"h.txt", "--eval-jobs=-1"}, &Error));
+  EXPECT_NE(Error.find("eval-jobs"), std::string::npos);
+
+  std::optional<TaskSpec> EvalJobs = parseArgs({"h.txt", "--eval-jobs=5"});
+  ASSERT_TRUE(EvalJobs);
+  EXPECT_EQ(EvalJobs->EvalJobs, 5u);
 }
 
 TEST(TaskSpecParseTest, PresetsAndOverridesNormalize) {

@@ -9,8 +9,10 @@
 #include "sim/Evolution.h"
 #include "sim/Fidelity.h"
 #include "sim/Observables.h"
+#include "sim/StatePanel.h"
 #include "sim/StateVector.h"
 #include "support/RNG.h"
+#include "support/Serial.h"
 
 #include <gtest/gtest.h>
 
@@ -34,6 +36,57 @@ CVector randomState(unsigned N, RNG &Rng) {
   for (auto &A : V)
     A /= Norm;
   return V;
+}
+
+/// The pre-fusion two-pass scratch kernels, kept verbatim as the reference
+/// the fused in-place kernels must reproduce bit for bit (including the
+/// signs of zeros — EXPECT_EQ on doubles treats -0.0 == +0.0, so the
+/// comparisons below go through the raw bit patterns).
+void referencePauliExp(CVector &Amp, const PauliString &P, double Theta) {
+  const Complex CosT(std::cos(Theta), 0.0);
+  const Complex ISinT(0.0, std::sin(Theta));
+  if (P.isIdentity()) {
+    const Complex Phase = CosT + ISinT;
+    for (Complex &A : Amp)
+      A *= Phase;
+    return;
+  }
+  CVector Scratch(Amp.size());
+  const uint64_t XM = P.xMask();
+  for (uint64_t X = 0; X < Amp.size(); ++X)
+    Scratch[X ^ XM] = P.applyToBasis(X) * Amp[X];
+  for (size_t X = 0; X < Amp.size(); ++X)
+    Amp[X] = CosT * Amp[X] + ISinT * Scratch[X];
+}
+
+void referencePauli(CVector &Amp, const PauliString &P) {
+  CVector Scratch(Amp.size());
+  const uint64_t XM = P.xMask();
+  for (uint64_t X = 0; X < Amp.size(); ++X)
+    Scratch[X ^ XM] = P.applyToBasis(X) * Amp[X];
+  Amp.swap(Scratch);
+}
+
+::testing::AssertionResult bitIdentical(const CVector &A, const Complex *B,
+                                        size_t N) {
+  for (size_t I = 0; I < N; ++I) {
+    if (serial::doubleBits(A[I].real()) != serial::doubleBits(B[I].real()) ||
+        serial::doubleBits(A[I].imag()) != serial::doubleBits(B[I].imag()))
+      return ::testing::AssertionFailure()
+             << "amplitude " << I << " differs: (" << A[I].real() << ", "
+             << A[I].imag() << ") vs (" << B[I].real() << ", " << B[I].imag()
+             << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// A random Pauli string; \p ZOnly restricts to the diagonal alphabet.
+PauliString randomString(unsigned N, RNG &Rng, bool ZOnly = false) {
+  PauliString P;
+  for (unsigned Q = 0; Q < N; ++Q)
+    P.setOp(Q, ZOnly ? (Rng.bernoulli(0.5) ? PauliOpKind::Z : PauliOpKind::I)
+                     : static_cast<PauliOpKind>(Rng.uniformInt(4)));
+  return P;
 }
 
 } // namespace
@@ -301,6 +354,138 @@ TEST(FidelityEvaluatorTest, CircuitAndScheduleAgree) {
     appendPauliRotation(C, Step.String, 2.0 * Step.Tau);
   FidelityEvaluator Eval(H, T, 8);
   EXPECT_NEAR(Eval.fidelity(Schedule), Eval.fidelityOfCircuit(C), 1e-10);
+}
+
+//===----------------------------------------------------------------------===//
+// Fused kernels & StatePanel bit-identity
+//===----------------------------------------------------------------------===//
+
+TEST(FusedKernelTest, MatchesTwoPassReferenceBitForBit) {
+  // Random states AND basis states (exact zeros exercise the sign-of-zero
+  // corners of the diagonal fast path), across the full string alphabet,
+  // Z-only strings, and the identity.
+  RNG Rng(90);
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    unsigned N = 1 + Rng.uniformInt(5);
+    PauliString P = randomString(N, Rng, /*ZOnly=*/Trial % 3 == 1);
+    if (Trial % 10 == 9)
+      P = PauliString(); // identity path
+    double Theta = Rng.uniform(-2.0, 2.0);
+    CVector In = Trial % 2 ? randomState(N, Rng)
+                           : CVector(size_t(1) << N, Complex(0.0, 0.0));
+    if (!(Trial % 2))
+      In[Rng.uniformInt(In.size())] = 1.0; // basis state, mostly zeros
+
+    CVector Reference = In;
+    referencePauliExp(Reference, P, Theta);
+    StateVector Fused(N, In);
+    Fused.applyPauliExp(P, Theta);
+    ASSERT_TRUE(bitIdentical(Reference, Fused.amplitudes().data(),
+                             Reference.size()))
+        << "exp trial " << Trial << " string " << P.str(N);
+
+    CVector PauliRef = In;
+    referencePauli(PauliRef, P);
+    StateVector FusedPauli(N, In);
+    FusedPauli.applyPauli(P);
+    ASSERT_TRUE(bitIdentical(PauliRef, FusedPauli.amplitudes().data(),
+                             PauliRef.size()))
+        << "pauli trial " << Trial << " string " << P.str(N);
+  }
+}
+
+TEST(StatePanelTest, MatchesSerialReplayAcrossColumnCounts) {
+  RNG Rng(91);
+  const unsigned N = 4;
+  const size_t Dim = size_t(1) << N;
+  // A schedule mixing butterfly, diagonal, and identity rotations.
+  std::vector<ScheduledRotation> Schedule;
+  for (int Step = 0; Step < 24; ++Step) {
+    PauliString P = randomString(N, Rng, /*ZOnly=*/Step % 4 == 1);
+    if (Step % 12 == 11)
+      P = PauliString();
+    Schedule.emplace_back(P, Rng.uniform(-1.5, 1.5));
+  }
+  for (size_t Columns : {size_t(1), size_t(3), size_t(8), Dim}) {
+    std::vector<uint64_t> Basis(Columns);
+    for (size_t C = 0; C < Columns; ++C)
+      Basis[C] = (C * 5) % Dim; // distinct for every width above
+    StatePanel Panel(N, Basis);
+    for (const ScheduledRotation &Step : Schedule)
+      Panel.applyPauliExpAll(Step.String, Step.Tau);
+    for (size_t C = 0; C < Columns; ++C) {
+      StateVector SV(N, Basis[C]);
+      for (const ScheduledRotation &Step : Schedule)
+        SV.applyPauliExp(Step.String, Step.Tau);
+      ASSERT_TRUE(bitIdentical(SV.amplitudes(), Panel.column(C), Dim))
+          << Columns << " columns, column " << C;
+    }
+  }
+}
+
+TEST(StatePanelTest, GateApplicationMatchesSerialBitForBit) {
+  RNG Rng(92);
+  const unsigned N = 3;
+  Circuit C(N);
+  C.append(Gate(GateKind::H, 0));
+  C.append(Gate::cnot(0, 2));
+  C.append(Gate(GateKind::Rz, 1, 0.37));
+  C.append(Gate(GateKind::S, 2));
+  C.append(Gate(GateKind::Rx, 0, -0.81));
+  C.append(Gate::cnot(2, 1));
+  C.append(Gate(GateKind::Ry, 2, 1.13));
+  std::vector<uint64_t> Basis = {0, 3, 5, 6, 7};
+  StatePanel Panel(N, Basis);
+  Panel.applyAll(C);
+  for (size_t Col = 0; Col < Basis.size(); ++Col) {
+    StateVector SV(N, Basis[Col]);
+    SV.apply(C);
+    ASSERT_TRUE(bitIdentical(SV.amplitudes(), Panel.column(Col), SV.dim()))
+        << "column " << Col;
+  }
+}
+
+TEST(FidelityEvaluatorTest, GoldenHexUnchangedByKernelFusion) {
+  // Pinned against the pre-fusion seed implementation: a TFIM Trotter
+  // schedule whose ZZ terms take the diagonal fast path. A kernel change
+  // that perturbs a single bit of any amplitude shows up here. The hex
+  // passes through libm transcendentals, so it assumes the CI platform's
+  // libm (x86-64 glibc) — the portable contract is the reference-kernel
+  // comparisons above.
+  Hamiltonian TF = makeTransverseFieldIsing(4, 1.0, 0.7);
+  std::vector<ScheduledRotation> Schedule;
+  const unsigned Reps = 3;
+  for (unsigned R = 0; R < Reps; ++R)
+    for (const auto &Term : TF.terms())
+      Schedule.emplace_back(Term.String, Term.Coeff * 0.8 / Reps);
+  FidelityEvaluator Eval(TF, 0.8, 5, 11);
+  EXPECT_EQ(serial::hex16(serial::doubleBits(Eval.fidelity(Schedule))),
+            "3fef1a73701db0e5");
+}
+
+TEST(FidelityEvaluatorTest, ChunkedEvaluationBitIdenticalForEveryEvalJobs) {
+  Hamiltonian H = makeHeisenbergXXZ(5, 1.0, 1.0, 0.8, 0.3);
+  std::vector<ScheduledRotation> Schedule;
+  for (unsigned R = 0; R < 4; ++R)
+    for (const auto &Term : H.terms())
+      Schedule.emplace_back(Term.String, Term.Coeff * 0.6 / 4);
+  // 32 columns = 4 fixed-width panel blocks: enough to give every EvalJobs
+  // value a different block-to-worker assignment.
+  FidelityEvaluator Eval(H, 0.6, 32, 5);
+  const uint64_t Reference = serial::doubleBits(Eval.fidelity(Schedule, 1));
+  for (unsigned Jobs : {2u, 3u, 4u, 8u, 0u})
+    EXPECT_EQ(serial::doubleBits(Eval.fidelity(Schedule, Jobs)), Reference)
+        << "eval-jobs " << Jobs;
+
+  Circuit C(5);
+  for (const auto &Step : Schedule)
+    appendPauliRotation(C, Step.String, 2.0 * Step.Tau);
+  const uint64_t CircuitRef =
+      serial::doubleBits(Eval.fidelityOfCircuit(C, 1));
+  for (unsigned Jobs : {3u, 0u})
+    EXPECT_EQ(serial::doubleBits(Eval.fidelityOfCircuit(C, Jobs)),
+              CircuitRef)
+        << "eval-jobs " << Jobs;
 }
 
 TEST(FidelityEvaluatorTest, TrotterFidelityImprovesWithReps) {

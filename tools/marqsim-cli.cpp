@@ -22,6 +22,12 @@
 //                         QASM output is always shot 0
 //     --jobs=J            worker threads for the batch (default 1, 0 = all
 //                         cores); results are bit-identical for every J
+//     --eval-jobs=J       worker threads *within* each shot's fidelity
+//                         evaluation (default 1, 0 = all cores): the
+//                         evaluator fans its fixed-width column blocks
+//                         across J threads; results are bit-identical for
+//                         every J. Complements --jobs when shots are few
+//                         and columns are many
 //     --shards=K          split the batch over K re-exec'd worker
 //                         processes and merge their manifests; the merged
 //                         output is bit-identical to --shards=1 (give a
@@ -43,7 +49,8 @@
 //                         are bit-identical for every budget
 //     --out=FILE          write QASM here (default stdout)
 //     --stats             print gate + cache statistics to stderr (with
-//                         --shots>1, the per-batch aggregate table)
+//                         --shots>1, the per-batch aggregate table), plus
+//                         the walk/emission vs evaluation phase timing
 //     --dot=FILE          also dump the HTT graph as Graphviz DOT
 //
 // Hidden worker mode (used by the --shards coordinator when it re-execs
@@ -160,7 +167,8 @@ int main(int Argc, char **Argv) {
                  "  [--time=T] [--epsilon=E]\n"
                  "  [--config=baseline|gc|gc-rp] [--qd=W --gc=W --rp=W]\n"
                  "  [--rounds=K] [--perturb-seed=S] [--seed=S] [--shots=N]\n"
-                 "  [--jobs=J] [--shards=K] [--shard-dir=DIR] [--columns=K]\n"
+                 "  [--jobs=J] [--eval-jobs=J] [--shards=K] [--shard-dir=DIR]\n"
+                 "  [--columns=K]\n"
                  "  [--cache-dir=DIR] [--cache-limit-mb=M] [--out=FILE]\n"
                  "  [--stats] [--dot=FILE]\n";
     return 1;
@@ -312,6 +320,25 @@ int main(int Argc, char **Argv) {
     if (Result->HasFidelity && Spec->Shots == 1)
       std::cerr << "fidelity=" << formatDouble(Result->ShotFidelities[0], 6)
                 << " (" << Spec->Evaluate.FidelityColumns << " columns)\n";
+    // Phase split of the batch: walk/emission (the sequential Markov part)
+    // vs per-shot evaluation (the fidelity calls). Eval is CPU-seconds
+    // summed per shot, so it can exceed the wall figure when shots run
+    // concurrently. For sharded runs the wall figure is the coordinator's
+    // whole run (spawn + workers + merge), not a batch clock, so the
+    // walk-vs-eval subtraction would be meaningless — only the summed
+    // worker eval time is reported there.
+    if (!Sharded) {
+      const double Eval = Result->Batch.EvalSeconds;
+      const double Walk = std::max(0.0, Result->Batch.Seconds - Eval);
+      std::cerr << "phase: wall=" << formatDouble(Result->Batch.Seconds)
+                << " s walk+emit=" << formatDouble(Walk)
+                << " s eval=" << formatDouble(Eval) << " s\n";
+    } else {
+      std::cerr << "phase: coordinator-wall="
+                << formatDouble(Result->Batch.Seconds)
+                << " s eval-cpu=" << formatDouble(Result->Batch.EvalSeconds)
+                << " s (summed across workers)\n";
+    }
     if (Sharded) {
       // Whole-run accounting: coordinator pre-warm + every worker + the
       // local shot-0 service. "gc-solves=1" is the one-solve contract.
