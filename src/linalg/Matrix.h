@@ -17,6 +17,8 @@
 #ifndef MARQSIM_LINALG_MATRIX_H
 #define MARQSIM_LINALG_MATRIX_H
 
+#include "support/AlignedAlloc.h"
+
 #include <cassert>
 #include <complex>
 #include <cstddef>
@@ -25,7 +27,11 @@
 namespace marqsim {
 
 using Complex = std::complex<double>;
-using CVector = std::vector<Complex>;
+
+/// Amplitude vectors allocate cache-line aligned so the statevector
+/// kernels' vector loads never split cache lines (SIMD paths additionally
+/// rely on the alignment for full-width aligned panel accesses).
+using CVector = std::vector<Complex, AlignedAllocator<Complex, 64>>;
 
 /// A dense row-major complex matrix.
 class Matrix {

@@ -8,6 +8,7 @@
 
 #include "hamgen/Registry.h"
 #include "pauli/HamiltonianIO.h"
+#include "sim/Kernels.h"
 #include "stats/Stats.h"
 #include "store/Codecs.h"
 #include "support/Timer.h"
@@ -501,11 +502,13 @@ std::optional<TaskResult> SimulationService::run(const TaskSpec &Spec,
     // Req.EvalJobs workers — the fixed block partition keeps every value
     // bit-identical. The hook's index is range-relative, matching the
     // result vectors.
-    Req.PerShot = [&, EvalJobs = Req.EvalJobs](size_t Shot,
+    Req.PerShot = [&, EvalJobs = Req.EvalJobs,
+                   Precision = Spec.Precision](size_t Shot,
                                                const CompilationResult &R) {
       if (Eval && (!EvalOnce || Shot == 0)) {
         Timer EvalClock;
-        Result.ShotFidelities[Shot] = Eval->fidelity(R.Schedule, EvalJobs);
+        Result.ShotFidelities[Shot] =
+            Eval->fidelity(R.Schedule, EvalJobs, Precision);
         EvalSecs[Shot] = EvalClock.seconds();
       }
       if (WantShotZero && Shot == 0)
@@ -542,3 +545,5 @@ CacheStats SimulationService::stats() const {
 ArtifactStore::Stats SimulationService::storeStats() const {
   return M->Store.stats();
 }
+
+const char *SimulationService::kernelName() { return kernels::activeName(); }

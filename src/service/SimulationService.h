@@ -202,6 +202,11 @@ public:
   /// Store-level accounting: tier hits, evictions, byte charges.
   ArtifactStore::Stats storeStats() const;
 
+  /// The kernel tier the evaluation substrate dispatched to ("avx2-fma",
+  /// "neon", or "scalar") — the self-describing sibling of storeStats,
+  /// reported alongside the precision tier by the CLI's --stats.
+  static const char *kernelName();
+
 private:
   struct Impl;
   std::unique_ptr<Impl> M;

@@ -104,6 +104,11 @@ uint64_t TaskSpec::contentKey() const {
   H = fnv1aWord(Lowering.UseCDFSampler ? 1 : 0, H);
   H = fnv1aWord(Evaluate.FidelityColumns, H);
   H = fnv1aWord(Evaluate.ColumnSeed, H);
+  // The precision tier participates only when it deviates from the FP64
+  // default: fp32 fidelities are different bits, but folding a constant
+  // for fp64 would shift every cache key minted before the tier existed.
+  if (Precision != EvalPrecision::FP64)
+    H = fnv1aWord(static_cast<uint64_t>(Precision), H);
   // Only the active method's knobs participate: an unused TrotterReps on
   // a sampling task cannot change its bits, so it must not change its key.
   switch (Method) {
@@ -220,6 +225,15 @@ std::optional<TaskSpec> TaskSpec::fromCommandLine(const CommandLine &CL,
     return std::nullopt;
   }
   Spec.Evaluate.FidelityColumns = static_cast<size_t>(Columns);
+
+  const std::string PrecName = CL.getString("precision", "fp64");
+  std::optional<EvalPrecision> Prec = parsePrecision(PrecName);
+  if (!Prec) {
+    detail::fail(Error, "--precision must be fp64 or fp32 (got '" + PrecName +
+                            "')");
+    return std::nullopt;
+  }
+  Spec.Precision = *Prec;
 
   Spec.UseCDF = CL.getBool("cdf");
   return Spec;

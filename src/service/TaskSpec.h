@@ -27,6 +27,7 @@
 #include "core/Compiler.h"
 #include "core/TransitionBuilders.h"
 #include "pauli/Hamiltonian.h"
+#include "sim/Precision.h"
 #include "support/CommandLine.h"
 
 #include <optional>
@@ -205,6 +206,13 @@ struct TaskSpec {
   /// contentKey.
   unsigned EvalJobs = 1;
 
+  /// Which panel tier evaluates fidelity. FP64 (the default) is the
+  /// bit-exact contract; FP32 is the opt-in throughput tier, rejected
+  /// wherever a bit-exact artifact is demanded (shard runs) and mixed
+  /// into contentKey only when selected, so every existing FP64 cache
+  /// key is untouched.
+  EvalPrecision Precision = EvalPrecision::FP64;
+
   /// Lowering options applied to every shot.
   CompilationOptions Lowering;
 
@@ -228,8 +236,9 @@ struct TaskSpec {
   /// Parses the common CLI surface into a spec: positional Hamiltonian
   /// file or --model=NAME, --time/--epsilon, --config + --qd/--gc/--rp,
   /// --rounds/--perturb-seed, --seed/--shots/--jobs/--eval-jobs,
-  /// --columns (fidelity), --cdf. Rejects negative counts/seeds and
-  /// non-positive time/epsilon.
+  /// --columns (fidelity), --precision (fp64/fp32), --cdf. Rejects
+  /// negative counts/seeds, non-positive time/epsilon, and unknown
+  /// precision names.
   static std::optional<TaskSpec> fromCommandLine(const CommandLine &CL,
                                                  std::string *Error = nullptr);
 };

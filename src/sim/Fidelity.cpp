@@ -65,14 +65,14 @@ FidelityEvaluator::FidelityEvaluator(unsigned NQubits,
          "one target per column");
 }
 
-double FidelityEvaluator::evaluatePanels(
-    unsigned EvalJobs,
-    const std::function<void(StatePanel &)> &Evolve) const {
+template <typename PanelT, typename EvolveFn>
+double FidelityEvaluator::evaluatePanels(unsigned EvalJobs,
+                                         const EvolveFn &Evolve) const {
   const size_t NumCols = Columns.size();
   // The block partition is a fixed function of the column count — never
   // of EvalJobs — so every worker count computes the same blocks and the
   // fixed-order reduction below yields the same bits.
-  constexpr size_t Width = StatePanel::PreferredWidth;
+  constexpr size_t Width = PanelT::PreferredWidth;
   const size_t Blocks = (NumCols + Width - 1) / Width;
   std::vector<Complex> Overlaps(NumCols);
   const unsigned Jobs =
@@ -80,7 +80,7 @@ double FidelityEvaluator::evaluatePanels(
   parallelFor(Blocks, Jobs, [&](size_t Block) {
     const size_t Begin = Block * Width;
     const size_t End = std::min(Begin + Width, NumCols);
-    StatePanel Panel(NQubits, Columns.data() + Begin, End - Begin);
+    PanelT Panel(NQubits, Columns.data() + Begin, End - Begin);
     Evolve(Panel);
     for (size_t C = Begin; C < End; ++C)
       Overlaps[C] = Panel.overlapWith(Targets[C], C - Begin);
@@ -88,6 +88,8 @@ double FidelityEvaluator::evaluatePanels(
   // Per-column overlaps are pure functions of their column, so this
   // serial chain over ascending columns reproduces the single-state
   // evaluation loop bit for bit no matter how the blocks were scheduled.
+  // (FP32 panels widen their overlaps to double before this chain, so
+  // only the panel evolution itself runs in float.)
   Complex Acc = 0.0;
   for (const Complex &O : Overlaps)
     Acc += O;
@@ -96,16 +98,20 @@ double FidelityEvaluator::evaluatePanels(
 
 double
 FidelityEvaluator::fidelity(const std::vector<ScheduledRotation> &Schedule,
-                            unsigned EvalJobs) const {
-  return evaluatePanels(EvalJobs, [&](StatePanel &Panel) {
+                            unsigned EvalJobs,
+                            EvalPrecision Precision) const {
+  const auto Replay = [&](auto &Panel) {
     for (const ScheduledRotation &Step : Schedule)
       Panel.applyPauliExpAll(Step.String, Step.Tau);
-  });
+  };
+  if (Precision == EvalPrecision::FP32)
+    return evaluatePanels<StatePanelF32>(EvalJobs, Replay);
+  return evaluatePanels<StatePanel>(EvalJobs, Replay);
 }
 
 double FidelityEvaluator::fidelityOfCircuit(const Circuit &C,
                                             unsigned EvalJobs) const {
   assert(C.numQubits() == NQubits && "circuit width mismatch");
-  return evaluatePanels(EvalJobs,
-                        [&](StatePanel &Panel) { Panel.applyAll(C); });
+  return evaluatePanels<StatePanel>(
+      EvalJobs, [&](StatePanel &Panel) { Panel.applyAll(C); });
 }

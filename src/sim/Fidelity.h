@@ -35,11 +35,10 @@
 
 #include "circuit/PauliEvolution.h"
 #include "pauli/Hamiltonian.h"
+#include "sim/Precision.h"
 #include "sim/StatePanel.h"
 #include "sim/StateVector.h"
 #include "support/RNG.h"
-
-#include <functional>
 
 namespace marqsim {
 
@@ -64,9 +63,12 @@ public:
 
   /// Fidelity of a schedule of analytic Pauli exponentials. \p EvalJobs
   /// fans the fixed-width column blocks across that many workers (0 = all
-  /// cores); the result is bit-identical for every value.
+  /// cores); the result is bit-identical for every value. \p Precision
+  /// selects the panel tier: FP64 (the bit-exact default) or the opt-in
+  /// FP32 throughput tier, whose result only tracks FP64 to a tolerance.
   double fidelity(const std::vector<ScheduledRotation> &Schedule,
-                  unsigned EvalJobs = 1) const;
+                  unsigned EvalJobs = 1,
+                  EvalPrecision Precision = EvalPrecision::FP64) const;
 
   /// Fidelity of an explicit gate-level circuit (slower; for validation).
   double fidelityOfCircuit(const Circuit &C, unsigned EvalJobs = 1) const;
@@ -82,10 +84,11 @@ public:
 
 private:
   /// Shared evaluation harness: partitions the columns into fixed-width
-  /// panel blocks, lets \p Evolve drive each block's panel, and reduces
-  /// the per-column overlaps in fixed column order.
-  double evaluatePanels(unsigned EvalJobs,
-                        const std::function<void(StatePanel &)> &Evolve) const;
+  /// panel blocks, lets \p Evolve drive each block's panel (of type
+  /// \p PanelT — the precision tier), and reduces the per-column overlaps
+  /// in fixed column order.
+  template <typename PanelT, typename EvolveFn>
+  double evaluatePanels(unsigned EvalJobs, const EvolveFn &Evolve) const;
 
   unsigned NQubits;
   std::vector<uint64_t> Columns;  // basis indices

@@ -1,0 +1,199 @@
+//===- sim/Kernels.cpp - Scalar reference kernels and dispatch ---------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The scalar tier is the semantic definition of every kernel: the SIMD
+// tiers must reproduce its per-element arithmetic bit for bit (FP64) or
+// lane for lane in float (FP32). The statevector bodies are the original
+// fused loops of StateVector::applyPauliExp, moved here verbatim; the
+// panel bodies are the SoA restatement of StatePanel::applyPauliExpAll
+// with identical per-element expressions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Kernels.h"
+
+#include "support/CpuFeatures.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+using namespace marqsim;
+using marqsim::detail::PauliPhases;
+using marqsim::detail::PauliPhasesF32;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Scalar statevector kernels (interleaved std::complex<double>)
+//===----------------------------------------------------------------------===//
+
+void scalarExpButterflyF64(Complex *Amp, size_t Dim, uint64_t XM, Complex CosT,
+                           Complex ISinT, const PauliPhases &Phases) {
+  // Fused butterfly: each {X, X ^ XM} pair is visited once and updated in
+  // place with the same per-element arithmetic as the two-pass scratch
+  // formulation (cos * psi + i sin * P psi), so results are bit-identical.
+  const uint64_t Pivot = XM & (~XM + 1); // lowest set bit of XM
+  for (uint64_t X = 0; X < Dim; ++X) {
+    if (X & Pivot)
+      continue;
+    const uint64_t Y = X ^ XM;
+    const Complex A0 = Amp[X];
+    const Complex A1 = Amp[Y];
+    Amp[X] = CosT * A0 + ISinT * (Phases.at(Y) * A1);
+    Amp[Y] = CosT * A1 + ISinT * (Phases.at(X) * A0);
+  }
+}
+
+void scalarExpDiagonalF64(Complex *Amp, size_t Dim, Complex CosT,
+                          Complex ISinT, const PauliPhases &Phases) {
+  // Diagonal fast path: P|X> = (+/-1)|X>, so each element only needs its
+  // own slot. The update keeps the literal two-product expression (rather
+  // than one fused factor cos +/- i sin) because a single multiply flips
+  // the sign of exact-zero amplitudes when cos(Theta) < 0; this form is
+  // bit-identical to the reference kernel including zero signs.
+  for (uint64_t X = 0; X < Dim; ++X) {
+    const Complex A = Amp[X];
+    Amp[X] = CosT * A + ISinT * (Phases.at(X) * A);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scalar panel kernels (split real/imag planes, row X at [X * Stride])
+//===----------------------------------------------------------------------===//
+
+// The sweeps cover the full Stride of every row, padding lanes included —
+// padding holds zeros and the updates are elementwise, so the dead lanes
+// stay zero (times cos/sin factors) and never leak into live columns.
+// This matches the SIMD tiers, which process whole vectors per row.
+
+template <typename Real, typename Phases>
+void panelExpButterfly(Real *Re, Real *Im, size_t Dim, size_t Stride,
+                       uint64_t XM, std::complex<Real> CosT,
+                       std::complex<Real> ISinT, const Phases &Ph) {
+  using C = std::complex<Real>;
+  const uint64_t Pivot = XM & (~XM + 1); // lowest set bit of XM
+  for (uint64_t X = 0; X < Dim; ++X) {
+    if (X & Pivot)
+      continue;
+    const uint64_t Y = X ^ XM;
+    const C PhX = Ph.at(X);
+    const C PhY = Ph.at(Y);
+    Real *ReX = Re + X * Stride, *ImX = Im + X * Stride;
+    Real *ReY = Re + Y * Stride, *ImY = Im + Y * Stride;
+    for (size_t L = 0; L < Stride; ++L) {
+      const C A0(ReX[L], ImX[L]);
+      const C A1(ReY[L], ImY[L]);
+      const C N0 = CosT * A0 + ISinT * (PhY * A1);
+      const C N1 = CosT * A1 + ISinT * (PhX * A0);
+      ReX[L] = N0.real();
+      ImX[L] = N0.imag();
+      ReY[L] = N1.real();
+      ImY[L] = N1.imag();
+    }
+  }
+}
+
+template <typename Real, typename Phases>
+void panelExpDiagonal(Real *Re, Real *Im, size_t Dim, size_t Stride,
+                      std::complex<Real> CosT, std::complex<Real> ISinT,
+                      const Phases &Ph) {
+  using C = std::complex<Real>;
+  for (uint64_t X = 0; X < Dim; ++X) {
+    const C PhX = Ph.at(X);
+    Real *ReX = Re + X * Stride, *ImX = Im + X * Stride;
+    for (size_t L = 0; L < Stride; ++L) {
+      const C A(ReX[L], ImX[L]);
+      const C N = CosT * A + ISinT * (PhX * A);
+      ReX[L] = N.real();
+      ImX[L] = N.imag();
+    }
+  }
+}
+
+void scalarPanelExpButterflyF64(double *Re, double *Im, size_t Dim,
+                                size_t Stride, uint64_t XM, Complex CosT,
+                                Complex ISinT, const PauliPhases &Ph) {
+  panelExpButterfly<double>(Re, Im, Dim, Stride, XM, CosT, ISinT, Ph);
+}
+
+void scalarPanelExpDiagonalF64(double *Re, double *Im, size_t Dim,
+                               size_t Stride, Complex CosT, Complex ISinT,
+                               const PauliPhases &Ph) {
+  panelExpDiagonal<double>(Re, Im, Dim, Stride, CosT, ISinT, Ph);
+}
+
+void scalarPanelExpButterflyF32(float *Re, float *Im, size_t Dim,
+                                size_t Stride, uint64_t XM,
+                                kernels::ComplexF CosT, kernels::ComplexF ISinT,
+                                const PauliPhasesF32 &Ph) {
+  panelExpButterfly<float>(Re, Im, Dim, Stride, XM, CosT, ISinT, Ph);
+}
+
+void scalarPanelExpDiagonalF32(float *Re, float *Im, size_t Dim, size_t Stride,
+                               kernels::ComplexF CosT, kernels::ComplexF ISinT,
+                               const PauliPhasesF32 &Ph) {
+  panelExpDiagonal<float>(Re, Im, Dim, Stride, CosT, ISinT, Ph);
+}
+
+const kernels::Ops ScalarOps = {
+    "scalar",
+    scalarExpButterflyF64,
+    scalarExpDiagonalF64,
+    scalarPanelExpButterflyF64,
+    scalarPanelExpDiagonalF64,
+    scalarPanelExpButterflyF32,
+    scalarPanelExpDiagonalF32,
+};
+
+//===----------------------------------------------------------------------===//
+// Dispatch
+//===----------------------------------------------------------------------===//
+
+const kernels::Ops *selectOps(bool ForceScalar) {
+  if (!ForceScalar) {
+    if (const kernels::Ops *V = kernels::detail::avx2Ops())
+      return V;
+    if (const kernels::Ops *V = kernels::detail::neonOps())
+      return V;
+  }
+  return &ScalarOps;
+}
+
+// The cached selection. Null until the first active() call (or an explicit
+// select*); stores are release so the pointed-to table is visible to
+// acquire loads on other threads.
+std::atomic<const kernels::Ops *> Active{nullptr};
+
+} // namespace
+
+bool kernels::forcedScalarByEnv() {
+  const char *E = std::getenv("MARQSIM_FORCE_SCALAR");
+  return E && *E && std::string(E) != "0";
+}
+
+const kernels::Ops &kernels::active() {
+  const Ops *K = Active.load(std::memory_order_acquire);
+  if (K)
+    return *K;
+  // First use: apply the default policy. Racing threads compute the same
+  // answer, so a benign double-store is fine.
+  K = selectOps(forcedScalarByEnv());
+  Active.store(K, std::memory_order_release);
+  return *K;
+}
+
+const char *kernels::activeName() { return active().Name; }
+
+const kernels::Ops &kernels::scalarOps() { return ScalarOps; }
+
+void kernels::selectForTesting(bool ForceScalar) {
+  Active.store(selectOps(ForceScalar), std::memory_order_release);
+}
+
+void kernels::selectAuto() {
+  Active.store(selectOps(forcedScalarByEnv()), std::memory_order_release);
+}

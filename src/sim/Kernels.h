@@ -1,0 +1,170 @@
+//===- sim/Kernels.h - Dispatched statevector kernels -----------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime-dispatched SIMD layer under StateVector and StatePanel.
+///
+/// Every hot evaluation loop — the fused Pauli-exponential butterfly, the
+/// Z-diagonal fast path, and the panel applyPauliExpAll sweeps — resolves
+/// through one table of kernel entry points (Ops). The table is selected
+/// once per process from the CPU probe (support/CpuFeatures.h): AVX2+FMA
+/// hosts get 256-bit kernels, AArch64 gets NEON, everything else — and any
+/// process started with MARQSIM_FORCE_SCALAR=1 — gets the scalar reference
+/// implementations, which are always compiled in.
+///
+/// Determinism contract: the FP64 vector kernels perform, lane for lane,
+/// exactly the per-element arithmetic of the scalar reference — the same
+/// complex-multiply expansion std::complex<double> uses, each operation
+/// individually rounded, no fused multiply-adds in value-producing
+/// arithmetic (the whole project builds with -ffp-contract=off, and the
+/// SIMD translation units use discrete mul/add/sub intrinsics only).
+/// Amplitude updates are elementwise-independent maps, so lane order never
+/// matters, and every dispatch choice emits bit-identical amplitudes; the
+/// frozen fidelity goldens hold on every ISA. The FP32 panel kernels keep
+/// the same scalar-vs-SIMD bit-identity among themselves but are only
+/// tolerance-comparable to FP64 (sim/Precision.h).
+///
+/// Panel-plane layout contract (BasicStatePanel): split real/imag planes,
+/// row-major by basis index — element (X, column) of a plane lives at
+/// [X * Stride + column] — with Stride a multiple of 8 elements and both
+/// plane bases 64-byte aligned. Rows therefore start on cache lines and a
+/// column sweep is a run of contiguous full-width vector lanes; kernels
+/// process the zero-filled padding lanes along with the live ones (lanes
+/// never interact, so padding stays inert).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_SIM_KERNELS_H
+#define MARQSIM_SIM_KERNELS_H
+
+#include "linalg/Matrix.h"
+#include "pauli/PauliString.h"
+
+#include <complex>
+#include <cstdint>
+
+namespace marqsim {
+
+namespace detail {
+/// The per-rotation phase table of one Pauli string. applyToBasis(X) is
+/// always +/- i^{|xMask & zMask|} with the sign given by the parity of
+/// zMask & X, so a kernel can precompute the two constants once per
+/// rotation and select per element — the selected value is bit-identical
+/// to what PauliString::applyToBasis returns, at a fraction of the cost.
+struct PauliPhases {
+  Complex Pos, Neg;
+  uint64_t ZMask;
+
+  explicit PauliPhases(const PauliString &P) : ZMask(P.zMask()) {
+    static const Complex IPow[4] = {
+        {1.0, 0.0}, {0.0, 1.0}, {-1.0, 0.0}, {0.0, -1.0}};
+    Pos = IPow[__builtin_popcountll(P.xMask() & P.zMask()) % 4];
+    Neg = -Pos; // the same unary negation applyToBasis applies
+  }
+
+  const Complex &at(uint64_t X) const {
+    return (__builtin_popcountll(ZMask & X) & 1) ? Neg : Pos;
+  }
+};
+
+/// The FP32 tier's phase table: the same +/- i^k constants narrowed once.
+/// The constants are 0/±1 valued, so the narrowing is exact.
+struct PauliPhasesF32 {
+  std::complex<float> Pos, Neg;
+  uint64_t ZMask;
+
+  explicit PauliPhasesF32(const PauliPhases &P)
+      : Pos(static_cast<float>(P.Pos.real()),
+            static_cast<float>(P.Pos.imag())),
+        Neg(-Pos), ZMask(P.ZMask) {}
+
+  const std::complex<float> &at(uint64_t X) const {
+    return (__builtin_popcountll(ZMask & X) & 1) ? Neg : Pos;
+  }
+};
+} // namespace detail
+
+namespace kernels {
+
+using ComplexF = std::complex<float>;
+
+/// One implementation tier of every dispatched kernel. CosT carries
+/// (cos Theta, 0) and ISinT (0, sin Theta) — the exact constants the
+/// scalar expressions use, so the 0-component products (and their
+/// sign-of-zero effects) are reproduced verbatim.
+struct Ops {
+  /// Tier name as reported by --stats and the bench CSVs:
+  /// "avx2-fma", "neon", or "scalar".
+  const char *Name;
+
+  /// exp(i Theta P) on one interleaved std::complex<double> statevector,
+  /// xMask != 0: the fused in-place butterfly over {X, X ^ xMask} pairs.
+  void (*ExpButterflyF64)(Complex *Amp, size_t Dim, uint64_t XM,
+                          Complex CosT, Complex ISinT,
+                          const detail::PauliPhases &Ph);
+
+  /// exp(i Theta P) for Z-only strings (xMask == 0): the per-element
+  /// diagonal fast path on an interleaved statevector.
+  void (*ExpDiagonalF64)(Complex *Amp, size_t Dim, Complex CosT,
+                         Complex ISinT, const detail::PauliPhases &Ph);
+
+  /// The panel butterfly sweep over SoA planes (layout contract above).
+  void (*PanelExpButterflyF64)(double *Re, double *Im, size_t Dim,
+                               size_t Stride, uint64_t XM, Complex CosT,
+                               Complex ISinT, const detail::PauliPhases &Ph);
+
+  /// The panel Z-diagonal sweep over SoA planes.
+  void (*PanelExpDiagonalF64)(double *Re, double *Im, size_t Dim,
+                              size_t Stride, Complex CosT, Complex ISinT,
+                              const detail::PauliPhases &Ph);
+
+  /// FP32 panel butterfly: identical structure, float planes, twice the
+  /// lanes per vector.
+  void (*PanelExpButterflyF32)(float *Re, float *Im, size_t Dim,
+                               size_t Stride, uint64_t XM, ComplexF CosT,
+                               ComplexF ISinT,
+                               const detail::PauliPhasesF32 &Ph);
+
+  /// FP32 panel Z-diagonal sweep.
+  void (*PanelExpDiagonalF32)(float *Re, float *Im, size_t Dim,
+                              size_t Stride, ComplexF CosT, ComplexF ISinT,
+                              const detail::PauliPhasesF32 &Ph);
+};
+
+/// The dispatched table: selected on first use from the CPU probe and the
+/// MARQSIM_FORCE_SCALAR environment variable, then cached. Thread-safe.
+const Ops &active();
+
+/// Name of the dispatched tier ("avx2-fma" / "neon" / "scalar").
+const char *activeName();
+
+/// The always-available scalar reference tier.
+const Ops &scalarOps();
+
+/// True when MARQSIM_FORCE_SCALAR is set (non-empty, not "0") in the
+/// process environment.
+bool forcedScalarByEnv();
+
+/// Test/bench hook: pin dispatch to the scalar tier (true) or to the best
+/// tier the CPU supports regardless of the environment (false). Production
+/// code never calls this; use selectAuto() to restore the default policy.
+void selectForTesting(bool ForceScalar);
+
+/// Restores the default dispatch policy (CPU probe + environment).
+void selectAuto();
+
+namespace detail {
+/// Per-ISA tables; null when the binary was built without the ISA or the
+/// host CPU lacks it. Defined in KernelsAVX2.cpp / KernelsNEON.cpp so the
+/// stubs exist on every platform.
+const Ops *avx2Ops();
+const Ops *neonOps();
+} // namespace detail
+
+} // namespace kernels
+} // namespace marqsim
+
+#endif // MARQSIM_SIM_KERNELS_H

@@ -6,89 +6,111 @@
 
 #include "sim/StatePanel.h"
 
+#include "sim/Kernels.h"
+
 #include <cmath>
+#include <type_traits>
 
 using namespace marqsim;
 
-StatePanel::StatePanel(unsigned NumQubits, const uint64_t *Basis,
-                       size_t NumColumns)
+template <typename Real>
+BasicStatePanel<Real>::BasicStatePanel(unsigned NumQubits,
+                                       const uint64_t *Basis,
+                                       size_t NumColumns)
     : NQubits(NumQubits), Dim(size_t(1) << NumQubits), Cols(NumColumns),
-      Data(Dim * NumColumns, Complex(0.0, 0.0)) {
+      Stride((NumColumns + LaneMultiple - 1) & ~(LaneMultiple - 1)),
+      Re(Dim * Stride, Real(0)), Im(Dim * Stride, Real(0)) {
   assert(NumQubits <= 26 && "statevector too large");
   for (size_t Col = 0; Col < Cols; ++Col) {
     assert(Basis[Col] < Dim && "basis state out of range");
-    Data[Col * Dim + Basis[Col]] = 1.0;
+    Re[size_t(Basis[Col]) * Stride + Col] = Real(1);
   }
 }
 
-StatePanel::StatePanel(unsigned NumQubits, const std::vector<uint64_t> &Basis)
-    : StatePanel(NumQubits, Basis.data(), Basis.size()) {}
+template <typename Real>
+BasicStatePanel<Real>::BasicStatePanel(unsigned NumQubits,
+                                       const std::vector<uint64_t> &Basis)
+    : BasicStatePanel(NumQubits, Basis.data(), Basis.size()) {}
 
-void StatePanel::applyPauliExpAll(const PauliString &P, double Theta) {
+template <typename Real>
+CVector BasicStatePanel<Real>::column(size_t Col) const {
+  assert(Col < Cols && "column out of range");
+  CVector Out(Dim);
+  for (uint64_t X = 0; X < Dim; ++X)
+    Out[X] = at(Col, X);
+  return Out;
+}
+
+template <typename Real>
+void BasicStatePanel<Real>::applyPauliExpAll(const PauliString &P,
+                                             double Theta) {
   assert((P.supportMask() >> NQubits) == 0 &&
          "Pauli string acts outside the register");
+  using C = std::complex<Real>;
   // Per-rotation setup — masks, trig, the +/- i^k phase constants — done
-  // once here and amortized over every column below.
-  const Complex CosT(std::cos(Theta), 0.0);
-  const Complex ISinT(0.0, std::sin(Theta));
+  // once here and amortized over every column below. The trig runs in
+  // double for every instantiation; the FP32 tier narrows the constants
+  // exactly once per rotation.
+  const C CosT(Real(std::cos(Theta)), Real(0));
+  const C ISinT(Real(0), Real(std::sin(Theta)));
   if (P.isIdentity()) {
-    const Complex Phase = CosT + ISinT;
-    for (Complex &A : Data)
-      A *= Phase;
+    // exp(i Theta I) is the global phase cos + i sin; elementwise over
+    // the planes, padding lanes included (they stay zero).
+    const C Phase = CosT + ISinT;
+    for (size_t I = 0, E = Re.size(); I < E; ++I) {
+      const C A(Re[I], Im[I]);
+      const C N = A * Phase;
+      Re[I] = N.real();
+      Im[I] = N.imag();
+    }
     return;
   }
   const uint64_t XM = P.xMask();
   const detail::PauliPhases Phases(P);
-  if (XM == 0) {
-    // Diagonal fast path, swept index-outer: the phase for basis index X
-    // is selected once and applied to X's slot in every column. Same
-    // two-product expression as StateVector's diagonal path (a fused
-    // cos +/- i sin factor would flip zero signs when cos(Theta) < 0).
-    for (uint64_t X = 0; X < Dim; ++X) {
-      const Complex Ph = Phases.at(X);
-      Complex *Slot = Data.data() + X;
-      for (size_t Col = 0; Col < Cols; ++Col, Slot += Dim) {
-        const Complex A = *Slot;
-        *Slot = CosT * A + ISinT * (Ph * A);
-      }
-    }
-    return;
-  }
-  // Fused butterflies, pair-outer / column-inner: each pair's phase pair
-  // is selected once per sweep instead of once per column. The per-element
-  // arithmetic matches StateVector::applyPauliExp exactly.
-  const uint64_t Pivot = XM & (~XM + 1); // lowest set bit of XM
-  for (uint64_t X = 0; X < Dim; ++X) {
-    if (X & Pivot)
-      continue;
-    const uint64_t Y = X ^ XM;
-    const Complex PhX = Phases.at(X);
-    const Complex PhY = Phases.at(Y);
-    Complex *SlotX = Data.data() + X;
-    Complex *SlotY = Data.data() + Y;
-    for (size_t Col = 0; Col < Cols; ++Col, SlotX += Dim, SlotY += Dim) {
-      const Complex A0 = *SlotX;
-      const Complex A1 = *SlotY;
-      *SlotX = CosT * A0 + ISinT * (PhY * A1);
-      *SlotY = CosT * A1 + ISinT * (PhX * A0);
-    }
+  const kernels::Ops &K = kernels::active();
+  if constexpr (std::is_same_v<Real, double>) {
+    if (XM == 0)
+      K.PanelExpDiagonalF64(Re.data(), Im.data(), Dim, Stride, CosT, ISinT,
+                            Phases);
+    else
+      K.PanelExpButterflyF64(Re.data(), Im.data(), Dim, Stride, XM, CosT,
+                             ISinT, Phases);
+  } else {
+    const detail::PauliPhasesF32 PhasesF(Phases);
+    if (XM == 0)
+      K.PanelExpDiagonalF32(Re.data(), Im.data(), Dim, Stride, CosT, ISinT,
+                            PhasesF);
+    else
+      K.PanelExpButterflyF32(Re.data(), Im.data(), Dim, Stride, XM, CosT,
+                             ISinT, PhasesF);
   }
 }
 
-void StatePanel::applyAll(const Gate &G) {
-  Complex M[2][2];
-  if (detail::singleQubitMatrix(G, M)) {
+template <typename Real> void BasicStatePanel<Real>::applyAll(const Gate &G) {
+  using C = std::complex<Real>;
+  Complex M64[2][2];
+  if (detail::singleQubitMatrix(G, M64)) {
     assert(G.Qubit0 < NQubits && "qubit out of range");
+    // Matrix entries narrow once per gate; for the double panel this is
+    // the identical matrix a standalone StateVector applies.
+    const C M00(M64[0][0]), M01(M64[0][1]), M10(M64[1][0]), M11(M64[1][1]);
     const uint64_t Bit = 1ULL << G.Qubit0;
-    for (size_t Col = 0; Col < Cols; ++Col) {
-      Complex *Amp = column(Col);
-      for (uint64_t Base = 0; Base < Dim; ++Base) {
-        if (Base & Bit)
-          continue;
-        Complex A0 = Amp[Base];
-        Complex A1 = Amp[Base | Bit];
-        Amp[Base] = M[0][0] * A0 + M[0][1] * A1;
-        Amp[Base | Bit] = M[1][0] * A0 + M[1][1] * A1;
+    for (uint64_t Base = 0; Base < Dim; ++Base) {
+      if (Base & Bit)
+        continue;
+      Real *Re0 = Re.data() + Base * Stride;
+      Real *Im0 = Im.data() + Base * Stride;
+      Real *Re1 = Re.data() + (Base | Bit) * Stride;
+      Real *Im1 = Im.data() + (Base | Bit) * Stride;
+      for (size_t L = 0; L < Stride; ++L) {
+        const C A0(Re0[L], Im0[L]);
+        const C A1(Re1[L], Im1[L]);
+        const C N0 = M00 * A0 + M01 * A1;
+        const C N1 = M10 * A0 + M11 * A1;
+        Re0[L] = N0.real();
+        Im0[L] = N0.imag();
+        Re1[L] = N1.real();
+        Im1[L] = N1.imag();
       }
     }
     return;
@@ -98,25 +120,37 @@ void StatePanel::applyAll(const Gate &G) {
     return; // release builds: an invalid kind stays a no-op
   const uint64_t CBit = 1ULL << G.Qubit0;
   const uint64_t TBit = 1ULL << G.Qubit1;
-  for (size_t Col = 0; Col < Cols; ++Col) {
-    Complex *Amp = column(Col);
-    for (uint64_t X = 0; X < Dim; ++X)
-      if ((X & CBit) && !(X & TBit))
-        std::swap(Amp[X], Amp[X | TBit]);
+  for (uint64_t X = 0; X < Dim; ++X) {
+    if (!(X & CBit) || (X & TBit))
+      continue;
+    Real *Re0 = Re.data() + X * Stride;
+    Real *Im0 = Im.data() + X * Stride;
+    Real *Re1 = Re.data() + (X | TBit) * Stride;
+    Real *Im1 = Im.data() + (X | TBit) * Stride;
+    for (size_t L = 0; L < Stride; ++L) {
+      std::swap(Re0[L], Re1[L]);
+      std::swap(Im0[L], Im1[L]);
+    }
   }
 }
 
-void StatePanel::applyAll(const Circuit &C) {
+template <typename Real>
+void BasicStatePanel<Real>::applyAll(const Circuit &C) {
   assert(C.numQubits() <= NQubits && "circuit wider than panel");
   for (const Gate &G : C.gates())
     applyAll(G);
 }
 
-Complex StatePanel::overlapWith(const CVector &Target, size_t Col) const {
+template <typename Real>
+Complex BasicStatePanel<Real>::overlapWith(const CVector &Target,
+                                           size_t Col) const {
   assert(Target.size() == Dim && "overlap size mismatch");
-  const Complex *Amp = column(Col);
+  assert(Col < Cols && "column out of range");
   Complex S = 0.0;
-  for (size_t I = 0; I < Dim; ++I)
-    S += std::conj(Target[I]) * Amp[I];
+  for (uint64_t X = 0; X < Dim; ++X)
+    S += std::conj(Target[X]) * at(Col, X);
   return S;
 }
+
+template class marqsim::BasicStatePanel<double>;
+template class marqsim::BasicStatePanel<float>;

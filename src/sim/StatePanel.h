@@ -10,17 +10,27 @@
 /// Fidelity evaluation replays the same compiled schedule against many
 /// target columns; doing that one column at a time re-derives every
 /// per-rotation quantity (masks, cos/sin, the +/- i^k phase constants) C
-/// times and re-reads the schedule C times. StatePanel stores the C
-/// statevectors column-major (each column contiguous, column c at
-/// Data[c * 2^n]) and applies each rotation to all columns in one sweep:
-/// the per-rotation setup happens once, and each butterfly pair's phase
-/// pair is selected once and reused across the columns.
+/// times and re-reads the schedule C times. The panel stores the C
+/// statevectors as split real/imag planes, row-major by basis index:
+/// element (X, column) of a plane lives at [X * Stride + column], with
+/// Stride rounded up to a multiple of 8 lanes and both planes allocated
+/// 64-byte aligned. A rotation's sweep over one basis row is therefore a
+/// run of contiguous, aligned, full-width vector lanes — the layout the
+/// dispatched SIMD kernels (sim/Kernels.h) consume directly, with the
+/// padding lanes held at zero and processed inertly alongside the live
+/// columns. Per-rotation setup happens once per sweep and each butterfly
+/// pair's phase pair is selected once and broadcast across the columns.
 ///
-/// Determinism contract: every column of the panel evolves with exactly
-/// the per-element arithmetic of a standalone StateVector — the kernels
-/// share the phase-selection helper and gate matrices — so a panel of C
-/// columns is bit-identical to C serial single-state replays for every
-/// panel width. SimTest pins this across widths and fast paths.
+/// Determinism contract (FP64): every column of the panel evolves with
+/// exactly the per-element arithmetic of a standalone StateVector — the
+/// kernels share the phase-selection helper and gate matrices — so a
+/// panel of C columns is bit-identical to C serial single-state replays
+/// for every panel width and every kernel dispatch. SimTest pins this
+/// across widths and fast paths. The float instantiation (StatePanelF32)
+/// is the opt-in throughput tier: per-rotation constants are computed in
+/// double and narrowed once, amplitudes evolve in float, and overlaps
+/// still accumulate in double; its results are tolerance-defined against
+/// FP64, never bit-exact (sim/Precision.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,17 +38,21 @@
 #define MARQSIM_SIM_STATEPANEL_H
 
 #include "sim/StateVector.h"
+#include "support/AlignedAlloc.h"
 
 #include <cstdint>
 #include <vector>
 
 namespace marqsim {
 
-/// A cache-blocked, column-major panel of statevectors (one per requested
-/// basis column) evolved together. n <= 26 as for StateVector; callers
-/// bound the width (see PreferredWidth) to keep the working set in cache.
-class StatePanel {
+/// A cache-blocked panel of statevectors (one per requested basis column)
+/// evolved together over split real/imag planes. n <= 26 as for
+/// StateVector; callers bound the width (see PreferredWidth) to keep the
+/// working set in cache.
+template <typename Real> class BasicStatePanel {
 public:
+  using RealType = Real;
+
   /// The default column-block width of panel consumers: wide enough to
   /// amortize per-rotation setup, narrow enough that a block of 2^n
   /// columns stays cache-resident at the experiment sizes. Fixed —
@@ -46,19 +60,41 @@ public:
   /// identically for every EvalJobs value.
   static constexpr size_t PreferredWidth = 8;
 
+  /// Lane stride rounding: rows start every LaneMultiple elements so
+  /// full-width vector loads stay aligned (8 doubles = one cache line).
+  static constexpr size_t LaneMultiple = 8;
+
   /// Initializes column k to the basis state |Basis[k]>.
-  StatePanel(unsigned NumQubits, const uint64_t *Basis, size_t NumColumns);
-  StatePanel(unsigned NumQubits, const std::vector<uint64_t> &Basis);
+  BasicStatePanel(unsigned NumQubits, const uint64_t *Basis,
+                  size_t NumColumns);
+  BasicStatePanel(unsigned NumQubits, const std::vector<uint64_t> &Basis);
 
   unsigned numQubits() const { return NQubits; }
   size_t dim() const { return Dim; }
   size_t numColumns() const { return Cols; }
 
-  Complex *column(size_t Col) { return Data.data() + Col * Dim; }
-  const Complex *column(size_t Col) const { return Data.data() + Col * Dim; }
+  /// Elements per plane row (numColumns rounded up to LaneMultiple);
+  /// element (X, Col) of a plane lives at [X * laneStride() + Col].
+  size_t laneStride() const { return Stride; }
+
+  Real *realPlane() { return Re.data(); }
+  Real *imagPlane() { return Im.data(); }
+  const Real *realPlane() const { return Re.data(); }
+  const Real *imagPlane() const { return Im.data(); }
+
+  /// Amplitude of basis state \p X in column \p Col, widened to double.
+  Complex at(size_t Col, uint64_t X) const {
+    const size_t I = size_t(X) * Stride + Col;
+    return Complex(static_cast<double>(Re[I]), static_cast<double>(Im[I]));
+  }
+
+  /// Materializes column \p Col as one contiguous statevector (the panel
+  /// itself stores columns strided across rows).
+  CVector column(size_t Col) const;
 
   /// Applies exp(i * Theta * P) to every column in one schedule sweep.
   /// Diagonal (Z-only) strings take the per-element phase fast path.
+  /// Dispatches to the active kernel tier (scalar/AVX2/NEON).
   void applyPauliExpAll(const PauliString &P, double Theta);
 
   /// Applies one gate to every column.
@@ -67,16 +103,27 @@ public:
   /// Applies all gates of a circuit in order to every column.
   void applyAll(const Circuit &C);
 
-  /// <Target | column Col>, accumulated in ascending basis order — the
-  /// same chain as innerProduct over a standalone statevector.
+  /// <Target | column Col>, accumulated in double in ascending basis
+  /// order — the same chain as innerProduct over a standalone
+  /// statevector (bit-identical for the double instantiation).
   Complex overlapWith(const CVector &Target, size_t Col) const;
 
 private:
   unsigned NQubits;
   size_t Dim;
   size_t Cols;
-  std::vector<Complex> Data;
+  size_t Stride;
+  std::vector<Real, AlignedAllocator<Real, 64>> Re, Im;
 };
+
+extern template class BasicStatePanel<double>;
+extern template class BasicStatePanel<float>;
+
+/// The bit-exact FP64 panel every default path evaluates on.
+using StatePanel = BasicStatePanel<double>;
+
+/// The opt-in FP32 throughput tier (tolerance-defined; see Precision.h).
+using StatePanelF32 = BasicStatePanel<float>;
 
 } // namespace marqsim
 

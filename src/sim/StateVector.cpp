@@ -6,6 +6,7 @@
 
 #include "sim/StateVector.h"
 
+#include "sim/Kernels.h"
 #include "sim/StatePanel.h"
 
 #include <cmath>
@@ -170,34 +171,15 @@ void StateVector::applyPauliExp(const PauliString &P, double Theta) {
       A *= Phase;
     return;
   }
+  // The diagonal fast path and the fused butterfly both live behind the
+  // kernel dispatch: scalar reference or a bit-identical SIMD variant.
   const uint64_t XM = P.xMask();
   const detail::PauliPhases Phases(P);
-  if (XM == 0) {
-    // Diagonal fast path: P|X> = (+/-1)|X>, so each element only needs
-    // its own slot — no partner load, no scratch pass, no applyToBasis
-    // call. The update keeps the literal two-product expression (rather
-    // than one fused factor cos +/- i sin) because a single multiply
-    // flips the sign of exact-zero amplitudes when cos(Theta) < 0; this
-    // form is bit-identical to the reference kernel including zero signs.
-    for (uint64_t X = 0; X < Amp.size(); ++X) {
-      const Complex A = Amp[X];
-      Amp[X] = CosT * A + ISinT * (Phases.at(X) * A);
-    }
-    return;
-  }
-  // Fused butterfly: each {X, X ^ XM} pair is visited once and updated in
-  // place with the same per-element arithmetic as the two-pass scratch
-  // formulation (cos * psi + i sin * P psi), so results are bit-identical.
-  const uint64_t Pivot = XM & (~XM + 1); // lowest set bit of XM
-  for (uint64_t X = 0; X < Amp.size(); ++X) {
-    if (X & Pivot)
-      continue;
-    const uint64_t Y = X ^ XM;
-    const Complex A0 = Amp[X];
-    const Complex A1 = Amp[Y];
-    Amp[X] = CosT * A0 + ISinT * (Phases.at(Y) * A1);
-    Amp[Y] = CosT * A1 + ISinT * (Phases.at(X) * A0);
-  }
+  const kernels::Ops &K = kernels::active();
+  if (XM == 0)
+    K.ExpDiagonalF64(Amp.data(), Amp.size(), CosT, ISinT, Phases);
+  else
+    K.ExpButterflyF64(Amp.data(), Amp.size(), XM, CosT, ISinT, Phases);
 }
 
 Complex StateVector::overlap(const StateVector &Other) const {
@@ -220,11 +202,9 @@ Matrix marqsim::circuitUnitary(const Circuit &C) {
       Cols[L] = Base + L;
     StatePanel Panel(C.numQubits(), Cols);
     Panel.applyAll(C);
-    for (size_t L = 0; L < Count; ++L) {
-      const Complex *Col = Panel.column(L);
+    for (size_t L = 0; L < Count; ++L)
       for (size_t Row = 0; Row < Dim; ++Row)
-        U.at(Row, Base + L) = Col[Row];
-    }
+        U.at(Row, Base + L) = Panel.at(L, Row);
   }
   return U;
 }

@@ -19,9 +19,12 @@
 /// that touches each element's own slot only — half the memory traffic
 /// again. Both paths perform bit-for-bit the arithmetic of the textbook
 /// two-pass formulation (including the signs of zeros), so fidelities and
-/// golden schedules are unchanged — see detail::PauliPhases below for the
-/// phase-selection helper (shared with StatePanel) and SimTest's
-/// reference-kernel equivalence tests for the pinning.
+/// golden schedules are unchanged — see detail::PauliPhases in
+/// sim/Kernels.h for the phase-selection helper (shared with StatePanel)
+/// and SimTest's reference-kernel equivalence tests for the pinning. The
+/// loops themselves live behind the runtime-dispatched kernel table of
+/// sim/Kernels.h, which picks AVX2/NEON variants that are bit-identical
+/// to the scalar reference.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,27 +45,6 @@ namespace detail {
 /// flip). One home for the gate constants so the single-state and panel
 /// simulators apply bit-identical matrices.
 bool singleQubitMatrix(const Gate &G, Complex M[2][2]);
-
-/// The per-rotation phase table of one Pauli string. applyToBasis(X) is
-/// always +/- i^{|xMask & zMask|} with the sign given by the parity of
-/// zMask & X, so a kernel can precompute the two constants once per
-/// rotation and select per element — the selected value is bit-identical
-/// to what PauliString::applyToBasis returns, at a fraction of the cost.
-struct PauliPhases {
-  Complex Pos, Neg;
-  uint64_t ZMask;
-
-  explicit PauliPhases(const PauliString &P) : ZMask(P.zMask()) {
-    static const Complex IPow[4] = {
-        {1.0, 0.0}, {0.0, 1.0}, {-1.0, 0.0}, {0.0, -1.0}};
-    Pos = IPow[__builtin_popcountll(P.xMask() & P.zMask()) % 4];
-    Neg = -Pos; // the same unary negation applyToBasis applies
-  }
-
-  const Complex &at(uint64_t X) const {
-    return (__builtin_popcountll(ZMask & X) & 1) ? Neg : Pos;
-  }
-};
 } // namespace detail
 
 /// An n-qubit pure state (n <= 26 to keep memory bounded).

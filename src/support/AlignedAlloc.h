@@ -1,0 +1,63 @@
+//===- support/AlignedAlloc.h - Over-aligned vector storage -----*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal std::allocator replacement that over-aligns every allocation
+/// to a cache-line (64-byte) boundary. Amplitude storage — statevectors,
+/// panel planes, fidelity targets — allocates through it so vector loads
+/// never straddle cache lines and the SIMD kernels can use full-width
+/// aligned accesses on the panel planes. The allocator changes only where
+/// bytes land, never what they hold, so it is invisible to every
+/// determinism contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_SUPPORT_ALIGNEDALLOC_H
+#define MARQSIM_SUPPORT_ALIGNEDALLOC_H
+
+#include <cstddef>
+#include <new>
+
+namespace marqsim {
+
+/// std-compatible allocator handing out \p Alignment-aligned blocks via
+/// C++17 aligned operator new. Stateless: all instances are equal.
+template <typename T, std::size_t Alignment = 64> struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment> &) noexcept {}
+
+  template <typename U> struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T *allocate(std::size_t N) {
+    return static_cast<T *>(
+        ::operator new(N * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T *P, std::size_t) noexcept {
+    ::operator delete(P, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator &,
+                         const AlignedAllocator &) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator &,
+                         const AlignedAllocator &) noexcept {
+    return false;
+  }
+};
+
+} // namespace marqsim
+
+#endif // MARQSIM_SUPPORT_ALIGNEDALLOC_H

@@ -1,0 +1,44 @@
+//===- support/CpuFeatures.cpp - Runtime ISA feature probe -------------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CpuFeatures.h"
+
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_ASIMD
+#define HWCAP_ASIMD (1 << 1)
+#endif
+#endif
+
+using namespace marqsim;
+
+namespace {
+
+CpuFeatures probe() {
+  CpuFeatures F;
+#if defined(__x86_64__) || defined(__i386__)
+  // cpuid via the compiler's cached probe; also checks OS XSAVE support,
+  // so AVX2=true means the registers are actually usable.
+  F.AVX2 = __builtin_cpu_supports("avx2");
+  F.FMA = __builtin_cpu_supports("fma");
+#elif defined(__aarch64__)
+#if defined(__linux__)
+  F.NEON = (getauxval(AT_HWCAP) & HWCAP_ASIMD) != 0;
+#else
+  // AdvSIMD is architecturally mandatory on AArch64.
+  F.NEON = true;
+#endif
+#endif
+  return F;
+}
+
+} // namespace
+
+const CpuFeatures &marqsim::cpuFeatures() {
+  // Magic-static: probed exactly once, thread-safe since C++11.
+  static const CpuFeatures F = probe();
+  return F;
+}

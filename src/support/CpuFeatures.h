@@ -1,0 +1,45 @@
+//===- support/CpuFeatures.h - Runtime ISA feature probe --------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A one-shot runtime probe of the SIMD capabilities of the host CPU, used
+/// by the evaluation-kernel dispatcher (sim/Kernels.h) to pick the widest
+/// implementation the hardware supports.
+///
+/// On x86-64 the probe goes through cpuid (__builtin_cpu_supports); on
+/// AArch64 through the HWCAP auxiliary vector. The result is immutable
+/// after the first call — dispatch decisions made from it are stable for
+/// the lifetime of the process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_SUPPORT_CPUFEATURES_H
+#define MARQSIM_SUPPORT_CPUFEATURES_H
+
+namespace marqsim {
+
+/// The ISA extensions the kernel layer can dispatch on.
+struct CpuFeatures {
+  /// x86-64 AVX2 (256-bit integer + FP vectors).
+  bool AVX2 = false;
+
+  /// x86-64 FMA3. Dispatch requires AVX2 *and* FMA — the pair is what the
+  /// "avx2-fma" kernel tier is compiled for — even though the kernels
+  /// never emit fused multiply-adds in value-producing arithmetic (FMA
+  /// contraction would change rounding and break the bit-identity
+  /// contract with the scalar reference).
+  bool FMA = false;
+
+  /// AArch64 Advanced SIMD (NEON with 2-lane double support).
+  bool NEON = false;
+};
+
+/// The host CPU's features, probed once on first use (thread-safe).
+const CpuFeatures &cpuFeatures();
+
+} // namespace marqsim
+
+#endif // MARQSIM_SUPPORT_CPUFEATURES_H

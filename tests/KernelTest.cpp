@@ -1,0 +1,320 @@
+//===- tests/KernelTest.cpp - dispatched SIMD kernel tier tests ---------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Pins the determinism contract of sim/Kernels.h: every FP64 kernel the
+// dispatcher can select (scalar, AVX2+FMA, NEON) produces bit-identical
+// amplitudes for the same inputs — on interleaved statevectors and on SoA
+// panel planes, across panel widths, for butterfly and Z-diagonal paths,
+// from basis and from random starting states. The FP32 panel tier is held
+// to the same scalar-vs-SIMD bit-identity among its own implementations,
+// and to a tolerance band against FP64. On hosts whose best tier *is*
+// scalar the cross-tier comparisons still run (trivially); the contract
+// they pin is then enforced by the AVX2/NEON CI hosts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Kernels.h"
+#include "sim/StatePanel.h"
+#include "sim/StateVector.h"
+#include "support/AlignedAlloc.h"
+#include "support/RNG.h"
+#include "support/Serial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace marqsim;
+
+namespace {
+
+/// Every test that repins dispatch restores the default policy on exit so
+/// test order never leaks a forced tier into unrelated suites.
+struct DispatchRestorer {
+  ~DispatchRestorer() { kernels::selectAuto(); }
+};
+
+/// The best table this host can dispatch to, ignoring the environment —
+/// the tier whose output must match the scalar reference bit for bit.
+const kernels::Ops &bestOps() {
+  kernels::selectForTesting(/*ForceScalar=*/false);
+  const kernels::Ops &Best = kernels::active();
+  kernels::selectAuto();
+  return Best;
+}
+
+uint32_t floatBits(float V) {
+  uint32_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  return Bits;
+}
+
+CVector randomState(unsigned N, RNG &Rng) {
+  CVector V(size_t(1) << N);
+  for (auto &A : V)
+    A = Complex(Rng.gaussian(), Rng.gaussian());
+  return V;
+}
+
+/// A random Pauli string; \p ZOnly restricts to the diagonal alphabet.
+PauliString randomString(unsigned N, RNG &Rng, bool ZOnly = false) {
+  PauliString P;
+  for (unsigned Q = 0; Q < N; ++Q)
+    P.setOp(Q, ZOnly ? (Rng.bernoulli(0.5) ? PauliOpKind::Z : PauliOpKind::I)
+                     : static_cast<PauliOpKind>(Rng.uniformInt(4)));
+  return P;
+}
+
+/// Routes one rotation through \p K exactly as StateVector::applyPauliExp
+/// does (butterfly when xMask != 0, diagonal fast path otherwise).
+void applyThrough(const kernels::Ops &K, CVector &Amp, const PauliString &P,
+                  double Theta) {
+  const Complex CosT(std::cos(Theta), 0.0);
+  const Complex ISinT(0.0, std::sin(Theta));
+  const detail::PauliPhases Phases(P);
+  const uint64_t XM = P.xMask();
+  if (XM == 0)
+    K.ExpDiagonalF64(Amp.data(), Amp.size(), CosT, ISinT, Phases);
+  else
+    K.ExpButterflyF64(Amp.data(), Amp.size(), XM, CosT, ISinT, Phases);
+}
+
+::testing::AssertionResult bitIdentical(const CVector &A, const CVector &B) {
+  if (A.size() != B.size())
+    return ::testing::AssertionFailure() << "size mismatch";
+  for (size_t I = 0; I < A.size(); ++I)
+    if (serial::doubleBits(A[I].real()) != serial::doubleBits(B[I].real()) ||
+        serial::doubleBits(A[I].imag()) != serial::doubleBits(B[I].imag()))
+      return ::testing::AssertionFailure()
+             << "amplitude " << I << " differs: (" << A[I].real() << ", "
+             << A[I].imag() << ") vs (" << B[I].real() << ", " << B[I].imag()
+             << ")";
+  return ::testing::AssertionSuccess();
+}
+
+template <typename Real>
+::testing::AssertionResult
+panelsBitIdentical(const BasicStatePanel<Real> &A,
+                   const BasicStatePanel<Real> &B) {
+  const size_t N = A.dim() * A.laneStride();
+  if (B.dim() * B.laneStride() != N)
+    return ::testing::AssertionFailure() << "panel shape mismatch";
+  if (std::memcmp(A.realPlane(), B.realPlane(), N * sizeof(Real)) != 0 ||
+      std::memcmp(A.imagPlane(), B.imagPlane(), N * sizeof(Real)) != 0)
+    return ::testing::AssertionFailure() << "panel planes differ bitwise";
+  return ::testing::AssertionSuccess();
+}
+
+/// A schedule of rotations covering butterflies (low and high pivots),
+/// Z-diagonals, and identities, with the angle mix a real replay sees.
+std::vector<std::pair<PauliString, double>> mixedSchedule(unsigned N,
+                                                          RNG &Rng) {
+  std::vector<std::pair<PauliString, double>> Sched;
+  for (unsigned I = 0; I < 24; ++I)
+    Sched.emplace_back(randomString(N, Rng), Rng.gaussian() * 0.4);
+  for (unsigned I = 0; I < 8; ++I)
+    Sched.emplace_back(randomString(N, Rng, /*ZOnly=*/true),
+                       Rng.gaussian() * 0.4);
+  Sched.emplace_back(PauliString(), 0.37); // identity global phase
+  return Sched;
+}
+
+std::vector<uint64_t> randomBasis(unsigned N, size_t Cols, RNG &Rng) {
+  std::vector<uint64_t> Basis(Cols);
+  for (auto &B : Basis)
+    B = static_cast<uint64_t>(Rng.uniformInt(1u << N));
+  return Basis;
+}
+
+} // namespace
+
+TEST(KernelDispatchTest, ActiveTierIsKnown) {
+  const std::string Name = kernels::activeName();
+  EXPECT_TRUE(Name == "scalar" || Name == "avx2-fma" || Name == "neon")
+      << "unexpected kernel tier: " << Name;
+  if (kernels::forcedScalarByEnv()) {
+    EXPECT_EQ(Name, "scalar");
+  }
+  EXPECT_STREQ(kernels::scalarOps().Name, "scalar");
+}
+
+TEST(KernelDispatchTest, ForceScalarEnvironmentHonored) {
+  DispatchRestorer Restore;
+  const char *Prev = std::getenv("MARQSIM_FORCE_SCALAR");
+  const std::string Saved = Prev ? Prev : "";
+  ASSERT_EQ(setenv("MARQSIM_FORCE_SCALAR", "1", 1), 0);
+  EXPECT_TRUE(kernels::forcedScalarByEnv());
+  kernels::selectAuto();
+  EXPECT_STREQ(kernels::activeName(), "scalar");
+  // "0" and empty mean unset.
+  ASSERT_EQ(setenv("MARQSIM_FORCE_SCALAR", "0", 1), 0);
+  EXPECT_FALSE(kernels::forcedScalarByEnv());
+  if (Prev)
+    ASSERT_EQ(setenv("MARQSIM_FORCE_SCALAR", Saved.c_str(), 1), 0);
+  else
+    ASSERT_EQ(unsetenv("MARQSIM_FORCE_SCALAR"), 0);
+}
+
+TEST(KernelDispatchTest, SelectForTestingPinsAndAutoRestores) {
+  DispatchRestorer Restore;
+  const kernels::Ops &Best = bestOps(); // before pinning: bestOps repins
+  kernels::selectForTesting(/*ForceScalar=*/true);
+  EXPECT_STREQ(kernels::activeName(), "scalar");
+  kernels::selectForTesting(/*ForceScalar=*/false);
+  EXPECT_STREQ(kernels::activeName(), Best.Name);
+}
+
+// Interleaved statevector kernels: the best tier must reproduce the scalar
+// reference bit for bit — random states, basis states, every dim from a
+// two-amplitude vector (below every SIMD width) up through 2^7, butterfly
+// pivots both below and above the vector width, and Z-diagonals.
+TEST(KernelBitIdentityTest, StateVectorKernelsMatchScalarBitwise) {
+  const kernels::Ops &Best = bestOps();
+  RNG Rng(2025);
+  for (unsigned N : {1u, 2u, 3u, 5u, 7u}) {
+    for (unsigned Trial = 0; Trial < 16; ++Trial) {
+      CVector Start = randomState(N, Rng);
+      if (Trial < 4) { // basis states exercise the sign-of-zero paths
+        Start.assign(Start.size(), Complex(0.0, 0.0));
+        Start[Trial % Start.size()] = Complex(1.0, 0.0);
+      }
+      const PauliString P = randomString(N, Rng, /*ZOnly=*/Trial % 3 == 0);
+      const double Theta = Rng.gaussian() * 0.7;
+      CVector A = Start, B = Start;
+      applyThrough(kernels::scalarOps(), A, P, Theta);
+      applyThrough(Best, B, P, Theta);
+      ASSERT_TRUE(bitIdentical(A, B))
+          << "tier " << Best.Name << ", " << N << " qubits, trial " << Trial;
+    }
+  }
+}
+
+// Panel kernels: a width-1 panel, an odd width straddling the lane padding,
+// the PreferredWidth block, and an "all columns" width wider than a block,
+// each evolved through a mixed schedule under the scalar tier and under the
+// best tier. Planes (including padding lanes) must agree bitwise.
+TEST(KernelBitIdentityTest, PanelKernelsMatchScalarBitwise) {
+  DispatchRestorer Restore;
+  const unsigned N = 5;
+  RNG Rng(4242);
+  const auto Sched = mixedSchedule(N, Rng);
+  for (size_t Cols : {size_t(1), size_t(3), StatePanel::PreferredWidth,
+                      size_t(17)}) {
+    const auto Basis = randomBasis(N, Cols, Rng);
+    kernels::selectForTesting(/*ForceScalar=*/true);
+    StatePanel Scalar(N, Basis);
+    for (const auto &[P, Theta] : Sched)
+      Scalar.applyPauliExpAll(P, Theta);
+    kernels::selectForTesting(/*ForceScalar=*/false);
+    StatePanel Simd(N, Basis);
+    for (const auto &[P, Theta] : Sched)
+      Simd.applyPauliExpAll(P, Theta);
+    ASSERT_TRUE(panelsBitIdentical(Scalar, Simd)) << Cols << " columns";
+  }
+}
+
+// The panel SoA kernels and the interleaved StateVector kernels are
+// different code paths; under the dispatched tier a panel column must
+// still be bit-identical to a serial single-state replay.
+TEST(KernelBitIdentityTest, PanelColumnsMatchStateVectorUnderDispatch) {
+  const unsigned N = 5;
+  RNG Rng(777);
+  const auto Sched = mixedSchedule(N, Rng);
+  const auto Basis = randomBasis(N, 6, Rng);
+  StatePanel Panel(N, Basis);
+  for (const auto &[P, Theta] : Sched)
+    Panel.applyPauliExpAll(P, Theta);
+  for (size_t C = 0; C < Basis.size(); ++C) {
+    StateVector SV(N, Basis[C]);
+    for (const auto &[P, Theta] : Sched)
+      SV.applyPauliExp(P, Theta);
+    ASSERT_TRUE(bitIdentical(SV.amplitudes(), Panel.column(C)))
+        << "column " << C;
+  }
+}
+
+// The FP32 tier keeps the same scalar-vs-SIMD bit-identity among its own
+// implementations (it is tolerance-defined only relative to FP64).
+TEST(KernelBitIdentityTest, Fp32PanelKernelsMatchScalarBitwise) {
+  DispatchRestorer Restore;
+  const unsigned N = 5;
+  RNG Rng(9090);
+  const auto Sched = mixedSchedule(N, Rng);
+  for (size_t Cols : {size_t(1), size_t(3), size_t(8), size_t(17)}) {
+    const auto Basis = randomBasis(N, Cols, Rng);
+    kernels::selectForTesting(/*ForceScalar=*/true);
+    StatePanelF32 Scalar(N, Basis);
+    for (const auto &[P, Theta] : Sched)
+      Scalar.applyPauliExpAll(P, Theta);
+    kernels::selectForTesting(/*ForceScalar=*/false);
+    StatePanelF32 Simd(N, Basis);
+    for (const auto &[P, Theta] : Sched)
+      Simd.applyPauliExpAll(P, Theta);
+    ASSERT_TRUE(panelsBitIdentical(Scalar, Simd)) << Cols << " columns";
+  }
+}
+
+// The FP32 tier's whole point: amplitudes track the FP64 panel to float
+// accuracy through a realistic rotation count.
+TEST(PrecisionTest, Fp32PanelTracksFp64WithinTolerance) {
+  const unsigned N = 6;
+  RNG Rng(31337);
+  const auto Sched = mixedSchedule(N, Rng);
+  const auto Basis = randomBasis(N, 4, Rng);
+  StatePanel P64(N, Basis);
+  StatePanelF32 P32(N, Basis);
+  for (const auto &[P, Theta] : Sched) {
+    P64.applyPauliExpAll(P, Theta);
+    P32.applyPauliExpAll(P, Theta);
+  }
+  double MaxErr = 0.0;
+  for (size_t C = 0; C < Basis.size(); ++C)
+    for (uint64_t X = 0; X < P64.dim(); ++X)
+      MaxErr = std::max(MaxErr, std::abs(P64.at(C, X) - P32.at(C, X)));
+  EXPECT_GT(MaxErr, 0.0) << "fp32 suspiciously exact — tier not exercised?";
+  EXPECT_LT(MaxErr, 1e-4);
+}
+
+// FP32 narrowing of the phase constants is exact (they are 0/±1 valued).
+TEST(PrecisionTest, Fp32PhaseNarrowingIsExact) {
+  RNG Rng(55);
+  for (unsigned Trial = 0; Trial < 32; ++Trial) {
+    const PauliString P = randomString(6, Rng);
+    const detail::PauliPhases Ph(P);
+    const detail::PauliPhasesF32 PhF(Ph);
+    for (uint64_t X : {uint64_t(0), uint64_t(5), uint64_t(63)}) {
+      EXPECT_EQ(floatBits(PhF.at(X).real()),
+                floatBits(static_cast<float>(Ph.at(X).real())));
+      EXPECT_EQ(floatBits(PhF.at(X).imag()),
+                floatBits(static_cast<float>(Ph.at(X).imag())));
+    }
+  }
+}
+
+// Satellite: amplitude storage is 64-byte aligned everywhere the kernels
+// load from — interleaved CVectors and both panel planes — and the panel
+// stride honors the lane-multiple contract.
+TEST(AlignmentTest, AmplitudeStorageIs64ByteAligned) {
+  CVector V(37);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(V.data()) % 64, 0u);
+  StateVector SV(6, 11);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(SV.amplitudes().data()) % 64, 0u);
+  for (size_t Cols : {size_t(1), size_t(5), size_t(8), size_t(9)}) {
+    StatePanel P(4, std::vector<uint64_t>(Cols, 0));
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P.realPlane()) % 64, 0u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P.imagPlane()) % 64, 0u);
+    EXPECT_EQ(P.laneStride() % StatePanel::LaneMultiple, 0u);
+    EXPECT_GE(P.laneStride(), Cols);
+    StatePanelF32 Q(4, std::vector<uint64_t>(Cols, 0));
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(Q.realPlane()) % 64, 0u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(Q.imagPlane()) % 64, 0u);
+  }
+}

@@ -550,3 +550,28 @@ TEST(ShardSubprocessTest, InlineSourcesCannotReExec) {
                                             "out.manifest", "", 0, &Error));
   EXPECT_NE(Error.find("inline"), std::string::npos);
 }
+
+TEST(ShardCoordinatorTest, Fp32PrecisionIsRejected) {
+  // Shard manifests carry per-shot fidelities as exact bit patterns and
+  // the merge is validated byte for byte; the FP32 tier is only
+  // tolerance-defined, so sharded runs must refuse it loudly at every
+  // entry point rather than produce a manifest that can never be
+  // cross-checked.
+  TaskSpec Spec = testSpec(4);
+  Spec.Precision = EvalPrecision::FP32;
+
+  ShardOptions Options;
+  Options.ShardCount = 2;
+  Options.WorkDir = freshDir("shard_fp32_rejected");
+  std::string Error;
+  EXPECT_FALSE(ShardCoordinator(Options).run(Spec, &Error));
+  EXPECT_NE(Error.find("fp64"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("bit-exact"), std::string::npos) << Error;
+
+  // The worker-side entry point rejects it too (a doctored worker command
+  // line must not silently produce a tolerance-grade manifest).
+  Error.clear();
+  SimulationService Service;
+  EXPECT_FALSE(ShardCoordinator::runShard(Service, Spec, 0, 2, &Error));
+  EXPECT_NE(Error.find("fp64"), std::string::npos) << Error;
+}

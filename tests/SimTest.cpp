@@ -417,7 +417,8 @@ TEST(StatePanelTest, MatchesSerialReplayAcrossColumnCounts) {
       StateVector SV(N, Basis[C]);
       for (const ScheduledRotation &Step : Schedule)
         SV.applyPauliExp(Step.String, Step.Tau);
-      ASSERT_TRUE(bitIdentical(SV.amplitudes(), Panel.column(C), Dim))
+      const CVector Col = Panel.column(C);
+      ASSERT_TRUE(bitIdentical(SV.amplitudes(), Col.data(), Dim))
           << Columns << " columns, column " << C;
     }
   }
@@ -440,7 +441,8 @@ TEST(StatePanelTest, GateApplicationMatchesSerialBitForBit) {
   for (size_t Col = 0; Col < Basis.size(); ++Col) {
     StateVector SV(N, Basis[Col]);
     SV.apply(C);
-    ASSERT_TRUE(bitIdentical(SV.amplitudes(), Panel.column(Col), SV.dim()))
+    const CVector PanelCol = Panel.column(Col);
+    ASSERT_TRUE(bitIdentical(SV.amplitudes(), PanelCol.data(), SV.dim()))
         << "column " << Col;
   }
 }

@@ -38,6 +38,10 @@
 //                         dir; valid manifests found there are reused)
 //     --columns=K         fidelity-estimation columns (default 0 = off);
 //                         evaluated per shot on the batch workers
+//     --precision=P       fidelity panel tier: fp64 (default, bit-exact)
+//                         or fp32 (opt-in throughput tier, tolerance-
+//                         defined; rejected by --shards, which demands
+//                         bit-exact manifests)
 //     --cache-dir=DIR     persistent artifact store: MCFP components,
 //                         alias bundles, fidelity columns (default from
 //                         $MARQSIM_CACHE_DIR; empty = in-memory only);
@@ -49,8 +53,9 @@
 //                         are bit-identical for every budget
 //     --out=FILE          write QASM here (default stdout)
 //     --stats             print gate + cache statistics to stderr (with
-//                         --shots>1, the per-batch aggregate table), plus
-//                         the walk/emission vs evaluation phase timing
+//                         --shots>1, the per-batch aggregate table), the
+//                         dispatched kernel tier and precision, plus the
+//                         walk/emission vs evaluation phase timing
 //     --dot=FILE          also dump the HTT graph as Graphviz DOT
 //
 // Hidden worker mode (used by the --shards coordinator when it re-execs
@@ -168,7 +173,7 @@ int main(int Argc, char **Argv) {
                  "  [--config=baseline|gc|gc-rp] [--qd=W --gc=W --rp=W]\n"
                  "  [--rounds=K] [--perturb-seed=S] [--seed=S] [--shots=N]\n"
                  "  [--jobs=J] [--eval-jobs=J] [--shards=K] [--shard-dir=DIR]\n"
-                 "  [--columns=K]\n"
+                 "  [--columns=K] [--precision=fp64|fp32]\n"
                  "  [--cache-dir=DIR] [--cache-limit-mb=M] [--out=FILE]\n"
                  "  [--stats] [--dot=FILE]\n";
     return 1;
@@ -317,6 +322,8 @@ int main(int Argc, char **Argv) {
               << " singles=" << R.Counts.SingleQubit
               << " total=" << R.Counts.total()
               << " depth=" << R.Circ.depth() << "\n";
+    std::cerr << "kernels: " << SimulationService::kernelName()
+              << " precision=" << precisionName(Spec->Precision) << "\n";
     if (Result->HasFidelity && Spec->Shots == 1)
       std::cerr << "fidelity=" << formatDouble(Result->ShotFidelities[0], 6)
                 << " (" << Spec->Evaluate.FidelityColumns << " columns)\n";
