@@ -1,0 +1,217 @@
+//===- bench/bench_daemon_throughput.cpp - Resident daemon throughput ---------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures what staying resident buys: N concurrent clients submit the
+// same TaskSpec to an in-process daemon, cold (empty caches — the first
+// requests pay the MCFP solve and the fidelity-column evolution) and
+// warm (every artifact cached — requests only sample, emit, and
+// evaluate). Reports request throughput and exact p50/p90/p99 submit-to-
+// result latencies per phase, as CSV on stdout:
+//
+//   phase,clients,rounds,requests,wall_s,req_per_s,p50_ms,p90_ms,p99_ms,
+//   gc_solves_delta
+//
+// The run is exit-gated on the coalescing contract, not on wall-clock
+// (CI machines are noisy; the cache accounting is exact):
+//   * every batch hash across both phases is identical (N concurrent
+//     clients cannot perturb determinism), and
+//   * the daemon performs exactly ONE gate-cancellation MCFP solve
+//     total — with C clients x R rounds x 2 phases requests, all
+//     2*C*R - 1 repeats reuse it, i.e. every repeat client saves at
+//     least one solve.
+// Violations exit 1.
+//
+// Flags: --clients=C (4) --rounds=R (3) --shots=N (2) --columns=K (2)
+//        --time=T (0.4) --epsilon=E (0.06) --seed=S (7)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "server/Client.h"
+#include "server/Daemon.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <iostream>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace marqsim;
+
+namespace {
+
+/// Exact quantile of a sorted latency sample (nearest-rank).
+double quantileMs(const std::vector<double> &Sorted, double Q) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Rank = static_cast<size_t>(Q * static_cast<double>(Sorted.size()));
+  return Sorted[std::min(Rank, Sorted.size() - 1)];
+}
+
+/// Cumulative MCFP solve count from the daemon's stats frame.
+int64_t gcSolves(server::DaemonClient &Client) {
+  std::optional<json::Value> Stats = Client.serverStats();
+  if (!Stats)
+    return -1;
+  const json::Value *Cache = Stats->find("cache");
+  const json::Value *Solves = Cache ? Cache->find("gc_solves") : nullptr;
+  return Solves ? Solves->asInt() : -1;
+}
+
+struct PhaseResult {
+  double WallSeconds = 0.0;
+  std::vector<double> LatenciesMs; // sorted
+  std::set<std::string> BatchHashes;
+  bool Ok = true;
+  std::string Error;
+};
+
+/// C clients x R sequential rounds of one spec against the daemon.
+PhaseResult runPhase(const std::string &HostPort, const TaskSpec &Spec,
+                     unsigned Clients, unsigned Rounds) {
+  PhaseResult Result;
+  std::mutex M;
+  Timer Wall;
+  std::vector<std::thread> Threads;
+  Threads.reserve(Clients);
+  for (unsigned C = 0; C < Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      std::string Error;
+      std::optional<server::DaemonClient> Client =
+          server::DaemonClient::connectTo(HostPort, &Error);
+      if (!Client) {
+        std::lock_guard<std::mutex> Lock(M);
+        Result.Ok = false;
+        Result.Error = "client " + std::to_string(C) + ": " + Error;
+        return;
+      }
+      for (unsigned R = 0; R < Rounds; ++R) {
+        Timer Latency;
+        std::optional<server::RemoteRunResult> Out =
+            Client->runTask(Spec, &Error);
+        double Ms = Latency.seconds() * 1e3;
+        std::lock_guard<std::mutex> Lock(M);
+        if (!Out) {
+          Result.Ok = false;
+          Result.Error = "client " + std::to_string(C) + " round " +
+                         std::to_string(R) + ": " + Error;
+          return;
+        }
+        Result.LatenciesMs.push_back(Ms);
+        Result.BatchHashes.insert(
+            std::to_string(Out->Result.Batch.batchHash()));
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  Result.WallSeconds = Wall.seconds();
+  std::sort(Result.LatenciesMs.begin(), Result.LatenciesMs.end());
+  return Result;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  unsigned Clients = static_cast<unsigned>(CL.getInt("clients", 4));
+  unsigned Rounds = static_cast<unsigned>(CL.getInt("rounds", 3));
+  if (Clients < 1 || Rounds < 1) {
+    std::cerr << "error: --clients and --rounds must be at least 1\n";
+    return 1;
+  }
+
+  TaskSpec Spec;
+  // The Fig. 11 / Example 5.3 Hamiltonian, the repo's standard workload.
+  Spec.Source = HamiltonianSource::fromHamiltonian(
+      Hamiltonian::parse({{1.0, "IIIZY"},
+                          {1.0, "XXIII"},
+                          {0.7, "ZXZYI"},
+                          {0.5, "IIZZX"},
+                          {0.3, "XXYYZ"}}));
+  Spec.Mix = *ChannelMix::preset("gc");
+  Spec.Time = CL.getDouble("time", 0.4);
+  Spec.Epsilon = CL.getDouble("epsilon", 0.06);
+  Spec.Shots = static_cast<size_t>(CL.getInt("shots", 2));
+  Spec.Seed = static_cast<uint64_t>(CL.getInt("seed", 7));
+  Spec.Evaluate.FidelityColumns =
+      static_cast<size_t>(CL.getInt("columns", 2));
+
+  // Schedulable concurrency matching the client count, so the phases
+  // measure contention on the caches rather than on the executor queue.
+  SimulationService Service;
+  server::DaemonOptions Opts;
+  Opts.Scheduler.Workers = Clients;
+  server::Daemon Daemon(Service, Opts);
+  std::string Error;
+  if (!Daemon.start(&Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return 1;
+  }
+  std::thread Server([&] { Daemon.serve(); });
+  const std::string HostPort =
+      "127.0.0.1:" + std::to_string(Daemon.port());
+
+  std::optional<server::DaemonClient> Probe =
+      server::DaemonClient::connectTo(HostPort, &Error);
+  if (!Probe) {
+    std::cerr << "error: " << Error << "\n";
+    Daemon.notifyShutdown();
+    Server.join();
+    return 1;
+  }
+
+  std::cout << "phase,clients,rounds,requests,wall_s,req_per_s,p50_ms,"
+               "p90_ms,p99_ms,gc_solves_delta\n";
+  std::set<std::string> AllHashes;
+  int64_t TotalSolves = 0;
+  bool Ok = true;
+  int64_t SolvesBefore = gcSolves(*Probe);
+  for (const char *Phase : {"cold", "warm"}) {
+    PhaseResult R = runPhase(HostPort, Spec, Clients, Rounds);
+    int64_t SolvesAfter = gcSolves(*Probe);
+    if (!R.Ok) {
+      std::cerr << "error: " << Phase << " phase: " << R.Error << "\n";
+      Ok = false;
+      break;
+    }
+    const size_t Requests = R.LatenciesMs.size();
+    std::cout << Phase << "," << Clients << "," << Rounds << "," << Requests
+              << "," << formatDouble(R.WallSeconds, 4) << ","
+              << formatDouble(static_cast<double>(Requests) /
+                                  std::max(R.WallSeconds, 1e-9),
+                              2)
+              << "," << formatDouble(quantileMs(R.LatenciesMs, 0.50), 3)
+              << "," << formatDouble(quantileMs(R.LatenciesMs, 0.90), 3)
+              << "," << formatDouble(quantileMs(R.LatenciesMs, 0.99), 3)
+              << "," << (SolvesAfter - SolvesBefore) << "\n";
+    TotalSolves += SolvesAfter - SolvesBefore;
+    SolvesBefore = SolvesAfter;
+    AllHashes.insert(R.BatchHashes.begin(), R.BatchHashes.end());
+  }
+
+  Probe->shutdownServer();
+  Server.join();
+  if (!Ok)
+    return 1;
+
+  // The exit gates: bit-identity across every concurrent request, and
+  // full warm-path amortization (one solve total, every repeat saved).
+  if (AllHashes.size() != 1) {
+    std::cerr << "error: batch hashes diverged across requests ("
+              << AllHashes.size() << " distinct)\n";
+    return 1;
+  }
+  if (TotalSolves != 1) {
+    std::cerr << "error: expected exactly 1 MCFP solve across "
+              << (2 * Clients * Rounds) << " requests, measured "
+              << TotalSolves << " — the warm path is not amortizing\n";
+    return 1;
+  }
+  return 0;
+}

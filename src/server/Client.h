@@ -1,0 +1,90 @@
+//===- server/Client.h - Daemon client ---------------------------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client side of the daemon protocol, used by `marqsim-cli
+/// --connect host:port`. A remote run resolves the Hamiltonian locally,
+/// ships the spec as bit-exact JSON, and rebuilds the TaskResult from
+/// the returned manifest through ShardCoordinator::merge — the same path
+/// that makes sharded runs bit-identical to local ones, now across a
+/// socket.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_SERVER_CLIENT_H
+#define MARQSIM_SERVER_CLIENT_H
+
+#include "server/Protocol.h"
+#include "support/Socket.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace marqsim {
+namespace server {
+
+/// Everything a remote run returns. TaskResult::HasShotZero is false —
+/// shot 0 travels as rendered text instead (Qasm/Dot/Depth).
+struct RemoteRunResult {
+  TaskResult Result;
+  std::string Qasm;
+  std::string Dot;
+  size_t Depth = 0;
+  uint64_t RequestId = 0;
+  /// The daemon-side "marqsim-stats-v1" object for this run (its cache
+  /// accounting is the daemon's, which is what a cache-hit check wants).
+  json::Value Stats;
+};
+
+/// Streamed-progress callback: (chunk range, total shots).
+using ShotProgress = std::function<void(const ShotRange &, size_t)>;
+
+/// One connection to a resident daemon. Not thread-safe; one in-flight
+/// request at a time.
+class DaemonClient {
+public:
+  /// Connects to "host:port". Returns std::nullopt with \p Error on
+  /// malformed specs or refused connections.
+  static std::optional<DaemonClient> connectTo(const std::string &HostPort,
+                                               std::string *Error = nullptr);
+
+  /// Submits \p Spec, waits for the result, and reconstructs a
+  /// bit-identical TaskResult from the returned manifest. \p Stream asks
+  /// the daemon for per-chunk shot frames (reported via \p OnShot).
+  std::optional<RemoteRunResult> runTask(const TaskSpec &Spec,
+                                         std::string *Error = nullptr,
+                                         bool Stream = false,
+                                         uint64_t DeadlineMs = 0,
+                                         ShotProgress OnShot = nullptr);
+
+  /// Fetches the daemon's stats-frame body.
+  std::optional<json::Value> serverStats(std::string *Error = nullptr);
+
+  /// health frame round trip; true when the daemon answers "ok".
+  bool health(std::string *Error = nullptr);
+
+  /// Asks the daemon to drain and exit.
+  bool shutdownServer(std::string *Error = nullptr);
+
+private:
+  explicit DaemonClient(Socket Sock) : Sock(std::move(Sock)) {}
+
+  /// Sends one frame and reads response frames until \p WantType (or an
+  /// error frame / transport failure, which fail).
+  std::optional<Frame> roundTrip(const std::string &FrameLine,
+                                 const std::string &WantType,
+                                 std::string *Error,
+                                 const std::function<void(const Frame &)>
+                                     &OnOther = nullptr);
+
+  Socket Sock;
+};
+
+} // namespace server
+} // namespace marqsim
+
+#endif // MARQSIM_SERVER_CLIENT_H

@@ -6,6 +6,7 @@
 
 #include "service/TaskSpec.h"
 
+#include "service/SimulationService.h"
 #include "support/Serial.h"
 
 using namespace marqsim;
@@ -236,5 +237,370 @@ std::optional<TaskSpec> TaskSpec::fromCommandLine(const CommandLine &CL,
   Spec.Precision = *Prec;
 
   Spec.UseCDF = CL.getBool("cdf");
+  return Spec;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON transport
+//===----------------------------------------------------------------------===//
+//
+// The spec travels as "marqsim-spec-v1". The design rule mirrors the
+// shard manifests: anything whose *bits* matter downstream — doubles that
+// feed contentKey/fingerprint, 64-bit seeds — is a hex16 string, never a
+// JSON number. Human-scale counts (shots, reps, columns) are plain ints.
+
+namespace {
+
+const char *methodName(TaskMethod M) {
+  switch (M) {
+  case TaskMethod::Sampling:
+    return "sampling";
+  case TaskMethod::Trotter:
+    return "trotter";
+  case TaskMethod::RandomOrderTrotter:
+    return "random-order-trotter";
+  case TaskMethod::SparSto:
+    return "sparsto";
+  }
+  return "sampling";
+}
+
+std::optional<TaskMethod> parseMethodName(const std::string &Name) {
+  if (Name == "sampling")
+    return TaskMethod::Sampling;
+  if (Name == "trotter")
+    return TaskMethod::Trotter;
+  if (Name == "random-order-trotter")
+    return TaskMethod::RandomOrderTrotter;
+  if (Name == "sparsto")
+    return TaskMethod::SparSto;
+  return std::nullopt;
+}
+
+const char *orderName(TermOrderKind K) {
+  switch (K) {
+  case TermOrderKind::Given:
+    return "given";
+  case TermOrderKind::Lexicographic:
+    return "lexicographic";
+  case TermOrderKind::MagnitudeDescending:
+    return "magnitude-descending";
+  case TermOrderKind::GreedyMatched:
+    return "greedy-matched";
+  }
+  return "given";
+}
+
+std::optional<TermOrderKind> parseOrderName(const std::string &Name) {
+  if (Name == "given")
+    return TermOrderKind::Given;
+  if (Name == "lexicographic")
+    return TermOrderKind::Lexicographic;
+  if (Name == "magnitude-descending")
+    return TermOrderKind::MagnitudeDescending;
+  if (Name == "greedy-matched")
+    return TermOrderKind::GreedyMatched;
+  return std::nullopt;
+}
+
+json::Value hexDouble(double D) { return serial::hex16(serial::doubleBits(D)); }
+json::Value hexWord(uint64_t W) { return serial::hex16(W); }
+
+/// Reads a hex16-encoded word member. False + Error on absence or
+/// malformed hex (missing members are never defaulted: a frame that lost
+/// a field must fail loudly, not run a subtly different task).
+bool readHexWord(const json::Value &Obj, const char *Key, uint64_t &Out,
+                 std::string *Error) {
+  const json::Value *V = Obj.find(Key);
+  if (!V || !V->isString())
+    return detail::fail(Error, std::string("spec json: missing or non-string '") +
+                                   Key + "'");
+  if (V->asString().size() != 16 || !serial::parseHex64(V->asString(), Out))
+    return detail::fail(Error, std::string("spec json: bad hex16 in '") + Key +
+                                   "'");
+  return true;
+}
+
+bool readHexDouble(const json::Value &Obj, const char *Key, double &Out,
+                   std::string *Error) {
+  uint64_t Bits = 0;
+  if (!readHexWord(Obj, Key, Bits, Error))
+    return false;
+  Out = serial::bitsToDouble(Bits);
+  return true;
+}
+
+bool readInt(const json::Value &Obj, const char *Key, int64_t Min,
+             int64_t &Out, std::string *Error) {
+  const json::Value *V = Obj.find(Key);
+  if (!V || V->kind() != json::Value::Kind::Int)
+    return detail::fail(Error, std::string("spec json: missing or non-integer '") +
+                                   Key + "'");
+  if (V->asInt() < Min)
+    return detail::fail(Error, std::string("spec json: '") + Key +
+                                   "' below minimum");
+  Out = V->asInt();
+  return true;
+}
+
+bool readBool(const json::Value &Obj, const char *Key, bool &Out,
+              std::string *Error) {
+  const json::Value *V = Obj.find(Key);
+  if (!V || V->kind() != json::Value::Kind::Bool)
+    return detail::fail(Error, std::string("spec json: missing or non-bool '") +
+                                   Key + "'");
+  Out = V->asBool();
+  return true;
+}
+
+bool readString(const json::Value &Obj, const char *Key, std::string &Out,
+                std::string *Error) {
+  const json::Value *V = Obj.find(Key);
+  if (!V || !V->isString())
+    return detail::fail(Error, std::string("spec json: missing or non-string '") +
+                                   Key + "'");
+  Out = V->asString();
+  return true;
+}
+
+} // namespace
+
+std::optional<json::Value> TaskSpec::toJson(std::string *Error) const {
+  // Resolve the source now, uncanonicalized: files and registry models
+  // become inline terms the receiver can use without touching any
+  // filesystem, and the raw term order is preserved so the Trotter
+  // family's TermOrderKind::Given keeps its meaning. Both sides then
+  // canonicalize (or not) identically inside SimulationService::run.
+  std::optional<Hamiltonian> H =
+      SimulationService::resolveHamiltonian(Source, Error,
+                                            /*Canonicalize=*/false);
+  if (!H)
+    return std::nullopt;
+
+  json::Value Ham = json::Value::object();
+  Ham.set("qubits", H->numQubits());
+  json::Value Terms = json::Value::array();
+  for (const PauliTerm &T : H->terms()) {
+    json::Value Term = json::Value::array();
+    Term.push(hexDouble(T.Coeff));
+    Term.push(T.String.str(H->numQubits()));
+    Terms.push(std::move(Term));
+  }
+  Ham.set("terms", std::move(Terms));
+
+  json::Value V = json::Value::object();
+  V.set("format", "marqsim-spec-v1");
+  V.set("hamiltonian", std::move(Ham));
+  V.set("method", methodName(Method));
+  V.set("time", hexDouble(Time));
+  V.set("epsilon", hexDouble(Epsilon));
+  V.set("mix", json::Value::object()
+                   .set("qd", hexDouble(Mix.WQd))
+                   .set("gc", hexDouble(Mix.WGc))
+                   .set("rp", hexDouble(Mix.WRp)));
+  V.set("perturb_rounds", PerturbRounds);
+  V.set("perturb_seed", hexWord(PerturbSeed));
+  V.set("flow", json::Value::object()
+                    .set("prob_scale", Flow.ProbScale)
+                    .set("cost_scale", Flow.CostScale));
+  V.set("use_cdf", UseCDF);
+  V.set("trotter_reps", TrotterReps);
+  V.set("trotter_order", TrotterOrder);
+  V.set("term_order", orderName(Order));
+  V.set("sparsto_keep_scale", hexDouble(SparStoKeepScale));
+  V.set("shots", static_cast<int64_t>(Shots));
+  V.set("jobs", Jobs);
+  V.set("eval_jobs", EvalJobs);
+  V.set("seed", hexWord(Seed));
+  V.set("precision", precisionName(Precision));
+  V.set("lowering", json::Value::object()
+                        .set("cross_cancellation",
+                             Lowering.Emit.CrossCancellation)
+                        .set("use_cdf_sampler", Lowering.UseCDFSampler));
+  V.set("evaluate",
+        json::Value::object()
+            .set("fidelity_columns",
+                 static_cast<int64_t>(Evaluate.FidelityColumns))
+            .set("column_seed", hexWord(Evaluate.ColumnSeed))
+            .set("export_shot_zero", Evaluate.ExportShotZero)
+            .set("dump_dot", Evaluate.DumpDot)
+            .set("keep_results", Evaluate.KeepResults));
+  return V;
+}
+
+std::optional<TaskSpec> TaskSpec::fromJson(const json::Value &V,
+                                           std::string *Error) {
+  if (!V.isObject()) {
+    detail::fail(Error, "spec json: expected an object");
+    return std::nullopt;
+  }
+  std::string Format;
+  if (!readString(V, "format", Format, Error))
+    return std::nullopt;
+  if (Format != "marqsim-spec-v1") {
+    detail::fail(Error, "spec json: unsupported format '" + Format + "'");
+    return std::nullopt;
+  }
+
+  TaskSpec Spec;
+
+  const json::Value *Ham = V.find("hamiltonian");
+  if (!Ham || !Ham->isObject()) {
+    detail::fail(Error, "spec json: missing 'hamiltonian' object");
+    return std::nullopt;
+  }
+  int64_t Qubits = 0;
+  if (!readInt(*Ham, "qubits", 1, Qubits, Error))
+    return std::nullopt;
+  if (Qubits > 64) {
+    detail::fail(Error, "spec json: qubit count above 64");
+    return std::nullopt;
+  }
+  const json::Value *Terms = Ham->find("terms");
+  if (!Terms || !Terms->isArray() || Terms->size() == 0) {
+    detail::fail(Error, "spec json: missing or empty 'hamiltonian.terms'");
+    return std::nullopt;
+  }
+  Hamiltonian H(static_cast<unsigned>(Qubits));
+  for (size_t I = 0; I < Terms->size(); ++I) {
+    const json::Value &Term = Terms->at(I);
+    if (!Term.isArray() || Term.size() != 2 || !Term.at(0).isString() ||
+        !Term.at(1).isString()) {
+      detail::fail(Error, "spec json: each term must be [coeff-hex, paulis]");
+      return std::nullopt;
+    }
+    uint64_t Bits = 0;
+    if (Term.at(0).asString().size() != 16 ||
+        !serial::parseHex64(Term.at(0).asString(), Bits)) {
+      detail::fail(Error, "spec json: bad coefficient hex in term");
+      return std::nullopt;
+    }
+    const std::string &Text = Term.at(1).asString();
+    std::optional<PauliString> P = PauliString::parse(Text);
+    if (!P || Text.size() != static_cast<size_t>(Qubits)) {
+      detail::fail(Error, "spec json: malformed Pauli string '" + Text + "'");
+      return std::nullopt;
+    }
+    H.addTerm(serial::bitsToDouble(Bits), *P);
+  }
+  if (H.empty()) {
+    detail::fail(Error, "spec json: Hamiltonian has no nonzero terms");
+    return std::nullopt;
+  }
+  Spec.Source = HamiltonianSource::fromHamiltonian(std::move(H));
+
+  std::string MethodText;
+  if (!readString(V, "method", MethodText, Error))
+    return std::nullopt;
+  std::optional<TaskMethod> M = parseMethodName(MethodText);
+  if (!M) {
+    detail::fail(Error, "spec json: unknown method '" + MethodText + "'");
+    return std::nullopt;
+  }
+  Spec.Method = *M;
+
+  if (!readHexDouble(V, "time", Spec.Time, Error) ||
+      !readHexDouble(V, "epsilon", Spec.Epsilon, Error))
+    return std::nullopt;
+
+  const json::Value *MixObj = V.find("mix");
+  if (!MixObj || !MixObj->isObject()) {
+    detail::fail(Error, "spec json: missing 'mix' object");
+    return std::nullopt;
+  }
+  if (!readHexDouble(*MixObj, "qd", Spec.Mix.WQd, Error) ||
+      !readHexDouble(*MixObj, "gc", Spec.Mix.WGc, Error) ||
+      !readHexDouble(*MixObj, "rp", Spec.Mix.WRp, Error))
+    return std::nullopt;
+
+  int64_t Tmp = 0;
+  if (!readInt(V, "perturb_rounds", 0, Tmp, Error))
+    return std::nullopt;
+  Spec.PerturbRounds = static_cast<unsigned>(Tmp);
+  if (!readHexWord(V, "perturb_seed", Spec.PerturbSeed, Error))
+    return std::nullopt;
+
+  const json::Value *Flow = V.find("flow");
+  if (!Flow || !Flow->isObject()) {
+    detail::fail(Error, "spec json: missing 'flow' object");
+    return std::nullopt;
+  }
+  if (!readInt(*Flow, "prob_scale", 1, Spec.Flow.ProbScale, Error) ||
+      !readInt(*Flow, "cost_scale", 1, Spec.Flow.CostScale, Error))
+    return std::nullopt;
+
+  if (!readBool(V, "use_cdf", Spec.UseCDF, Error))
+    return std::nullopt;
+  if (!readInt(V, "trotter_reps", 0, Tmp, Error))
+    return std::nullopt;
+  Spec.TrotterReps = static_cast<unsigned>(Tmp);
+  if (!readInt(V, "trotter_order", 0, Tmp, Error))
+    return std::nullopt;
+  Spec.TrotterOrder = static_cast<unsigned>(Tmp);
+
+  std::string OrderText;
+  if (!readString(V, "term_order", OrderText, Error))
+    return std::nullopt;
+  std::optional<TermOrderKind> Order = parseOrderName(OrderText);
+  if (!Order) {
+    detail::fail(Error, "spec json: unknown term order '" + OrderText + "'");
+    return std::nullopt;
+  }
+  Spec.Order = *Order;
+
+  if (!readHexDouble(V, "sparsto_keep_scale", Spec.SparStoKeepScale, Error))
+    return std::nullopt;
+
+  if (!readInt(V, "shots", 1, Tmp, Error))
+    return std::nullopt;
+  Spec.Shots = static_cast<size_t>(Tmp);
+  if (!readInt(V, "jobs", 0, Tmp, Error))
+    return std::nullopt;
+  Spec.Jobs = static_cast<unsigned>(Tmp);
+  if (!readInt(V, "eval_jobs", 0, Tmp, Error))
+    return std::nullopt;
+  Spec.EvalJobs = static_cast<unsigned>(Tmp);
+  if (!readHexWord(V, "seed", Spec.Seed, Error))
+    return std::nullopt;
+
+  std::string PrecText;
+  if (!readString(V, "precision", PrecText, Error))
+    return std::nullopt;
+  std::optional<EvalPrecision> Prec = parsePrecision(PrecText);
+  if (!Prec) {
+    detail::fail(Error, "spec json: unknown precision '" + PrecText + "'");
+    return std::nullopt;
+  }
+  Spec.Precision = *Prec;
+
+  const json::Value *Lowering = V.find("lowering");
+  if (!Lowering || !Lowering->isObject()) {
+    detail::fail(Error, "spec json: missing 'lowering' object");
+    return std::nullopt;
+  }
+  if (!readBool(*Lowering, "cross_cancellation",
+                Spec.Lowering.Emit.CrossCancellation, Error) ||
+      !readBool(*Lowering, "use_cdf_sampler", Spec.Lowering.UseCDFSampler,
+                Error))
+    return std::nullopt;
+
+  const json::Value *Eval = V.find("evaluate");
+  if (!Eval || !Eval->isObject()) {
+    detail::fail(Error, "spec json: missing 'evaluate' object");
+    return std::nullopt;
+  }
+  if (!readInt(*Eval, "fidelity_columns", 0, Tmp, Error))
+    return std::nullopt;
+  Spec.Evaluate.FidelityColumns = static_cast<size_t>(Tmp);
+  if (!readHexWord(*Eval, "column_seed", Spec.Evaluate.ColumnSeed, Error))
+    return std::nullopt;
+  if (!readBool(*Eval, "export_shot_zero", Spec.Evaluate.ExportShotZero,
+                Error) ||
+      !readBool(*Eval, "dump_dot", Spec.Evaluate.DumpDot, Error) ||
+      !readBool(*Eval, "keep_results", Spec.Evaluate.KeepResults, Error))
+    return std::nullopt;
+
+  if (!Spec.validate(Error))
+    return std::nullopt;
   return Spec;
 }

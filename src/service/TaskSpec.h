@@ -29,6 +29,7 @@
 #include "pauli/Hamiltonian.h"
 #include "sim/Precision.h"
 #include "support/CommandLine.h"
+#include "support/Json.h"
 
 #include <optional>
 #include <string>
@@ -241,6 +242,24 @@ struct TaskSpec {
   /// precision names.
   static std::optional<TaskSpec> fromCommandLine(const CommandLine &CL,
                                                  std::string *Error = nullptr);
+
+  /// Serializes the spec as a self-contained "marqsim-spec-v1" JSON
+  /// object: the Hamiltonian source is resolved *here* (file read, model
+  /// lookup) and shipped as raw inline terms, so the receiving side needs
+  /// no filesystem or registry access and both sides canonicalize the
+  /// identical operator at run time. Every double and 64-bit seed travels
+  /// as a 16-digit IEEE-754/word hex string (support/Serial.h), so
+  /// fingerprint() and contentKey() survive transport bit for bit.
+  /// Returns std::nullopt and fills \p Error when the source cannot be
+  /// resolved (missing file, unknown model).
+  std::optional<json::Value> toJson(std::string *Error = nullptr) const;
+
+  /// Inverse of toJson. Strict: unknown versions, missing fields, bad hex
+  /// widths, and malformed Pauli strings are rejected with \p Error. The
+  /// round trip preserves contentKey() and the resolved Hamiltonian's
+  /// fingerprint() exactly.
+  static std::optional<TaskSpec> fromJson(const json::Value &V,
+                                          std::string *Error = nullptr);
 };
 
 } // namespace marqsim

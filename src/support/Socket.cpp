@@ -1,0 +1,302 @@
+//===- support/Socket.cpp - TCP stream and listener wrappers --------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace marqsim {
+
+static void fillErrno(std::string *Error, const char *What) {
+  if (Error)
+    *Error = std::string(What) + ": " + std::strerror(errno);
+}
+
+/// "localhost" aside, hosts must be numeric IPv4 — the daemon is a
+/// loopback/LAN service and we avoid getaddrinfo's blocking resolver.
+static bool resolveIPv4(const std::string &Host, in_addr &Out,
+                        std::string *Error) {
+  std::string Name = Host.empty() || Host == "localhost" ? "127.0.0.1" : Host;
+  if (inet_pton(AF_INET, Name.c_str(), &Out) == 1)
+    return true;
+  if (Error)
+    *Error = "cannot resolve host '" + Host + "' (numeric IPv4 expected)";
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Socket
+//===----------------------------------------------------------------------===//
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket &&O) noexcept
+    : Fd(O.Fd), Buffer(std::move(O.Buffer)) {
+  O.Fd = -1;
+}
+
+Socket &Socket::operator=(Socket &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = O.Fd;
+    Buffer = std::move(O.Buffer);
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Buffer.clear();
+}
+
+void Socket::shutdownRead() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RD);
+}
+
+std::optional<Socket> Socket::connectTo(const std::string &Host, uint16_t Port,
+                                        std::string *Error) {
+  in_addr Addr;
+  if (!resolveIPv4(Host, Addr, Error))
+    return std::nullopt;
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    fillErrno(Error, "socket");
+    return std::nullopt;
+  }
+
+  sockaddr_in Sin{};
+  Sin.sin_family = AF_INET;
+  Sin.sin_port = htons(Port);
+  Sin.sin_addr = Addr;
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Sin), sizeof(Sin)) != 0) {
+    fillErrno(Error, "connect");
+    ::close(Fd);
+    return std::nullopt;
+  }
+
+  // Frames are small and latency-sensitive; don't batch them.
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Socket(Fd);
+}
+
+bool Socket::setRecvTimeout(unsigned Millis) {
+  if (Fd < 0)
+    return false;
+  timeval Tv{};
+  Tv.tv_sec = Millis / 1000;
+  Tv.tv_usec = static_cast<long>(Millis % 1000) * 1000;
+  return ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv)) == 0;
+}
+
+bool Socket::sendAll(const std::string &Bytes, std::string *Error) {
+  if (Fd < 0) {
+    if (Error)
+      *Error = "send on closed socket";
+    return false;
+  }
+  size_t Sent = 0;
+  while (Sent < Bytes.size()) {
+    ssize_t N = ::send(Fd, Bytes.data() + Sent, Bytes.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      fillErrno(Error, "send");
+      return false;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+Socket::ReadStatus Socket::readLine(std::string &Line, size_t MaxBytes,
+                                    std::string *Error) {
+  Line.clear();
+  for (;;) {
+    // Check what is already buffered before touching the wire.
+    size_t Pos = Buffer.find('\n');
+    if (Pos != std::string::npos) {
+      Line.assign(Buffer, 0, Pos);
+      Buffer.erase(0, Pos + 1);
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (Line.size() > MaxBytes)
+        return ReadStatus::Oversized;
+      return ReadStatus::Line;
+    }
+    if (Buffer.size() > MaxBytes)
+      return ReadStatus::Oversized;
+
+    char Chunk[4096];
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N > 0) {
+      Buffer.append(Chunk, static_cast<size_t>(N));
+      continue;
+    }
+    if (N == 0)
+      return Buffer.empty() ? ReadStatus::Eof : ReadStatus::Truncated;
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return ReadStatus::Timeout;
+    fillErrno(Error, "recv");
+    return ReadStatus::Error;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ListenSocket
+//===----------------------------------------------------------------------===//
+
+ListenSocket::~ListenSocket() { close(); }
+
+void ListenSocket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  BoundPort = 0;
+}
+
+bool ListenSocket::listenOn(const std::string &Host, uint16_t Port,
+                            std::string *Error) {
+  in_addr Addr;
+  if (!resolveIPv4(Host, Addr, Error))
+    return false;
+
+  int NewFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (NewFd < 0) {
+    fillErrno(Error, "socket");
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(NewFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Sin{};
+  Sin.sin_family = AF_INET;
+  Sin.sin_port = htons(Port);
+  Sin.sin_addr = Addr;
+  if (::bind(NewFd, reinterpret_cast<sockaddr *>(&Sin), sizeof(Sin)) != 0) {
+    fillErrno(Error, "bind");
+    ::close(NewFd);
+    return false;
+  }
+  if (::listen(NewFd, 64) != 0) {
+    fillErrno(Error, "listen");
+    ::close(NewFd);
+    return false;
+  }
+
+  // Recover the actual port for the ephemeral (Port == 0) case.
+  sockaddr_in Bound{};
+  socklen_t Len = sizeof(Bound);
+  if (::getsockname(NewFd, reinterpret_cast<sockaddr *>(&Bound), &Len) != 0) {
+    fillErrno(Error, "getsockname");
+    ::close(NewFd);
+    return false;
+  }
+
+  close();
+  Fd = NewFd;
+  BoundPort = ntohs(Bound.sin_port);
+  return true;
+}
+
+std::optional<Socket> ListenSocket::accept(int WakeFd, bool *Woke,
+                                           std::string *Error) {
+  if (Woke)
+    *Woke = false;
+  for (;;) {
+    pollfd Fds[2];
+    Fds[0].fd = Fd;
+    Fds[0].events = POLLIN;
+    nfds_t Count = 1;
+    if (WakeFd >= 0) {
+      Fds[1].fd = WakeFd;
+      Fds[1].events = POLLIN;
+      Count = 2;
+    }
+    int Ready = ::poll(Fds, Count, -1);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      fillErrno(Error, "poll");
+      return std::nullopt;
+    }
+    // Wake channel takes priority: drain wins over new admissions.
+    if (Count == 2 && (Fds[1].revents & (POLLIN | POLLHUP | POLLERR))) {
+      if (Woke)
+        *Woke = true;
+      return std::nullopt;
+    }
+    if (!(Fds[0].revents & POLLIN))
+      continue;
+    int Conn = ::accept(Fd, nullptr, nullptr);
+    if (Conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED)
+        continue;
+      fillErrno(Error, "accept");
+      return std::nullopt;
+    }
+    int One = 1;
+    ::setsockopt(Conn, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    return Socket(Conn);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// parseHostPort
+//===----------------------------------------------------------------------===//
+
+bool parseHostPort(const std::string &Spec, std::string &Host, uint16_t &Port,
+                   std::string *Error) {
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos || Colon + 1 >= Spec.size()) {
+    if (Error)
+      *Error = "expected host:port, got '" + Spec + "'";
+    return false;
+  }
+  std::string PortText = Spec.substr(Colon + 1);
+  unsigned long Value = 0;
+  for (char C : PortText) {
+    if (C < '0' || C > '9') {
+      if (Error)
+        *Error = "invalid port '" + PortText + "'";
+      return false;
+    }
+    Value = Value * 10 + static_cast<unsigned long>(C - '0');
+    if (Value > 65535) {
+      if (Error)
+        *Error = "port out of range: '" + PortText + "'";
+      return false;
+    }
+  }
+  if (Value == 0) {
+    if (Error)
+      *Error = "port out of range: '" + PortText + "'";
+    return false;
+  }
+  Host = Spec.substr(0, Colon);
+  Port = static_cast<uint16_t>(Value);
+  return true;
+}
+
+} // namespace marqsim

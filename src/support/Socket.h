@@ -1,0 +1,120 @@
+//===- support/Socket.h - TCP stream and listener wrappers ------*- C++ -*-===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport under the resident-daemon protocol: a RAII TCP stream
+/// with line-framed, size-capped reads (the protocol is one JSON object
+/// per '\n'-terminated line), and a listener whose accept loop can be
+/// woken by a pipe byte so shutdown never races a blocking accept().
+///
+/// Every send uses MSG_NOSIGNAL — a client that disconnects mid-stream
+/// surfaces as an error return, never as a process-killing SIGPIPE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MARQSIM_SUPPORT_SOCKET_H
+#define MARQSIM_SUPPORT_SOCKET_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace marqsim {
+
+/// A connected TCP stream. Move-only; the destructor closes the fd.
+class Socket {
+public:
+  Socket() = default;
+  /// Adopts an already-connected fd (from ListenSocket::accept).
+  explicit Socket(int Fd) : Fd(Fd) {}
+  ~Socket();
+
+  Socket(Socket &&O) noexcept;
+  Socket &operator=(Socket &&O) noexcept;
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Connects to a numeric IPv4 address ("127.0.0.1") or "localhost".
+  static std::optional<Socket> connectTo(const std::string &Host,
+                                         uint16_t Port,
+                                         std::string *Error = nullptr);
+
+  /// Receive timeout for readLine; 0 clears it (block forever).
+  bool setRecvTimeout(unsigned Millis);
+
+  /// Writes all of \p Bytes (handles short writes). Returns false and
+  /// fills \p Error on a closed/abandoned peer.
+  bool sendAll(const std::string &Bytes, std::string *Error = nullptr);
+
+  enum class ReadStatus {
+    Line,      ///< a complete line was returned (terminator stripped)
+    Eof,       ///< orderly close with no buffered partial line
+    Truncated, ///< peer closed mid-line (a partial frame was discarded)
+    Timeout,   ///< recv timeout expired (see setRecvTimeout)
+    Oversized, ///< more than MaxBytes arrived without a newline
+    Error,     ///< socket error
+  };
+
+  /// Reads until '\n' (stripped, along with a preceding '\r'); bytes past
+  /// the newline stay buffered for the next call. A line longer than
+  /// \p MaxBytes returns Oversized — the caller should close, since the
+  /// stream is mid-frame and cannot be resynchronized cheaply.
+  ReadStatus readLine(std::string &Line, size_t MaxBytes,
+                      std::string *Error = nullptr);
+
+  /// Half-close the read side: a handler blocked in readLine observes
+  /// Eof. The daemon's drain uses this to unblock idle connections.
+  void shutdownRead();
+
+  void close();
+
+private:
+  int Fd = -1;
+  std::string Buffer;
+};
+
+/// A listening TCP socket bound to one address.
+class ListenSocket {
+public:
+  ListenSocket() = default;
+  ~ListenSocket();
+
+  ListenSocket(const ListenSocket &) = delete;
+  ListenSocket &operator=(const ListenSocket &) = delete;
+
+  /// Binds and listens on a numeric IPv4 \p Host ("127.0.0.1",
+  /// "localhost", or "0.0.0.0"). Port 0 picks an ephemeral port; port()
+  /// reports the bound one either way.
+  bool listenOn(const std::string &Host, uint16_t Port,
+                std::string *Error = nullptr);
+
+  uint16_t port() const { return BoundPort; }
+  bool valid() const { return Fd >= 0; }
+
+  /// Blocks until a connection arrives or a byte/close shows up on
+  /// \p WakeFd (-1 disables the wake channel). Sets \p Woke and returns
+  /// std::nullopt when the wake channel fired — the shutdown path.
+  std::optional<Socket> accept(int WakeFd, bool *Woke,
+                               std::string *Error = nullptr);
+
+  void close();
+
+private:
+  int Fd = -1;
+  uint16_t BoundPort = 0;
+};
+
+/// Splits "host:port" (numeric port, 1..65535). Returns false and fills
+/// \p Error on malformed input.
+bool parseHostPort(const std::string &Spec, std::string &Host,
+                   uint16_t &Port, std::string *Error = nullptr);
+
+} // namespace marqsim
+
+#endif // MARQSIM_SUPPORT_SOCKET_H

@@ -7,11 +7,14 @@
 #include "support/Subprocess.h"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 using namespace marqsim;
 
@@ -114,6 +117,46 @@ int Subprocess::wait() {
   else
     Status = -1;
   return Status;
+}
+
+bool Subprocess::signalChild(int Signal) {
+  if (Pid <= 0)
+    return false;
+  return ::kill(static_cast<pid_t>(Pid), Signal) == 0;
+}
+
+int Subprocess::terminate(unsigned GraceMs) {
+  if (Pid <= 0)
+    return Status;
+  ::kill(static_cast<pid_t>(Pid), SIGTERM);
+  // Poll rather than block: a child that ignores SIGTERM (or is stopped)
+  // must not hang the caller past the grace window.
+  const auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(GraceMs);
+  for (;;) {
+    int Raw = 0;
+    pid_t Waited = ::waitpid(static_cast<pid_t>(Pid), &Raw, WNOHANG);
+    if (Waited > 0) {
+      Pid = -1;
+      if (WIFEXITED(Raw))
+        Status = WEXITSTATUS(Raw);
+      else if (WIFSIGNALED(Raw))
+        Status = 128 + WTERMSIG(Raw);
+      else
+        Status = -1;
+      return Status;
+    }
+    if (Waited < 0 && errno != EINTR) {
+      Pid = -1;
+      Status = -1;
+      return Status;
+    }
+    if (std::chrono::steady_clock::now() >= Deadline)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ::kill(static_cast<pid_t>(Pid), SIGKILL);
+  return wait();
 }
 
 std::string marqsim::currentExecutablePath(const std::string &Fallback) {

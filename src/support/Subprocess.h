@@ -54,7 +54,22 @@ public:
   /// spawned. Idempotent: later calls return the recorded status.
   int wait();
 
+  /// Sends \p Signal to the child. False when nothing is running or the
+  /// kill fails; the child is NOT reaped (call wait/terminate for that).
+  bool signalChild(int Signal);
+
+  /// Graceful stop: SIGTERM, then up to \p GraceMs of WNOHANG polling for
+  /// the child to exit on its own, then SIGKILL. Returns the final wait()
+  /// status (128 + SIGTERM for a child that honoured the signal). The
+  /// two-phase shape is what lets a coordinator tear down workers without
+  /// leaving half-written output behind: a worker that installs a SIGTERM
+  /// handler gets \p GraceMs to finish its atomic rename or die cleanly.
+  int terminate(unsigned GraceMs = 2000);
+
   bool running() const { return Pid > 0; }
+
+  /// The child's pid, or -1 after wait()/terminate() or before spawn().
+  long pid() const { return Pid; }
 
 private:
   long Pid = -1;

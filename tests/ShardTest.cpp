@@ -26,6 +26,9 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -541,6 +544,111 @@ TEST(ShardSubprocessTest, WorkersShareOneCacheAndMergeBitIdentically) {
   EXPECT_EQ(Report.WorkerStats.EvaluatorMisses, 0u);
   EXPECT_EQ(Report.WorkerStats.DiskLoads, 6u);
   EXPECT_EQ(Report.Retries, 0u);
+}
+
+TEST(SubprocessTest, TerminateDeliversSigtermAndReaps) {
+  Subprocess Sleeper;
+  ASSERT_TRUE(Sleeper.spawn({{"/bin/sh", "-c", "exec sleep 30"}, "", ""}));
+  EXPECT_GT(Sleeper.pid(), 0);
+  EXPECT_EQ(Sleeper.terminate(/*GraceMs=*/5000), 128 + SIGTERM);
+  EXPECT_FALSE(Sleeper.running());
+  EXPECT_EQ(Sleeper.pid(), -1);
+  // Idempotent after the child is gone.
+  EXPECT_FALSE(Sleeper.signalChild(SIGTERM));
+  EXPECT_EQ(Sleeper.terminate(), 128 + SIGTERM);
+}
+
+TEST(SubprocessTest, TerminateEscalatesToSigkillForStubbornChildren) {
+  // A child that ignores SIGTERM must not stall teardown past the grace
+  // window: terminate() escalates to SIGKILL.
+  // Short sleeps in a loop: when SIGKILL takes the shell, any orphaned
+  // sleep exits within a second instead of pinning the test's inherited
+  // stdout pipe open for the full duration.
+  Subprocess Stubborn;
+  ASSERT_TRUE(Stubborn.spawn(
+      {{"/bin/sh", "-c", "trap '' TERM; while :; do sleep 1; done"}, "",
+       ""}));
+  // Give the shell a moment to install the trap, or the first SIGTERM
+  // lands before it and the test measures nothing.
+  std::ifstream Stat("/proc/" + std::to_string(Stubborn.pid()) + "/stat");
+  ASSERT_TRUE(Stat.good());
+  usleep(100000);
+  EXPECT_EQ(Stubborn.terminate(/*GraceMs=*/200), 128 + SIGKILL);
+}
+
+TEST(ShardSubprocessTest, KilledWorkerRangeIsDetectedStaleAndReRun) {
+  std::string Binary = cliBinary();
+  if (Binary.empty())
+    GTEST_SKIP() << "MARQSIM_CLI not set (run through ctest)";
+
+  std::string HamPath = testing::TempDir() + "shard_kill_ham.txt";
+  {
+    Hamiltonian H = testHamiltonian();
+    std::ofstream Out(HamPath);
+    for (const PauliTerm &T : H.terms())
+      Out << T.Coeff << " " << T.String.str(H.numQubits()) << "\n";
+  }
+  TaskSpec Spec = testSpec(5);
+  Spec.Source = HamiltonianSource::fromFile(HamPath);
+  Spec.Evaluate.FidelityColumns = 2;
+
+  SimulationService Reference;
+  std::optional<TaskResult> Single = Reference.run(Spec);
+  ASSERT_TRUE(Single);
+
+  // Interpose a wrapper worker that simulates an external SIGTERM
+  // arriving mid-shard: on its first shard-0 invocation it leaves a
+  // half-written manifest behind and dies of the signal; afterwards it
+  // execs the real CLI. The coordinator must report the signal death,
+  // reject the partial manifest as stale, and re-run exactly that range.
+  std::string Dir = freshDir("shard_killed_worker");
+  std::string Marker = Dir + "/died-once";
+  std::string Wrapper = Dir + "/worker.sh";
+  {
+    std::ofstream Script(Wrapper);
+    Script << "#!/bin/sh\nout=\"\"\nidx=\"\"\nfor a in \"$@\"; do\n"
+              "  case \"$a\" in\n"
+              "    --shard-out=*) out=\"${a#--shard-out=}\";;\n"
+              "    --shard-index=*) idx=\"${a#--shard-index=}\";;\n"
+              "  esac\ndone\n"
+              "if [ \"$idx\" = \"0\" ] && [ ! -e \""
+           << Marker
+           << "\" ]; then\n"
+              "  : > \""
+           << Marker
+           << "\"\n"
+              "  printf 'marqsim-shard-v1\\ntrunc' > \"$out\"\n"
+              "  kill -TERM $$\n"
+              "  exit 1\nfi\n"
+              "exec \""
+           << Binary << "\" \"$@\"\n";
+  }
+  std::filesystem::permissions(Wrapper,
+                               std::filesystem::perms::owner_all |
+                                   std::filesystem::perms::group_read |
+                                   std::filesystem::perms::others_read);
+
+  ShardOptions Options;
+  Options.ShardCount = 2;
+  Options.WorkDir = freshDir("shard_killed_worker_wd");
+  Options.CacheDir = freshDir("shard_killed_worker_cache");
+  Options.WorkerBinary = Wrapper;
+  ShardCoordinator Coordinator(Options);
+  std::string Error;
+  ShardReport Report;
+  std::optional<TaskResult> Merged = Coordinator.run(Spec, &Error, &Report);
+  ASSERT_TRUE(Merged) << Error;
+  expectBitIdentical(*Single, *Merged);
+  EXPECT_EQ(Report.Retries, 1u);
+  // Both symptoms must be on the record: the signal exit and the partial
+  // manifest that got rejected before its range was re-run.
+  bool SawSignalExit = false, SawRejected = false;
+  for (const std::string &Note : Report.Notes) {
+    SawSignalExit |= Note.find("exited with status 143") != std::string::npos;
+    SawRejected |= Note.find("rejected") != std::string::npos;
+  }
+  EXPECT_TRUE(SawSignalExit) << "missing worker signal-exit note";
+  EXPECT_TRUE(SawRejected) << "missing stale-manifest rejection note";
 }
 
 TEST(ShardSubprocessTest, InlineSourcesCannotReExec) {

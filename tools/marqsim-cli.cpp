@@ -56,6 +56,25 @@
 //                         --shots>1, the per-batch aggregate table), the
 //                         dispatched kernel tier and precision, plus the
 //                         walk/emission vs evaluation phase timing
+//     --stats-json        emit the same accounting as one machine-readable
+//                         JSON object ("marqsim-stats-v1") on stdout —
+//                         the exact serializer behind the daemon's stats
+//                         frames, so the two surfaces cannot drift.
+//                         Requires --out (stdout must carry only the JSON)
+//     --connect=HOST:PORT run the task on a resident marqsim-daemon
+//                         instead of in-process. The Hamiltonian is
+//                         resolved locally and shipped inline; the result
+//                         comes back as a bit-exact manifest, so QASM,
+//                         fidelity hexes, and the batch hash are byte-
+//                         identical to a local run of the same spec
+//     --stream            with --connect: ask the daemon for streamed
+//                         per-chunk shot frames (progress on stderr)
+//     --server-stats      with --connect: print the daemon's cumulative
+//                         stats frame as JSON on stdout and exit (no
+//                         Hamiltonian needed). The cumulative cache
+//                         section is where the one-solve contract shows:
+//                         its gc_solves must not grow across repeated
+//                         submits of one spec
 //     --dot=FILE          also dump the HTT graph as Graphviz DOT
 //
 // Hidden worker mode (used by the --shards coordinator when it re-execs
@@ -72,6 +91,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "circuit/QasmExport.h"
+#include "server/Client.h"
 #include "shard/ShardCoordinator.h"
 #include "support/Serial.h"
 #include "support/Subprocess.h"
@@ -163,10 +183,92 @@ int runWorkerMode(const CommandLine &CL, const TaskSpec &Spec,
   return 0;
 }
 
+/// --connect mode: ship the spec to a resident daemon and rebuild the
+/// result locally from the returned manifest. Output is byte-identical
+/// to a local run of the same spec.
+int runConnectMode(const CommandLine &CL, TaskSpec Spec) {
+  std::string Error;
+  // DumpDot is excluded from contentKey, so asking the daemon for the
+  // graph does not perturb caching.
+  Spec.Evaluate.DumpDot = CL.has("dot");
+  std::optional<server::DaemonClient> Client =
+      server::DaemonClient::connectTo(CL.getString("connect"), &Error);
+  if (!Client) {
+    std::cerr << "error: " << Error << "\n";
+    return 2;
+  }
+  const bool Stream = CL.getBool("stream");
+  server::ShotProgress Progress;
+  if (Stream)
+    Progress = [](const ShotRange &R, size_t Total) {
+      std::cerr << "shots [" << R.Begin << ", " << R.end() << ") of "
+                << Total << " done\n";
+    };
+  std::optional<server::RemoteRunResult> Out =
+      Client->runTask(Spec, &Error, Stream, /*DeadlineMs=*/0, Progress);
+  if (!Out) {
+    std::cerr << "error: " << Error << "\n";
+    return 2;
+  }
+
+  if (CL.has("dot")) {
+    std::ofstream Dot(CL.getString("dot"));
+    Dot << Out->Dot;
+  }
+  if (CL.has("out")) {
+    std::ofstream File(CL.getString("out"));
+    File << Out->Qasm;
+  } else {
+    std::cout << Out->Qasm;
+  }
+
+  if (Spec.Shots > 1)
+    printBatchTable(Spec, Out->Result);
+
+  if (CL.getBool("stats")) {
+    const TaskResult &R = Out->Result;
+    // Shot 0 travels as rendered text plus its batch summary, not a
+    // CompilationResult; the summary carries the same gate counts.
+    const ShotSummary &S0 = R.Batch.Shots.front();
+    std::cerr << "fingerprint=" << std::hex << R.Fingerprint << std::dec
+              << " N=" << S0.NumSamples << " cnots=" << S0.Counts.CNOTs
+              << " singles=" << S0.Counts.SingleQubit
+              << " total=" << S0.Counts.total() << " depth=" << Out->Depth
+              << "\n";
+    std::cerr << "remote: daemon=" << CL.getString("connect")
+              << " request-id=" << Out->RequestId << "\n";
+    if (R.HasFidelity && Spec.Shots == 1)
+      std::cerr << "fidelity=" << formatDouble(R.ShotFidelities[0], 6)
+                << " (" << Spec.Evaluate.FidelityColumns << " columns)\n";
+    // R.Stats arrived inside the manifest: the daemon's per-run cache
+    // accounting, which is what a warm-path check wants to see.
+    printCacheStats(R.Stats);
+  }
+  if (CL.getBool("stats-json"))
+    std::cout << Out->Stats.dump() << "\n";
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   CommandLine CL(Argc, Argv);
+  // A pure stats query needs no Hamiltonian; handle it before the usage
+  // gate below would demand one.
+  if (CL.has("connect") && CL.getBool("server-stats")) {
+    std::string Error;
+    std::optional<server::DaemonClient> Client =
+        server::DaemonClient::connectTo(CL.getString("connect"), &Error);
+    std::optional<json::Value> Stats;
+    if (Client)
+      Stats = Client->serverStats(&Error);
+    if (!Stats) {
+      std::cerr << "error: " << Error << "\n";
+      return 2;
+    }
+    std::cout << Stats->dump() << "\n";
+    return 0;
+  }
   if ((CL.positionals().empty() && !CL.has("model")) || CL.getBool("help")) {
     std::cerr << "usage: marqsim-cli <hamiltonian.txt> | --model=NAME\n"
                  "  [--time=T] [--epsilon=E]\n"
@@ -175,7 +277,8 @@ int main(int Argc, char **Argv) {
                  "  [--jobs=J] [--eval-jobs=J] [--shards=K] [--shard-dir=DIR]\n"
                  "  [--columns=K] [--precision=fp64|fp32]\n"
                  "  [--cache-dir=DIR] [--cache-limit-mb=M] [--out=FILE]\n"
-                 "  [--stats] [--dot=FILE]\n";
+                 "  [--stats] [--stats-json] [--dot=FILE]\n"
+                 "  [--connect=HOST:PORT] [--stream] [--server-stats]\n";
     return 1;
   }
 
@@ -236,6 +339,19 @@ int main(int Argc, char **Argv) {
     std::cerr << "error: --shards (coordinator) and --shard-index/--shard-"
                  "out (worker) are mutually exclusive\n";
     return 1;
+  }
+  if (CL.getBool("stats-json") && !CL.has("out")) {
+    std::cerr << "error: --stats-json needs --out so stdout carries only "
+                 "the JSON object\n";
+    return 1;
+  }
+  if (CL.has("connect")) {
+    if (WorkerMode || CoordinatorMode) {
+      std::cerr << "error: --connect runs on the daemon; it is mutually "
+                   "exclusive with --shards and worker mode\n";
+      return 1;
+    }
+    return runConnectMode(CL, *Spec);
   }
   if (WorkerMode)
     return runWorkerMode(CL, *Spec, Options);
@@ -368,6 +484,18 @@ int main(int Argc, char **Argv) {
       printCacheStats(Result->Stats);
       printStoreStats(Service.storeStats(), Options.CacheLimitBytes);
     }
+  }
+
+  if (CL.getBool("stats-json")) {
+    // The same serializer that backs the daemon's stats frames; for
+    // sharded runs the per-process store tiers are omitted (each worker
+    // had its own store, so this process's counters would mislead).
+    ArtifactStore::Stats Store = Service.storeStats();
+    std::cout << server::runStatsJson(*Spec, *Result,
+                                      Sharded ? nullptr : &Store,
+                                      Options.CacheLimitBytes)
+                     .dump()
+              << "\n";
   }
   return 0;
 }
