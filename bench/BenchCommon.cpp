@@ -122,7 +122,9 @@ void marqsim::printCacheStats(std::ostream &OS,
      << " reused=" << S.matrixHits() << " (disk=" << S.DiskLoads
      << "), graphs built=" << S.GraphMisses << " reused=" << S.GraphHits
      << ", evaluators built=" << S.EvaluatorMisses
-     << " reused=" << S.EvaluatorHits << "\n";
+     << " reused=" << S.EvaluatorHits
+     << ", superoperators built=" << S.SuperMisses
+     << " reused=" << S.SuperHits << "\n";
 }
 
 void marqsim::applyCommonFlags(const CommandLine &CL, SweepOptions &Opts) {

@@ -1,0 +1,186 @@
+//===- bench/bench_noise_overhead.cpp - Noisy-tier cost and contracts --------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// What the noisy-simulation tier costs and what it must never break:
+//
+//   1. Per-shot evaluation overhead — every channel in both modes against
+//      the noiseless baseline, on one shared sampling batch. Stochastic
+//      injection should stay within a small factor of noiseless
+//      evaluation (same panel harness, slightly longer schedules); the
+//      density oracle is expected to be orders of magnitude slower — it
+//      exists for validation, not throughput — and the table records by
+//      how much.
+//   2. Contract gates (exit code 1 on violation, so CI can run this
+//      binary directly):
+//        * noise never perturbs the compiled circuits: every noisy batch
+//          hash equals the noiseless batch hash,
+//        * stochastic noisy fidelities are bit-identical across --jobs,
+//        * the stochastic mean tracks the density oracle's exact
+//          expectation within a generous statistical tolerance,
+//        * noise costs fidelity: every noisy mean sits below noiseless.
+//
+// Output is CSV (stdout); human-oriented notes go to stderr.
+//
+// Flags: --time=T (1.0) --epsilon=E (0.1) --seed=S (1) --shots=N (96)
+//        --prob=P (0.02) --columns=K (8)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "sim/NoiseModel.h"
+#include "support/Serial.h"
+#include "support/Timer.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace marqsim;
+
+namespace {
+
+/// A 4-qubit operator: large enough for multi-qubit factors to matter,
+/// small enough for the density oracle on every shot.
+Hamiltonian benchHamiltonian() {
+  return Hamiltonian::parse({{1.0, "IIZY"},
+                             {0.8, "XXII"},
+                             {0.6, "ZXZY"},
+                             {0.4, "IZZX"}});
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  double Time = CL.getDouble("time", 1.0);
+  double Eps = CL.getDouble("epsilon", 0.1);
+  uint64_t Seed = static_cast<uint64_t>(CL.getInt("seed", 1));
+  size_t Shots = static_cast<size_t>(CL.getInt("shots", 96));
+  double Prob = CL.getDouble("prob", 0.02);
+  size_t Columns = static_cast<size_t>(CL.getInt("columns", 8));
+  if (Shots < 2 || !(Prob > 0.0) || Prob > 1.0 || Columns < 1) {
+    std::cerr << "error: need --shots>=2, --prob in (0, 1], --columns>=1\n";
+    return 1;
+  }
+
+  TaskSpec Base;
+  Base.Source = HamiltonianSource::fromHamiltonian(benchHamiltonian());
+  Base.Mix = *ChannelMix::preset("gc");
+  Base.Time = Time;
+  Base.Epsilon = Eps;
+  Base.Seed = Seed;
+  Base.Shots = Shots;
+  Base.Jobs = 4;
+  Base.Evaluate.FidelityColumns = Columns;
+
+  SimulationService Service;
+  std::string Error;
+  bool Ok = true;
+
+  Timer CleanWall;
+  std::optional<TaskResult> Clean = Service.run(Base, &Error);
+  if (!Clean) {
+    std::cerr << "error: " << Error << "\n";
+    return 1;
+  }
+  const double CleanSeconds = CleanWall.seconds();
+  const double CleanEval = Clean->Batch.EvalSeconds;
+  std::cerr << "# noiseless baseline: " << Shots << " shots, eval="
+            << formatDouble(CleanEval, 4) << " s, mean fidelity="
+            << formatDouble(Clean->Fidelity.Mean, 5) << "\n";
+
+  Table Grid({"channel", "mode", "prob", "wall_s", "eval_s", "eval_x",
+              "mean_fidelity"});
+  Grid.row("none", "-", 0.0, formatDouble(CleanSeconds, 4),
+           formatDouble(CleanEval, 4), 1.0,
+           formatDouble(Clean->Fidelity.Mean, 5));
+
+  for (NoiseChannelKind Kind :
+       {NoiseChannelKind::Depolarizing, NoiseChannelKind::PhaseFlip,
+        NoiseChannelKind::AmplitudeDamping}) {
+    double StochasticMean = 0.0, DensityMean = 0.0;
+    for (NoiseMode Mode : {NoiseMode::Stochastic, NoiseMode::Density}) {
+      TaskSpec Spec = Base;
+      Spec.Noise.Kind = Kind;
+      Spec.Noise.Prob = Prob;
+      Spec.Noise.TwoQubitFactor = 1.5;
+      Spec.Noise.Mode = Mode;
+
+      Timer Wall;
+      std::optional<TaskResult> R = Service.run(Spec, &Error);
+      if (!R) {
+        std::cerr << "error: " << noiseChannelName(Kind) << "/"
+                  << noiseModeName(Mode) << ": " << Error << "\n";
+        return 1;
+      }
+      Grid.row(noiseChannelName(Kind), noiseModeName(Mode), Prob,
+               formatDouble(Wall.seconds(), 4),
+               formatDouble(R->Batch.EvalSeconds, 4),
+               formatDouble(CleanEval > 0.0
+                                ? R->Batch.EvalSeconds / CleanEval
+                                : 0.0, 2),
+               formatDouble(R->Fidelity.Mean, 5));
+
+      // Gate: noise models execution, never compilation — the batch is
+      // the same circuits as the noiseless run, bit for bit.
+      if (R->Batch.batchHash() != Clean->Batch.batchHash()) {
+        std::cerr << "ERROR: " << noiseChannelName(Kind) << "/"
+                  << noiseModeName(Mode)
+                  << " perturbed the compiled batch hash\n";
+        Ok = false;
+      }
+      // Gate: noise costs fidelity (tiny slack for estimator noise).
+      if (R->Fidelity.Mean > Clean->Fidelity.Mean + 1e-9) {
+        std::cerr << "ERROR: noisy mean above noiseless baseline for "
+                  << noiseChannelName(Kind) << "/" << noiseModeName(Mode)
+                  << "\n";
+        Ok = false;
+      }
+
+      if (Mode == NoiseMode::Stochastic) {
+        StochasticMean = R->Fidelity.Mean;
+        // Gate: stochastic noisy fidelities are bit-identical across
+        // worker counts.
+        TaskSpec Serial = Spec;
+        Serial.Jobs = 1;
+        std::optional<TaskResult> S = Service.run(Serial, &Error);
+        if (!S) {
+          std::cerr << "error: " << Error << "\n";
+          return 1;
+        }
+        for (size_t I = 0; I < Shots; ++I)
+          if (serial::doubleBits(S->ShotFidelities[I]) !=
+              serial::doubleBits(R->ShotFidelities[I])) {
+            std::cerr << "ERROR: " << noiseChannelName(Kind)
+                      << " stochastic fidelity of shot " << I
+                      << " depends on --jobs\n";
+            Ok = false;
+            break;
+          }
+      } else {
+        DensityMean = R->Fidelity.Mean;
+      }
+    }
+    // Gate: the density oracle is the exact expectation of the
+    // stochastic tier, so the two means must agree within sampling
+    // error. 0.15 is several sigma at default settings — a trip means a
+    // wrong twirl or a broken metric, not an unlucky seed.
+    if (std::abs(StochasticMean - DensityMean) > 0.15) {
+      std::cerr << "ERROR: stochastic mean " << StochasticMean
+                << " disagrees with density oracle " << DensityMean
+                << " for " << noiseChannelName(Kind) << "\n";
+      Ok = false;
+    }
+  }
+
+  Grid.printCSV(std::cout);
+  if (!Ok) {
+    std::cerr << "noise contract violations detected\n";
+    return 1;
+  }
+  std::cerr << "ok: batch hashes stable, jobs-bit-identity held, "
+               "stochastic tier tracks the density oracle\n";
+  return 0;
+}

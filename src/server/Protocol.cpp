@@ -81,6 +81,8 @@ json::Value cacheStatsJson(const CacheStats &S) {
       .set("graph_builds", S.GraphMisses)
       .set("evaluator_hits", S.EvaluatorHits)
       .set("evaluator_builds", S.EvaluatorMisses)
+      .set("super_hits", S.SuperHits)
+      .set("super_builds", S.SuperMisses)
       .set("disk_loads", S.DiskLoads);
 }
 
@@ -146,6 +148,14 @@ json::Value runStatsJson(const TaskSpec &Spec, const TaskResult &Result,
   }
 
   V.set("kernels", kernelsJson(Spec.Precision));
+  // Always present so consumers need no existence probe; a noiseless run
+  // reports channel "none".
+  V.set("noise",
+        json::Value::object()
+            .set("channel", noiseChannelName(Spec.Noise.Kind))
+            .set("mode", noiseModeName(Spec.Noise.Mode))
+            .set("prob", Spec.Noise.Prob)
+            .set("two_qubit_factor", Spec.Noise.TwoQubitFactor));
   V.set("cache", cacheStatsJson(Result.Stats));
   if (Store)
     V.set("store", storeStatsJson(*Store, StoreLimitBytes));

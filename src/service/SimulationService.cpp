@@ -9,8 +9,10 @@
 #include "hamgen/Registry.h"
 #include "pauli/HamiltonianIO.h"
 #include "sim/Kernels.h"
+#include "sim/NoiseModel.h"
 #include "stats/Stats.h"
 #include "store/Codecs.h"
+#include "support/Serial.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -32,6 +34,8 @@ CacheStats &CacheStats::operator+=(const CacheStats &O) {
   GraphMisses += O.GraphMisses;
   EvaluatorHits += O.EvaluatorHits;
   EvaluatorMisses += O.EvaluatorMisses;
+  SuperHits += O.SuperHits;
+  SuperMisses += O.SuperMisses;
   DiskLoads += O.DiskLoads;
   return *this;
 }
@@ -41,6 +45,12 @@ CacheStats &CacheStats::operator+=(const CacheStats &O) {
 //===----------------------------------------------------------------------===//
 
 namespace {
+
+/// Caps of the density-oracle paths. Direct dense evolution is O(4^n)
+/// per schedule step; the composed superoperator holds 16^n complex
+/// entries, so it is cached only where that is a few megabytes at most.
+constexpr unsigned DensityOracleMaxQubits = 6;
+constexpr unsigned SuperoperatorMaxQubits = 4;
 
 /// An HTT graph plus the sampling tables built over it. The base strategy
 /// carries the alias (or CDF) tables; tasks re-target it to their own
@@ -291,6 +301,37 @@ struct SimulationService::Impl {
     note(Delta, Local);
     return Value;
   }
+
+  /// Resolves a composed noisy-schedule superoperator. \p Build runs at
+  /// most once per key per process (single-flight), and not at all when
+  /// the disk tier has the artifact; a corrupt or stale file falls back
+  /// to recomposition like every other type.
+  std::shared_ptr<const Matrix>
+  superoperator(const ArtifactKey &Key, size_t ExpectedDim,
+                const std::function<Matrix()> &Build, CacheStats *Local) {
+    ArtifactCodec<Matrix> Codec;
+    Codec.Encode = [](const Matrix &S) { return store::encodeSuperBody(S); };
+    Codec.Decode = [ExpectedDim](const std::string &Body) {
+      return store::decodeSuperBody(ExpectedDim, Body);
+    };
+    Codec.Size = store::superBytes;
+    ArtifactStore::Outcome Out;
+    auto Value = Store.get<Matrix>(Key, Codec, Build, &Out);
+    CacheStats Delta;
+    switch (Out) {
+    case ArtifactStore::Outcome::Computed:
+      Delta.SuperMisses++;
+      break;
+    case ArtifactStore::Outcome::DiskHit:
+      Delta.DiskLoads++;
+      [[fallthrough]];
+    case ArtifactStore::Outcome::MemoryHit:
+      Delta.SuperHits++;
+      break;
+    }
+    note(Delta, Local);
+    return Value;
+  }
 };
 
 //===----------------------------------------------------------------------===//
@@ -471,6 +512,28 @@ std::optional<TaskResult> SimulationService::run(const TaskSpec &Spec,
     Result.ShotFidelities.assign(Range.Count, 0.0);
   }
 
+  // Noise setup. The stochastic tier works at any size; the density
+  // oracle is dense 2^n x 2^n evolution, capped at small n, and the
+  // cacheable superoperator form (D^4 entries) at smaller n still. Both
+  // caps are pure functions of (spec, qubit count) — never of cache
+  // state or worker count — so every jobs/shard split takes the same
+  // path and the bit-identity contract holds.
+  std::optional<NoiseModel> Noise;
+  if (Spec.Noise.enabled() && Eval) {
+    if (Spec.Noise.Mode == NoiseMode::Density &&
+        H.numQubits() > DensityOracleMaxQubits) {
+      detail::fail(Error, "the density-matrix noise oracle is capped at " +
+                              std::to_string(DensityOracleMaxQubits) +
+                              " qubits (task has " +
+                              std::to_string(H.numQubits()) +
+                              "); use --noise-mode=stochastic");
+      return std::nullopt;
+    }
+    Noise.emplace(Spec.Noise);
+  }
+  const bool StochasticNoise =
+      Noise && Spec.Noise.Mode == NoiseMode::Stochastic;
+
   // Shot zero is a global notion: only the range that contains it can
   // export it.
   bool WantShotZero = Spec.Evaluate.ExportShotZero && Range.Begin == 0;
@@ -486,8 +549,12 @@ std::optional<TaskResult> SimulationService::run(const TaskSpec &Spec,
   Req.KeepResults = Spec.Evaluate.KeepResults;
   // Deterministic strategies replicate one compiled shot across the
   // batch, so their fidelity is evaluated once and replicated too — not
-  // recomputed per shot on the identical schedule.
-  const bool EvalOnce = Eval && Strategy->isDeterministic();
+  // recomputed per shot on the identical schedule. Stochastic noise is
+  // the exception: every shot draws its own errors from its own
+  // substream, so the identical schedule still evaluates differently.
+  // (The density oracle is itself deterministic, so it keeps the fold.)
+  const bool EvalOnce =
+      Eval && Strategy->isDeterministic() && !StochasticNoise;
   // Per-shot evaluation seconds: each worker writes its own slot, the sum
   // lands in BatchResult::EvalSeconds after the batch (timing is a
   // diagnostic, never a golden). Only the fidelity call is timed — the
@@ -502,13 +569,49 @@ std::optional<TaskResult> SimulationService::run(const TaskSpec &Spec,
     // Req.EvalJobs workers — the fixed block partition keeps every value
     // bit-identical. The hook's index is range-relative, matching the
     // result vectors.
+    // The noisy fidelity of a shot is a pure function of (schedule,
+    // spec seed, global shot index): stochastic draws come from the
+    // counter-based noise substream at the *global* index (the hook's is
+    // range-relative), so a sharded range reproduces the single-process
+    // values bit for bit.
+    const bool UseSuper = Noise && !StochasticNoise &&
+                          Strategy->isDeterministic() &&
+                          H.numQubits() <= SuperoperatorMaxQubits;
     Req.PerShot = [&, EvalJobs = Req.EvalJobs,
                    Precision = Spec.Precision](size_t Shot,
                                                const CompilationResult &R) {
       if (Eval && (!EvalOnce || Shot == 0)) {
         Timer EvalClock;
-        Result.ShotFidelities[Shot] =
-            Eval->fidelity(R.Schedule, EvalJobs, Precision);
+        if (StochasticNoise) {
+          RNG NoiseRng = RNG::forShot(
+              NoiseModel::noiseStreamSeed(Spec.Seed), Range.Begin + Shot);
+          Result.ShotFidelities[Shot] = Eval->stateFidelity(
+              Noise->injectErrors(R.Schedule, NoiseRng), EvalJobs, Precision);
+        } else if (Noise && UseSuper) {
+          const size_t SuperDim = (size_t(1) << H.numQubits()) *
+                                  (size_t(1) << H.numQubits());
+          auto Super = M->superoperator(
+              store::superoperatorKey(
+                  Result.Fingerprint, Spec.Time, Spec.TrotterReps,
+                  Spec.TrotterOrder, static_cast<uint64_t>(Spec.Order),
+                  Spec.Lowering.Emit.CrossCancellation,
+                  static_cast<uint64_t>(Spec.Noise.Kind),
+                  serial::doubleBits(Spec.Noise.Prob),
+                  serial::doubleBits(Spec.Noise.TwoQubitFactor)),
+              SuperDim,
+              [&] {
+                return Noise->buildSuperoperator(R.Schedule, H.numQubits());
+              },
+              &Result.Stats);
+          Result.ShotFidelities[Shot] =
+              Noise->densityFidelityFromSuper(*Super, *Eval);
+        } else if (Noise) {
+          Result.ShotFidelities[Shot] =
+              Noise->densityFidelity(R.Schedule, H.numQubits(), *Eval);
+        } else {
+          Result.ShotFidelities[Shot] =
+              Eval->fidelity(R.Schedule, EvalJobs, Precision);
+        }
         EvalSecs[Shot] = EvalClock.seconds();
       }
       if (WantShotZero && Shot == 0)

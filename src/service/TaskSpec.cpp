@@ -9,6 +9,8 @@
 #include "service/SimulationService.h"
 #include "support/Serial.h"
 
+#include <cmath>
+
 using namespace marqsim;
 
 //===----------------------------------------------------------------------===//
@@ -26,10 +28,12 @@ std::optional<ChannelMix> ChannelMix::preset(const std::string &Name) {
 }
 
 bool ChannelMix::normalize() {
-  if (WQd < 0.0 || WGc < 0.0 || WRp < 0.0)
+  // The negated comparisons also reject NaN weights (NaN < 0.0 is false,
+  // so the old form waved them straight through to the samplers).
+  if (!(WQd >= 0.0) || !(WGc >= 0.0) || !(WRp >= 0.0))
     return false;
   double Sum = sum();
-  if (Sum <= 0.0)
+  if (!(Sum > 0.0) || !std::isfinite(Sum))
     return false;
   WQd /= Sum;
   WGc /= Sum;
@@ -49,11 +53,25 @@ marqsim::parseChannelMix(const CommandLine &CL, std::string *Error) {
     Mix->WQd = CL.getDouble("qd", 0.0);
     Mix->WGc = CL.getDouble("gc", 0.0);
     Mix->WRp = CL.getDouble("rp", 0.0);
-    if (!Mix->normalize()) {
-      detail::fail(Error, "configuration weights must be non-negative with a "
-                  "positive sum");
+    // Diagnose the exact violation instead of renormalizing nonsense:
+    // a negative (or NaN) weight is not a distribution, and an all-zero
+    // override selects nothing.
+    const struct {
+      const char *Flag;
+      double W;
+    } Weights[] = {{"--qd", Mix->WQd}, {"--gc", Mix->WGc}, {"--rp", Mix->WRp}};
+    for (const auto &Entry : Weights)
+      if (!(Entry.W >= 0.0) || !std::isfinite(Entry.W)) {
+        detail::fail(Error, std::string(Entry.Flag) +
+                                " must be a non-negative finite weight");
+        return std::nullopt;
+      }
+    if (!(Mix->sum() > 0.0)) {
+      detail::fail(Error, "channel weights --qd/--gc/--rp are all zero; at "
+                          "least one must be positive");
       return std::nullopt;
     }
+    Mix->normalize();
   }
   return Mix;
 }
@@ -65,12 +83,33 @@ marqsim::parseChannelMix(const CommandLine &CL, std::string *Error) {
 bool TaskSpec::validate(std::string *Error) const {
   if (Shots < 1)
     return detail::fail(Error, "a task needs at least one shot");
-  if (Time <= 0.0)
-    return detail::fail(Error, "evolution time must be positive");
+  // !(x > 0) instead of x <= 0: NaN fails every comparison, so the old
+  // form accepted --time=nan.
+  if (!(Time > 0.0) || !std::isfinite(Time))
+    return detail::fail(Error, "evolution time must be positive and finite");
+  if (Noise.Kind != NoiseChannelKind::None) {
+    if (!(Noise.Prob >= 0.0) || !(Noise.Prob <= 1.0))
+      return detail::fail(Error,
+                          "noise probability must be in [0, 1]");
+    if (!(Noise.TwoQubitFactor > 0.0) || !std::isfinite(Noise.TwoQubitFactor))
+      return detail::fail(Error,
+                          "noise 2-qubit factor must be positive and finite");
+    if (Noise.enabled() && Evaluate.FidelityColumns == 0)
+      return detail::fail(Error,
+                          "noise only affects fidelity evaluation; enable it "
+                          "with --columns=N");
+    if (Noise.enabled() && Noise.Mode == NoiseMode::Density &&
+        Precision != EvalPrecision::FP64)
+      return detail::fail(Error,
+                          "the density-matrix noise oracle evaluates in "
+                          "double precision; use --precision=fp64");
+  }
   switch (Method) {
   case TaskMethod::Sampling: {
-    if (Epsilon <= 0.0)
-      return detail::fail(Error, "target precision epsilon must be positive");
+    if (!(Epsilon > 0.0) || !std::isfinite(Epsilon))
+      return detail::fail(Error,
+                          "target precision epsilon must be positive and "
+                          "finite");
     ChannelMix Copy = Mix;
     if (!Copy.normalize())
       return detail::fail(Error, "channel weights must be non-negative with a "
@@ -110,6 +149,15 @@ uint64_t TaskSpec::contentKey() const {
   // for fp64 would shift every cache key minted before the tier existed.
   if (Precision != EvalPrecision::FP64)
     H = fnv1aWord(static_cast<uint64_t>(Precision), H);
+  // Noise follows the same rule: it participates only when enabled, so
+  // every noiseless key (goldens, manifests, cache files) minted before
+  // the noisy tier existed stays valid.
+  if (Noise.enabled()) {
+    H = fnv1aWord(static_cast<uint64_t>(Noise.Kind), H);
+    H = fnv1aWord(doubleBits(Noise.Prob), H);
+    H = fnv1aWord(doubleBits(Noise.TwoQubitFactor), H);
+    H = fnv1aWord(static_cast<uint64_t>(Noise.Mode), H);
+  }
   // Only the active method's knobs participate: an unused TrotterReps on
   // a sampling task cannot change its bits, so it must not change its key.
   switch (Method) {
@@ -164,13 +212,13 @@ std::optional<TaskSpec> TaskSpec::fromCommandLine(const CommandLine &CL,
   Spec.Mix = *Mix;
 
   Spec.Time = CL.getDouble("time", Spec.Time);
-  if (Spec.Time <= 0.0) {
-    detail::fail(Error, "--time must be positive");
+  if (!(Spec.Time > 0.0) || !std::isfinite(Spec.Time)) {
+    detail::fail(Error, "--time must be positive and finite");
     return std::nullopt;
   }
   Spec.Epsilon = CL.getDouble("epsilon", Spec.Epsilon);
-  if (Spec.Epsilon <= 0.0) {
-    detail::fail(Error, "--epsilon must be positive");
+  if (!(Spec.Epsilon > 0.0) || !std::isfinite(Spec.Epsilon)) {
+    detail::fail(Error, "--epsilon must be positive and finite");
     return std::nullopt;
   }
 
@@ -235,6 +283,43 @@ std::optional<TaskSpec> TaskSpec::fromCommandLine(const CommandLine &CL,
     return std::nullopt;
   }
   Spec.Precision = *Prec;
+
+  const std::string NoiseName = CL.getString("noise", "none");
+  std::optional<NoiseChannelKind> Channel = parseNoiseChannel(NoiseName);
+  if (!Channel) {
+    detail::fail(Error, "--noise must be none, depolarizing, phase-flip, or "
+                        "amplitude-damping (got '" +
+                            NoiseName + "')");
+    return std::nullopt;
+  }
+  Spec.Noise.Kind = *Channel;
+  if (Spec.Noise.Kind == NoiseChannelKind::None &&
+      (CL.has("noise-prob") || CL.has("noise-2q-factor") ||
+       CL.has("noise-mode"))) {
+    detail::fail(Error, "--noise-prob/--noise-2q-factor/--noise-mode have no "
+                        "effect without --noise=MODEL");
+    return std::nullopt;
+  }
+  Spec.Noise.Prob = CL.getDouble("noise-prob", Spec.Noise.Prob);
+  if (!(Spec.Noise.Prob >= 0.0) || !(Spec.Noise.Prob <= 1.0)) {
+    detail::fail(Error, "--noise-prob must be a probability in [0, 1]");
+    return std::nullopt;
+  }
+  Spec.Noise.TwoQubitFactor =
+      CL.getDouble("noise-2q-factor", Spec.Noise.TwoQubitFactor);
+  if (!(Spec.Noise.TwoQubitFactor > 0.0) ||
+      !std::isfinite(Spec.Noise.TwoQubitFactor)) {
+    detail::fail(Error, "--noise-2q-factor must be positive and finite");
+    return std::nullopt;
+  }
+  const std::string ModeName = CL.getString("noise-mode", "stochastic");
+  std::optional<NoiseMode> Mode = parseNoiseMode(ModeName);
+  if (!Mode) {
+    detail::fail(Error, "--noise-mode must be stochastic or density (got '" +
+                            ModeName + "')");
+    return std::nullopt;
+  }
+  Spec.Noise.Mode = *Mode;
 
   Spec.UseCDF = CL.getBool("cdf");
   return Spec;
@@ -413,6 +498,12 @@ std::optional<json::Value> TaskSpec::toJson(std::string *Error) const {
   V.set("eval_jobs", EvalJobs);
   V.set("seed", hexWord(Seed));
   V.set("precision", precisionName(Precision));
+  V.set("noise", json::Value::object()
+                     .set("channel", noiseChannelName(Noise.Kind))
+                     .set("mode", noiseModeName(Noise.Mode))
+                     .set("prob", hexDouble(Noise.Prob))
+                     .set("two_qubit_factor",
+                          hexDouble(Noise.TwoQubitFactor)));
   V.set("lowering", json::Value::object()
                         .set("cross_cancellation",
                              Lowering.Emit.CrossCancellation)
@@ -572,6 +663,37 @@ std::optional<TaskSpec> TaskSpec::fromJson(const json::Value &V,
     return std::nullopt;
   }
   Spec.Precision = *Prec;
+
+  // "noise" is optional: v1 frames minted before the noisy tier carry no
+  // noise object, and its absence means exactly what the default spec
+  // means — noiseless. When present, every field is required.
+  if (const json::Value *Noise = V.find("noise")) {
+    if (!Noise->isObject()) {
+      detail::fail(Error, "spec json: 'noise' must be an object");
+      return std::nullopt;
+    }
+    std::string ChannelText, ModeText;
+    if (!readString(*Noise, "channel", ChannelText, Error) ||
+        !readString(*Noise, "mode", ModeText, Error))
+      return std::nullopt;
+    std::optional<NoiseChannelKind> Channel = parseNoiseChannel(ChannelText);
+    if (!Channel) {
+      detail::fail(Error,
+                   "spec json: unknown noise channel '" + ChannelText + "'");
+      return std::nullopt;
+    }
+    Spec.Noise.Kind = *Channel;
+    std::optional<NoiseMode> Mode = parseNoiseMode(ModeText);
+    if (!Mode) {
+      detail::fail(Error, "spec json: unknown noise mode '" + ModeText + "'");
+      return std::nullopt;
+    }
+    Spec.Noise.Mode = *Mode;
+    if (!readHexDouble(*Noise, "prob", Spec.Noise.Prob, Error) ||
+        !readHexDouble(*Noise, "two_qubit_factor", Spec.Noise.TwoQubitFactor,
+                       Error))
+      return std::nullopt;
+  }
 
   const json::Value *Lowering = V.find("lowering");
   if (!Lowering || !Lowering->isObject()) {

@@ -27,6 +27,7 @@
 #include "core/Compiler.h"
 #include "core/TransitionBuilders.h"
 #include "pauli/Hamiltonian.h"
+#include "sim/NoiseModel.h"
 #include "sim/Precision.h"
 #include "support/CommandLine.h"
 #include "support/Json.h"
@@ -214,6 +215,13 @@ struct TaskSpec {
   /// key is untouched.
   EvalPrecision Precision = EvalPrecision::FP64;
 
+  /// Per-gate noise channel (sim/NoiseModel.h). Default-inert: a disabled
+  /// spec leaves contentKey, manifests, and JSON frames exactly as they
+  /// were before the noisy tier existed. Noise only affects fidelity
+  /// evaluation (the compiled circuit is the noiseless program; noise
+  /// models its execution), so an enabled spec requires FidelityColumns.
+  NoiseSpec Noise;
+
   /// Lowering options applied to every shot.
   CompilationOptions Lowering;
 
@@ -237,9 +245,11 @@ struct TaskSpec {
   /// Parses the common CLI surface into a spec: positional Hamiltonian
   /// file or --model=NAME, --time/--epsilon, --config + --qd/--gc/--rp,
   /// --rounds/--perturb-seed, --seed/--shots/--jobs/--eval-jobs,
-  /// --columns (fidelity), --precision (fp64/fp32), --cdf. Rejects
-  /// negative counts/seeds, non-positive time/epsilon, and unknown
-  /// precision names.
+  /// --columns (fidelity), --precision (fp64/fp32),
+  /// --noise/--noise-prob/--noise-2q-factor/--noise-mode, --cdf. Rejects
+  /// negative counts/seeds, non-positive or non-finite time/epsilon,
+  /// out-of-range noise probabilities, and unknown precision/channel/mode
+  /// names.
   static std::optional<TaskSpec> fromCommandLine(const CommandLine &CL,
                                                  std::string *Error = nullptr);
 

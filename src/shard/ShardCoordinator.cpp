@@ -99,6 +99,16 @@ std::optional<std::vector<std::string>> ShardCoordinator::workerArgs(
   Argv.push_back(intFlag("eval-jobs", Spec.EvalJobs));
   Argv.push_back(intFlag("columns", Spec.Evaluate.FidelityColumns));
   Argv.push_back(intFlag("column-seed", Spec.Evaluate.ColumnSeed));
+  // The noise spec travels like time/epsilon: names in the clear, the
+  // probability and factor as raw bit patterns (an ulp of drift would
+  // change the contentKey and every noise draw).
+  if (Spec.Noise.Kind != NoiseChannelKind::None) {
+    Argv.push_back(std::string("--noise=") + noiseChannelName(Spec.Noise.Kind));
+    Argv.push_back(std::string("--noise-mode=") +
+                   noiseModeName(Spec.Noise.Mode));
+    Argv.push_back(bitsFlag("noise-prob-bits", Spec.Noise.Prob));
+    Argv.push_back(bitsFlag("noise-2q-factor-bits", Spec.Noise.TwoQubitFactor));
+  }
   if (Spec.UseCDF)
     Argv.push_back("--cdf");
   if (!CacheDir.empty())

@@ -19,10 +19,11 @@ using namespace marqsim::serial;
 
 namespace {
 
-// v2 added the eval-seconds phase accounting. Old-version manifests fail
-// the magic check and their range is simply re-run — resume across format
+// v3 added the noise line and the superoperator cache counters (v2 had
+// the eval-seconds phase accounting). Old-version manifests fail the
+// magic check and their range is simply re-run — resume across format
 // versions degrades to recompute, never to misparse.
-constexpr const char *Magic = "marqsim-shard-v2";
+constexpr const char *Magic = "marqsim-shard-v3";
 
 bool fail(std::string *Error, const std::string &Message) {
   if (Error)
@@ -50,10 +51,14 @@ std::string ShardManifest::serialize() const {
   OS << "num-samples " << NumSamples << "\n";
   OS << "jobs " << JobsUsed << "\n";
   OS << "eval-seconds " << hex16(doubleBits(EvalSeconds)) << "\n";
+  OS << "noise " << noiseChannelName(Noise.Kind) << " "
+     << noiseModeName(Noise.Mode) << " " << hex16(doubleBits(Noise.Prob))
+     << " " << hex16(doubleBits(Noise.TwoQubitFactor)) << "\n";
   OS << "cache " << Stats.GCSolveHits << " " << Stats.GCSolveMisses << " "
      << Stats.RPSolveHits << " " << Stats.RPSolveMisses << " "
      << Stats.GraphHits << " " << Stats.GraphMisses << " "
      << Stats.EvaluatorHits << " " << Stats.EvaluatorMisses << " "
+     << Stats.SuperHits << " " << Stats.SuperMisses << " "
      << Stats.DiskLoads << "\n";
   OS << "fidelity " << (HasFidelity ? 1 : 0) << "\n";
   OS << "shots " << Shots.size() << "\n";
@@ -96,7 +101,8 @@ std::optional<ShardManifest> ShardManifest::parse(const std::string &Text,
   };
 
   size_t FidelityFlag = 0, ShotCount = 0;
-  uint64_t EvalSecondsBits = 0;
+  uint64_t EvalSecondsBits = 0, NoiseProbBits = 0, NoiseFactorBits = 0;
+  std::string NoiseChannelText, NoiseModeText;
   bool Ok = ExpectLabel("fingerprint") && ReadHex(M.Fingerprint) &&
             ExpectLabel("seed") && ReadHex(M.Seed) &&
             ExpectLabel("spec") && ReadHex(M.SpecKey) &&
@@ -109,12 +115,16 @@ std::optional<ShardManifest> ShardManifest::parse(const std::string &Text,
             static_cast<bool>(In >> M.NumSamples) && ExpectLabel("jobs") &&
             static_cast<bool>(In >> M.JobsUsed) &&
             ExpectLabel("eval-seconds") && ReadHex(EvalSecondsBits) &&
+            ExpectLabel("noise") &&
+            static_cast<bool>(In >> NoiseChannelText >> NoiseModeText) &&
+            ReadHex(NoiseProbBits) && ReadHex(NoiseFactorBits) &&
             ExpectLabel("cache") &&
             static_cast<bool>(
                 In >> M.Stats.GCSolveHits >> M.Stats.GCSolveMisses >>
                 M.Stats.RPSolveHits >> M.Stats.RPSolveMisses >>
                 M.Stats.GraphHits >> M.Stats.GraphMisses >>
                 M.Stats.EvaluatorHits >> M.Stats.EvaluatorMisses >>
+                M.Stats.SuperHits >> M.Stats.SuperMisses >>
                 M.Stats.DiskLoads) &&
             ExpectLabel("fidelity") &&
             static_cast<bool>(In >> FidelityFlag) && ExpectLabel("shots") &&
@@ -123,6 +133,16 @@ std::optional<ShardManifest> ShardManifest::parse(const std::string &Text,
     fail(Error, "malformed header");
     return std::nullopt;
   }
+  std::optional<NoiseChannelKind> Channel = parseNoiseChannel(NoiseChannelText);
+  std::optional<NoiseMode> Mode = parseNoiseMode(NoiseModeText);
+  if (!Channel || !Mode) {
+    fail(Error, "unknown noise channel or mode");
+    return std::nullopt;
+  }
+  M.Noise.Kind = *Channel;
+  M.Noise.Mode = *Mode;
+  M.Noise.Prob = bitsToDouble(NoiseProbBits);
+  M.Noise.TwoQubitFactor = bitsToDouble(NoiseFactorBits);
   M.EvalSeconds = bitsToDouble(EvalSecondsBits);
   M.HasFidelity = FidelityFlag != 0;
   if (ShotCount != M.Range.Count) {
@@ -217,6 +237,7 @@ ShardManifest ShardManifest::fromTaskResult(const TaskSpec &Spec,
   M.JobsUsed = Result.Batch.JobsUsed;
   M.EvalSeconds = Result.Batch.EvalSeconds;
   M.HasFidelity = Result.HasFidelity;
+  M.Noise = Spec.Noise;
   M.Stats = Result.Stats;
   M.Shots = Result.Batch.Shots;
   if (Result.HasFidelity)

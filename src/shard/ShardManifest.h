@@ -70,6 +70,12 @@ struct ShardManifest {
 
   bool HasFidelity = false;
 
+  /// The noise configuration the shard evaluated under. contentKey
+  /// already covers it (so stale-noise manifests fail the SpecKey check);
+  /// carrying it explicitly makes a work directory self-describing and
+  /// lets the parser reject unknown channel/mode spellings early.
+  NoiseSpec Noise;
+
   /// The worker's cache accounting; the coordinator sums these to report
   /// e.g. "one MCFP solve total" across a sharded sweep.
   CacheStats Stats;

@@ -9,6 +9,7 @@
 #include "linalg/Eigen.h"
 
 #include <cmath>
+#include <stdexcept>
 
 using namespace marqsim;
 
@@ -70,7 +71,13 @@ void DensityMatrix::applyPauliExp(const PauliString &P, double Theta) {
 void DensityMatrix::applySamplingChannel(const Hamiltonian &H,
                                          const std::vector<double> &Pi,
                                          double Tau) {
-  assert(Pi.size() == H.numTerms() && "distribution size mismatch");
+  // A real error, not an assert: in release builds a mismatched
+  // distribution would silently read out of bounds below.
+  if (Pi.size() != H.numTerms())
+    throw std::invalid_argument(
+        "applySamplingChannel: distribution has " +
+        std::to_string(Pi.size()) + " probabilities for " +
+        std::to_string(H.numTerms()) + " Hamiltonian terms");
   const size_t Dim = Rho.rows();
   Matrix Mixture(Dim, Dim);
   DensityMatrix Scratch(NQubits, Matrix(Dim, Dim));
@@ -86,8 +93,40 @@ void DensityMatrix::applySamplingChannel(const Hamiltonian &H,
   Rho = std::move(Mixture);
 }
 
+void DensityMatrix::applyChannel(const std::vector<Matrix> &Kraus,
+                                 unsigned Qubit) {
+  if (Kraus.empty())
+    throw std::invalid_argument("applyChannel: empty Kraus set");
+  for (const Matrix &K : Kraus)
+    if (K.rows() != 2 || K.cols() != 2)
+      throw std::invalid_argument(
+          "applyChannel: Kraus operators must be 2x2 single-qubit matrices");
+  if (Qubit >= NQubits)
+    throw std::invalid_argument("applyChannel: qubit " +
+                                std::to_string(Qubit) + " out of range for " +
+                                std::to_string(NQubits) + " qubits");
+  const double TraceBefore = trace();
+  Matrix Out(Rho.rows(), Rho.cols());
+  for (const Matrix &K : Kraus) {
+    Matrix Full = embedSingleQubit(K, Qubit, NQubits);
+    Out += Full * Rho * Full.adjoint();
+  }
+  Rho = std::move(Out);
+  // Trace drift means the set was not a channel (sum K_i^dag K_i != I);
+  // failing here beats producing a quietly sub-normalized state.
+  if (std::abs(trace() - TraceBefore) >
+      1e-9 * std::max(1.0, std::abs(TraceBefore)))
+    throw std::runtime_error(
+        "applyChannel: Kraus set is not trace-preserving (trace drifted "
+        "from " +
+        std::to_string(TraceBefore) + " to " + std::to_string(trace()) + ")");
+}
+
 double DensityMatrix::traceDistance(const DensityMatrix &Other) const {
-  assert(Rho.rows() == Other.Rho.rows() && "dimension mismatch");
+  if (Rho.rows() != Other.Rho.rows())
+    throw std::invalid_argument(
+        "traceDistance: dimension mismatch (" + std::to_string(Rho.rows()) +
+        " vs " + std::to_string(Other.Rho.rows()) + ")");
   // D = (rho - sigma) is Hermitian; ||D||_1 = sum |eigenvalues|. The
   // eigenvalues of a Hermitian complex matrix equal those of the real
   // symmetric embedding [[Re, -Im], [Im, Re]], each doubled.
@@ -107,6 +146,21 @@ double DensityMatrix::traceDistance(const DensityMatrix &Other) const {
   for (const auto &E : Eigs)
     Sum += std::abs(E.real());
   return 0.25 * Sum; // (1/2) * ||D||_1, halving the doubled spectrum
+}
+
+Matrix marqsim::embedSingleQubit(const Matrix &Op, unsigned Qubit,
+                                 unsigned NumQubits) {
+  assert(Op.rows() == 2 && Op.cols() == 2 && "expected a 2x2 operator");
+  assert(Qubit < NumQubits && "qubit out of range");
+  const size_t Dim = size_t(1) << NumQubits;
+  const uint64_t Bit = uint64_t(1) << Qubit;
+  Matrix Full(Dim, Dim);
+  for (uint64_t I = 0; I < Dim; ++I) {
+    const size_t RI = (I & Bit) ? 1 : 0;
+    Full.at(I, I & ~Bit) = Op.at(RI, 0);
+    Full.at(I, I | Bit) = Op.at(RI, 1);
+  }
+  return Full;
 }
 
 double DensityMatrix::overlap(const StateVector &Psi) const {

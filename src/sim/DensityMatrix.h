@@ -54,11 +54,23 @@ public:
   /// One step of the stationary sampling channel:
   ///   rho -> sum_j pi_j e^{i sgn(h_j) Tau H_j} rho e^{-i sgn(h_j) Tau H_j}
   /// — the channel E of Theorem 4.1's proof. \p Tau is lambda*t/N.
+  /// Throws std::invalid_argument when \p Pi does not have one probability
+  /// per Hamiltonian term (a mismatched distribution would read out of
+  /// bounds in release builds).
   void applySamplingChannel(const Hamiltonian &H,
                             const std::vector<double> &Pi, double Tau);
 
+  /// Applies a single-qubit Kraus channel at \p Qubit:
+  ///   rho -> sum_i K_i rho K_i^dag
+  /// with each \p Kraus operator a 2x2 matrix embedded at the qubit.
+  /// Throws std::invalid_argument on an empty set, non-2x2 operators, or
+  /// an out-of-range qubit, and std::runtime_error when the applied map
+  /// drifts the trace (i.e. the Kraus set was not trace-preserving).
+  void applyChannel(const std::vector<Matrix> &Kraus, unsigned Qubit);
+
   /// Trace distance (1/2) * ||rho - sigma||_1, computed via the singular
-  /// values of the (Hermitian) difference. In [0, 1].
+  /// values of the (Hermitian) difference. In [0, 1]. Throws
+  /// std::invalid_argument on a dimension mismatch.
   double traceDistance(const DensityMatrix &Other) const;
 
   /// Fidelity-like overlap with a pure target: <psi| rho |psi>.
@@ -71,6 +83,11 @@ private:
   unsigned NQubits;
   Matrix Rho;
 };
+
+/// Embeds a 2x2 single-qubit operator at \p Qubit into the full
+/// 2^NumQubits space (identity on every other qubit). Basis-index bit q
+/// is qubit q, matching PauliString::applyToBasis.
+Matrix embedSingleQubit(const Matrix &Op, unsigned Qubit, unsigned NumQubits);
 
 } // namespace marqsim
 

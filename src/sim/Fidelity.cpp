@@ -66,12 +66,13 @@ FidelityEvaluator::FidelityEvaluator(unsigned NQubits,
 }
 
 template <typename PanelT, typename EvolveFn>
-double FidelityEvaluator::evaluatePanels(unsigned EvalJobs,
-                                         const EvolveFn &Evolve) const {
+std::vector<Complex>
+FidelityEvaluator::collectOverlaps(unsigned EvalJobs,
+                                   const EvolveFn &Evolve) const {
   const size_t NumCols = Columns.size();
   // The block partition is a fixed function of the column count — never
   // of EvalJobs — so every worker count computes the same blocks and the
-  // fixed-order reduction below yields the same bits.
+  // fixed-order reductions over the result yield the same bits.
   constexpr size_t Width = PanelT::PreferredWidth;
   const size_t Blocks = (NumCols + Width - 1) / Width;
   std::vector<Complex> Overlaps(NumCols);
@@ -85,6 +86,13 @@ double FidelityEvaluator::evaluatePanels(unsigned EvalJobs,
     for (size_t C = Begin; C < End; ++C)
       Overlaps[C] = Panel.overlapWith(Targets[C], C - Begin);
   });
+  return Overlaps;
+}
+
+template <typename PanelT, typename EvolveFn>
+double FidelityEvaluator::evaluatePanels(unsigned EvalJobs,
+                                         const EvolveFn &Evolve) const {
+  std::vector<Complex> Overlaps = collectOverlaps<PanelT>(EvalJobs, Evolve);
   // Per-column overlaps are pure functions of their column, so this
   // serial chain over ascending columns reproduces the single-state
   // evaluation loop bit for bit no matter how the blocks were scheduled.
@@ -93,7 +101,7 @@ double FidelityEvaluator::evaluatePanels(unsigned EvalJobs,
   Complex Acc = 0.0;
   for (const Complex &O : Overlaps)
     Acc += O;
-  return std::abs(Acc) / static_cast<double>(NumCols);
+  return std::abs(Acc) / static_cast<double>(Overlaps.size());
 }
 
 double
@@ -107,6 +115,24 @@ FidelityEvaluator::fidelity(const std::vector<ScheduledRotation> &Schedule,
   if (Precision == EvalPrecision::FP32)
     return evaluatePanels<StatePanelF32>(EvalJobs, Replay);
   return evaluatePanels<StatePanel>(EvalJobs, Replay);
+}
+
+double FidelityEvaluator::stateFidelity(
+    const std::vector<ScheduledRotation> &Schedule, unsigned EvalJobs,
+    EvalPrecision Precision) const {
+  const auto Replay = [&](auto &Panel) {
+    for (const ScheduledRotation &Step : Schedule)
+      Panel.applyPauliExpAll(Step.String, Step.Tau);
+  };
+  const auto Reduce = [](const std::vector<Complex> &Overlaps) {
+    double Acc = 0.0;
+    for (const Complex &O : Overlaps)
+      Acc += std::norm(O);
+    return Acc / static_cast<double>(Overlaps.size());
+  };
+  if (Precision == EvalPrecision::FP32)
+    return Reduce(collectOverlaps<StatePanelF32>(EvalJobs, Replay));
+  return Reduce(collectOverlaps<StatePanel>(EvalJobs, Replay));
 }
 
 double FidelityEvaluator::fidelityOfCircuit(const Circuit &C,

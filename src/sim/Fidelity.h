@@ -70,6 +70,16 @@ public:
                   unsigned EvalJobs = 1,
                   EvalPrecision Precision = EvalPrecision::FP64) const;
 
+  /// Mean column *state* fidelity (1/C) sum_x |<psi_x| V |x>|^2 of a
+  /// schedule — the noisy tier's metric. Unlike fidelity()'s |trace|
+  /// average, the per-column magnitude makes each column phase-invariant
+  /// on its own, so the expectation over stochastic Pauli-error draws
+  /// equals the density-matrix oracle's value exactly. Same panel
+  /// harness, same bit-identity contract for every EvalJobs.
+  double stateFidelity(const std::vector<ScheduledRotation> &Schedule,
+                       unsigned EvalJobs = 1,
+                       EvalPrecision Precision = EvalPrecision::FP64) const;
+
   /// Fidelity of an explicit gate-level circuit (slower; for validation).
   double fidelityOfCircuit(const Circuit &C, unsigned EvalJobs = 1) const;
 
@@ -85,8 +95,13 @@ public:
 private:
   /// Shared evaluation harness: partitions the columns into fixed-width
   /// panel blocks, lets \p Evolve drive each block's panel (of type
-  /// \p PanelT — the precision tier), and reduces the per-column overlaps
-  /// in fixed column order.
+  /// \p PanelT — the precision tier), and returns the per-column overlaps
+  /// in column order. Both metrics reduce this vector in fixed order.
+  template <typename PanelT, typename EvolveFn>
+  std::vector<Complex> collectOverlaps(unsigned EvalJobs,
+                                       const EvolveFn &Evolve) const;
+
+  /// collectOverlaps reduced to |sum|/C (the unitary-fidelity metric).
   template <typename PanelT, typename EvolveFn>
   double evaluatePanels(unsigned EvalJobs, const EvolveFn &Evolve) const;
 

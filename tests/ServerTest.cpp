@@ -164,6 +164,53 @@ TEST(TaskSpecJsonTest, RoundTripPreservesContentKeyAndFingerprint) {
   EXPECT_EQ(A->fingerprint(), B->fingerprint());
 }
 
+TEST(TaskSpecJsonTest, NoiseRoundTripsAndOldFramesParseAsNoiseless) {
+  TaskSpec Spec = testSpec();
+  Spec.Evaluate.FidelityColumns = 2;
+  Spec.Noise.Kind = NoiseChannelKind::AmplitudeDamping;
+  Spec.Noise.Prob = 0.1 + 0.025; // no short decimal representation
+  Spec.Noise.TwoQubitFactor = 1.0 / 3.0;
+  Spec.Noise.Mode = NoiseMode::Density;
+
+  std::string Error;
+  std::optional<json::Value> J = Spec.toJson(&Error);
+  ASSERT_TRUE(J) << Error;
+  std::optional<json::Value> Parsed = json::Value::parse(J->dump(), &Error);
+  ASSERT_TRUE(Parsed) << Error;
+  std::optional<TaskSpec> Back = TaskSpec::fromJson(*Parsed, &Error);
+  ASSERT_TRUE(Back) << Error;
+  EXPECT_EQ(Back->Noise.Kind, NoiseChannelKind::AmplitudeDamping);
+  EXPECT_EQ(Back->Noise.Mode, NoiseMode::Density);
+  // Hex transport: bit-for-bit doubles, hence equal content keys.
+  EXPECT_EQ(Back->Noise.Prob, Spec.Noise.Prob);
+  EXPECT_EQ(Back->Noise.TwoQubitFactor, Spec.Noise.TwoQubitFactor);
+  EXPECT_EQ(Back->contentKey(), Spec.contentKey());
+
+  // Frames serialized before the noise field existed carry no "noise"
+  // member; they must parse as noiseless, not fail strict validation.
+  std::optional<json::Value> Plain = testSpec().toJson();
+  ASSERT_TRUE(Plain);
+  json::Value Old = json::Value::object();
+  for (const json::Member &M : *Plain->members())
+    if (M.first != "noise")
+      Old.set(M.first, M.second);
+  std::optional<TaskSpec> FromOld = TaskSpec::fromJson(Old, &Error);
+  ASSERT_TRUE(FromOld) << Error;
+  EXPECT_FALSE(FromOld->Noise.enabled());
+  EXPECT_EQ(FromOld->contentKey(), testSpec().contentKey());
+
+  // When the member is present, unknown spellings are rejected.
+  json::Value Bad = *J;
+  json::Value BadNoise = json::Value::object()
+                             .set("channel", "bitflip")
+                             .set("mode", "density")
+                             .set("prob", "3fb0000000000000")
+                             .set("two_qubit_factor", "3ff0000000000000");
+  Bad.set("noise", std::move(BadNoise));
+  EXPECT_FALSE(TaskSpec::fromJson(Bad, &Error));
+  EXPECT_NE(Error.find("channel"), std::string::npos);
+}
+
 TEST(TaskSpecJsonTest, RejectsMalformedSpecs) {
   TaskSpec Spec = testSpec();
   std::optional<json::Value> Good = Spec.toJson();

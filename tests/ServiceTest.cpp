@@ -665,6 +665,112 @@ TEST(TaskSpecParseTest, Fp32LeavesFp64ContentKeysUntouched) {
   EXPECT_NE(Base.contentKey(), DefaultKey);
 }
 
+TEST(TaskSpecParseTest, ChannelMixRejectsNegativeAndAllZeroWeights) {
+  std::string Error;
+  // Negative and NaN weights name the offending flag.
+  EXPECT_FALSE(parseArgs({"h.txt", "--qd=-0.5", "--gc=1"}, &Error));
+  EXPECT_NE(Error.find("--qd"), std::string::npos);
+  EXPECT_FALSE(parseArgs({"h.txt", "--rp=-1"}, &Error));
+  EXPECT_NE(Error.find("--rp"), std::string::npos);
+  EXPECT_FALSE(parseArgs({"h.txt", "--gc=nan"}, &Error));
+  EXPECT_NE(Error.find("--gc"), std::string::npos);
+  // An all-zero mix cannot normalize; the error says so instead of
+  // reporting a generic parse failure.
+  EXPECT_FALSE(parseArgs({"h.txt", "--qd=0", "--gc=0", "--rp=0"}, &Error));
+  EXPECT_NE(Error.find("all zero"), std::string::npos);
+}
+
+TEST(TaskSpecParseTest, RejectsNonFiniteTimeAndEpsilon) {
+  // NaN passes every ordered comparison, so `x <= 0` checks used to let
+  // --time=nan through to the compiler.
+  std::string Error;
+  EXPECT_FALSE(parseArgs({"h.txt", "--time=nan"}, &Error));
+  EXPECT_NE(Error.find("finite"), std::string::npos);
+  EXPECT_FALSE(parseArgs({"h.txt", "--time=inf"}, &Error));
+  EXPECT_FALSE(parseArgs({"h.txt", "--epsilon=nan"}, &Error));
+  EXPECT_FALSE(parseArgs({"h.txt", "--epsilon=inf"}, &Error));
+}
+
+TEST(TaskSpecParseTest, NoiseFlagsParseAndValidate) {
+  std::optional<TaskSpec> Noisy = parseArgs(
+      {"h.txt", "--noise=depolarizing", "--noise-prob=0.02",
+       "--noise-2q-factor=1.5", "--noise-mode=density", "--columns=4"});
+  ASSERT_TRUE(Noisy);
+  EXPECT_EQ(Noisy->Noise.Kind, NoiseChannelKind::Depolarizing);
+  EXPECT_DOUBLE_EQ(Noisy->Noise.Prob, 0.02);
+  EXPECT_DOUBLE_EQ(Noisy->Noise.TwoQubitFactor, 1.5);
+  EXPECT_EQ(Noisy->Noise.Mode, NoiseMode::Density);
+  EXPECT_TRUE(Noisy->validate());
+  EXPECT_TRUE(Noisy->Noise.enabled());
+
+  // The default spec is inert.
+  std::optional<TaskSpec> Default = parseArgs({"h.txt"});
+  ASSERT_TRUE(Default);
+  EXPECT_FALSE(Default->Noise.enabled());
+
+  std::string Error;
+  EXPECT_FALSE(parseArgs({"h.txt", "--noise=bitflip"}, &Error));
+  EXPECT_NE(Error.find("bitflip"), std::string::npos);
+  // Noise knobs without a channel are a spec error, not a silent no-op.
+  EXPECT_FALSE(parseArgs({"h.txt", "--noise-prob=0.1"}, &Error));
+  EXPECT_NE(Error.find("--noise=MODEL"), std::string::npos);
+  EXPECT_FALSE(parseArgs({"h.txt", "--noise-mode=density"}, &Error));
+  // Probabilities outside [0, 1] (including NaN) and non-positive or
+  // non-finite factors are rejected at parse time.
+  const char *Phase = "--noise=phase-flip";
+  EXPECT_FALSE(parseArgs({"h.txt", Phase, "--noise-prob=1.5"}, &Error));
+  EXPECT_NE(Error.find("[0, 1]"), std::string::npos);
+  EXPECT_FALSE(parseArgs({"h.txt", Phase, "--noise-prob=-0.1"}, &Error));
+  EXPECT_FALSE(parseArgs({"h.txt", Phase, "--noise-prob=nan"}, &Error));
+  EXPECT_FALSE(parseArgs({"h.txt", Phase, "--noise-2q-factor=0"}, &Error));
+  EXPECT_FALSE(parseArgs({"h.txt", Phase, "--noise-2q-factor=-2"}, &Error));
+  EXPECT_FALSE(parseArgs({"h.txt", Phase, "--noise-2q-factor=nan"}, &Error));
+  EXPECT_FALSE(parseArgs({"h.txt", Phase, "--noise-mode=exact"}, &Error));
+
+  // validate(): enabled noise demands fidelity columns, and the density
+  // oracle demands the fp64 tier.
+  std::optional<TaskSpec> NoColumns =
+      parseArgs({"h.txt", Phase, "--noise-prob=0.1"});
+  ASSERT_TRUE(NoColumns);
+  EXPECT_FALSE(NoColumns->validate(&Error));
+  EXPECT_NE(Error.find("--columns"), std::string::npos);
+  std::optional<TaskSpec> Fp32Density =
+      parseArgs({"h.txt", Phase, "--noise-prob=0.1", "--columns=2",
+                 "--noise-mode=density", "--precision=fp32"});
+  ASSERT_TRUE(Fp32Density);
+  EXPECT_FALSE(Fp32Density->validate(&Error));
+  EXPECT_NE(Error.find("fp64"), std::string::npos);
+}
+
+TEST(TaskSpecParseTest, NoiseOffSpecsKeepContentKeys) {
+  // The noise fields are mixed into contentKey only when the channel is
+  // enabled: every pre-existing noiseless spec — and every disabled
+  // spelling of one — must keep its exact key so on-disk manifests and
+  // cache entries stay valid.
+  TaskSpec Base = testSpec(testHamiltonian());
+  const uint64_t DefaultKey = Base.contentKey();
+  Base.Noise.Prob = 0.5; // ignored without a channel
+  EXPECT_EQ(Base.contentKey(), DefaultKey);
+  Base.Noise.Kind = NoiseChannelKind::Depolarizing;
+  Base.Noise.Prob = 0.0; // a zero-rate channel is equally inert
+  EXPECT_EQ(Base.contentKey(), DefaultKey);
+
+  // Enabled noise forces a distinct key, and every knob participates.
+  Base.Noise.Prob = 0.1;
+  const uint64_t NoisyKey = Base.contentKey();
+  EXPECT_NE(NoisyKey, DefaultKey);
+  Base.Noise.Mode = NoiseMode::Density;
+  EXPECT_NE(Base.contentKey(), NoisyKey);
+  Base.Noise.Mode = NoiseMode::Stochastic;
+  Base.Noise.TwoQubitFactor = 2.0;
+  EXPECT_NE(Base.contentKey(), NoisyKey);
+  Base.Noise.TwoQubitFactor = 1.0;
+  Base.Noise.Kind = NoiseChannelKind::PhaseFlip;
+  EXPECT_NE(Base.contentKey(), NoisyKey);
+  Base.Noise.Kind = NoiseChannelKind::Depolarizing;
+  EXPECT_EQ(Base.contentKey(), NoisyKey);
+}
+
 TEST(ServiceFidelityTest, Fp32PrecisionTracksFp64) {
   SimulationService Service;
   TaskSpec Spec = testSpec(testHamiltonian());

@@ -42,6 +42,20 @@
 //                         or fp32 (opt-in throughput tier, tolerance-
 //                         defined; rejected by --shards, which demands
 //                         bit-exact manifests)
+//     --noise=MODEL       noise channel applied during fidelity
+//                         evaluation: none (default) | depolarizing |
+//                         phase-flip | amplitude-damping. Requires
+//                         --columns=N; the compiled QASM is unaffected
+//     --noise-prob=P      per-gate error probability in [0, 1]
+//                         (default 0; 0 disables the channel)
+//     --noise-2q-factor=F error-probability multiplier for rotations
+//                         touching >= 2 qubits (default 1)
+//     --noise-mode=M      stochastic (default): deterministic Pauli-twirl
+//                         injection on a dedicated per-shot RNG
+//                         substream, bit-identical for every --jobs/
+//                         --eval-jobs/--shards split; or density: the
+//                         exact density-matrix oracle of the twirled
+//                         channel (<= 6 qubits, fp64 only)
 //     --cache-dir=DIR     persistent artifact store: MCFP components,
 //                         alias bundles, fidelity columns (default from
 //                         $MARQSIM_CACHE_DIR; empty = in-memory only);
@@ -81,10 +95,11 @@
 // this binary; not part of the supported surface): --shard-index=I
 // --shard-count=K --shard-out=FILE compiles shard I's shot range and
 // writes its manifest instead of QASM, --mix-qd-bits/--mix-gc-bits/
-// --mix-rp-bits/--time-bits/--epsilon-bits override the corresponding
-// spec fields with raw IEEE-754 bit patterns so the worker's spec is
-// bit-identical to the coordinator's, and --cache-limit-bytes carries
-// the coordinator's cache budget without a decimal round trip.
+// --mix-rp-bits/--time-bits/--epsilon-bits/--noise-prob-bits/
+// --noise-2q-factor-bits override the corresponding spec fields with raw
+// IEEE-754 bit patterns so the worker's spec is bit-identical to the
+// coordinator's, and --cache-limit-bytes carries the coordinator's cache
+// budget without a decimal round trip.
 //
 // Exit codes: 0 success, 1 usage error, 2 malformed input / failed run.
 //
@@ -147,7 +162,9 @@ void printCacheStats(const CacheStats &S) {
             << " misses=" << S.matrixMisses() << " disk=" << S.DiskLoads
             << "\ngraph-cache hits=" << S.GraphHits
             << " misses=" << S.GraphMisses << " evaluator-cache hits="
-            << S.EvaluatorHits << " misses=" << S.EvaluatorMisses << "\n";
+            << S.EvaluatorHits << " misses=" << S.EvaluatorMisses
+            << " super-cache hits=" << S.SuperHits
+            << " misses=" << S.SuperMisses << "\n";
 }
 
 void printStoreStats(const ArtifactStore::Stats &S, size_t LimitBytes) {
@@ -237,6 +254,12 @@ int runConnectMode(const CommandLine &CL, TaskSpec Spec) {
               << "\n";
     std::cerr << "remote: daemon=" << CL.getString("connect")
               << " request-id=" << Out->RequestId << "\n";
+    if (Spec.Noise.enabled())
+      std::cerr << "noise: " << noiseChannelName(Spec.Noise.Kind)
+                << " mode=" << noiseModeName(Spec.Noise.Mode)
+                << " prob=" << formatDouble(Spec.Noise.Prob, 6)
+                << " 2q-factor=" << formatDouble(Spec.Noise.TwoQubitFactor, 6)
+                << "\n";
     if (R.HasFidelity && Spec.Shots == 1)
       std::cerr << "fidelity=" << formatDouble(R.ShotFidelities[0], 6)
                 << " (" << Spec.Evaluate.FidelityColumns << " columns)\n";
@@ -276,6 +299,8 @@ int main(int Argc, char **Argv) {
                  "  [--rounds=K] [--perturb-seed=S] [--seed=S] [--shots=N]\n"
                  "  [--jobs=J] [--eval-jobs=J] [--shards=K] [--shard-dir=DIR]\n"
                  "  [--columns=K] [--precision=fp64|fp32]\n"
+                 "  [--noise=MODEL] [--noise-prob=P] [--noise-2q-factor=F]\n"
+                 "  [--noise-mode=stochastic|density]\n"
                  "  [--cache-dir=DIR] [--cache-limit-mb=M] [--out=FILE]\n"
                  "  [--stats] [--stats-json] [--dot=FILE]\n"
                  "  [--connect=HOST:PORT] [--stream] [--server-stats]\n";
@@ -293,7 +318,9 @@ int main(int Argc, char **Argv) {
       !applyBitsFlag(CL, "mix-gc-bits", Spec->Mix.WGc) ||
       !applyBitsFlag(CL, "mix-rp-bits", Spec->Mix.WRp) ||
       !applyBitsFlag(CL, "time-bits", Spec->Time) ||
-      !applyBitsFlag(CL, "epsilon-bits", Spec->Epsilon))
+      !applyBitsFlag(CL, "epsilon-bits", Spec->Epsilon) ||
+      !applyBitsFlag(CL, "noise-prob-bits", Spec->Noise.Prob) ||
+      !applyBitsFlag(CL, "noise-2q-factor-bits", Spec->Noise.TwoQubitFactor))
     return 1;
   // Remaining worker-transport flags for spec fields fromCommandLine does
   // not expose (they complete TaskSpec::contentKey coverage).
@@ -389,6 +416,9 @@ int main(int Argc, char **Argv) {
       ShotZeroSpec.Evaluate.ExportShotZero = true;
       ShotZeroSpec.Evaluate.DumpDot = CL.has("dot");
       ShotZeroSpec.Evaluate.FidelityColumns = 0;
+      // Noise models execution, not compilation, and a columns-free spec
+      // rejects it — strip it so the recompile stays a pure circuit run.
+      ShotZeroSpec.Noise = NoiseSpec();
       std::optional<TaskResult> ShotZero =
           Service.run(ShotZeroSpec, ShotRange{0, 1}, &Error);
       if (!ShotZero) {
@@ -440,6 +470,12 @@ int main(int Argc, char **Argv) {
               << " depth=" << R.Circ.depth() << "\n";
     std::cerr << "kernels: " << SimulationService::kernelName()
               << " precision=" << precisionName(Spec->Precision) << "\n";
+    if (Spec->Noise.enabled())
+      std::cerr << "noise: " << noiseChannelName(Spec->Noise.Kind)
+                << " mode=" << noiseModeName(Spec->Noise.Mode)
+                << " prob=" << formatDouble(Spec->Noise.Prob, 6)
+                << " 2q-factor=" << formatDouble(Spec->Noise.TwoQubitFactor, 6)
+                << "\n";
     if (Result->HasFidelity && Spec->Shots == 1)
       std::cerr << "fidelity=" << formatDouble(Result->ShotFidelities[0], 6)
                 << " (" << Spec->Evaluate.FidelityColumns << " columns)\n";
