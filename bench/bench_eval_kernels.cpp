@@ -6,38 +6,61 @@
 //
 // The evaluation-substrate contract, as a machine-checkable table: the
 // fused in-place Pauli kernels, the StatePanel multi-column sweep, the
-// EvalJobs column-chunked evaluation, AND every SIMD kernel tier must all
-// emit *byte-identical* fidelity hex to the textbook reference path (a
-// faithful copy of the original two-pass scratch kernel replayed column by
-// column), while being substantially faster. The opt-in FP32 panel tier is
-// the one exception: it is gated against the reference to a tolerance, not
-// bitwise.
+// EvalJobs column-chunked evaluation, the fused evolve+overlap tail, AND
+// every SIMD kernel tier must all emit *byte-identical* fidelity hex to
+// the textbook reference path (a faithful copy of the original two-pass
+// scratch kernel replayed column by column), while being substantially
+// faster. The opt-in FP32 panel tier is the one exception: it is gated
+// against the reference to a tolerance, not bitwise.
 //
 // Paths timed per column count:
-//   reference    — fresh state per column, two-pass scratch applyPauliExp
-//                  with a PauliString::applyToBasis call per element (the
-//                  pre-fusion seed path, kept here as the yardstick)
-//   fused        — fresh StateVector per column, fused single-pass kernels
-//                  under the dispatched tier
-//   panel-scalar — FidelityEvaluator::fidelity with the kernel dispatch
-//                  pinned to the scalar reference tier
-//   panel        — the same under the dispatched tier (avx2-fma/neon when
-//                  the host has it; the hex must not change)
-//   chunked      — panel with EvalJobs=4 (bit-identity under fan-out)
-//   panel-fp32   — the FP32 panel tier (tolerance gate, not hex)
+//   reference     — fresh state per column, two-pass scratch applyPauliExp
+//                   with a PauliString::applyToBasis call per element (the
+//                   pre-fusion seed path, kept here as the yardstick)
+//   fused         — fresh StateVector per column, fused single-pass
+//                   kernels under the dispatched tier
+//   panel-<tier>  — FidelityEvaluator::fidelity with the kernel dispatch
+//                   pinned to <tier>, one row per tier the host can run
+//                   (always at least panel-scalar; the hex must not change
+//                   across tiers)
+//   panel         — the same under the dispatched tier
+//   chunked       — panel with EvalJobs=4 (bit-identity under fan-out)
+//   panel-fp32    — the FP32 panel tier (tolerance gate, not hex)
 //
-// Output is CSV (stdout): columns,path,kernel,eval_ms,speedup,fidelity_hex
-// where kernel is the tier that produced the row and speedup is vs the
-// reference row. Exit code 1 when any FP64 path's hex differs from the
+// A second, overlap-heavy table (16 columns, 2 rotations — overlap
+// accumulation dominates) separates the fused evolve+overlap tail from
+// the unfused evolve-then-overlapWith path, per runnable tier:
+//   reference-ov     — the scratch yardstick on the overlap-heavy shape
+//   unfused-<tier>   — panel sweep of every rotation, then one strided
+//                      overlapWith walk per column
+//   fused-<tier>     — panel sweep of all but the last rotation, then the
+//                      fused tail (rotate + streaming per-lane overlap
+//                      accumulation in one kernel call)
+//
+// Output is CSV (stdout):
+//   columns,path,kernel,evolve_ms,overlap_ms,eval_ms,speedup,fidelity_hex
+// where kernel is the tier that produced the row, speedup is vs the
+// table's reference row, and evolve_ms/overlap_ms split eval_ms into the
+// rotation sweeps vs the overlap reduction where the bench can observe
+// the boundary (0 for the production-evaluator rows, which time the whole
+// evaluation). Exit code 1 when any FP64 path's hex differs from the
 // reference, when the FP32 fidelity strays beyond --fp32-tol, or when a
 // speedup gate fails.
 //
 // Speedup gates (each disabled by passing 0):
-//   --min-speedup=X       panel vs reference at >= 8 columns (default 3)
-//   --min-simd-speedup=X  panel vs panel-scalar at >= 8 columns (default
-//                         1.5); skipped — not failed — when the dispatched
-//                         tier is already scalar (no ISA, or the process
-//                         runs under MARQSIM_FORCE_SCALAR=1)
+//   --min-speedup=X        panel vs reference at >= 8 columns (default 3)
+//   --min-simd-speedup=X   panel vs panel-scalar at >= 8 columns (default
+//                          1.5); skipped — not failed — when the
+//                          dispatched tier is already scalar (no ISA, or
+//                          the process runs under MARQSIM_FORCE_SCALAR=1)
+//   --min-fused-speedup=X  fused-<tier> vs unfused-<tier> on the
+//                          overlap-heavy table (default 1.15), gated on
+//                          the scalar tier and on the best tier the host
+//                          runs; tiers the host lacks are reported as
+//                          skipped, never failed
+//
+// --list-tiers prints the runnable tier names (best first, scalar last),
+// one per line, and exits — CI uses it to build its pin matrix.
 //
 // Flags: --qubits=N (10) --reps=R (8 Trotter reps; ~R*terms rotations)
 //        --time=T (0.9) --min-seconds=S (0.25 per timing cell)
@@ -48,12 +71,15 @@
 #include "hamgen/Models.h"
 #include "sim/Fidelity.h"
 #include "sim/Kernels.h"
+#include "sim/StatePanel.h"
 #include "support/CommandLine.h"
 #include "support/Serial.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <string>
 #include <vector>
 
 using namespace marqsim;
@@ -80,54 +106,154 @@ void referencePauliExp(CVector &Amp, CVector &Scratch, const PauliString &P,
     Amp[X] = CosT * Amp[X] + ISinT * Scratch[X];
 }
 
-double referenceFidelity(const FidelityEvaluator &Eval,
-                         const std::vector<ScheduledRotation> &Schedule) {
+/// One evaluation's result plus the evolve/overlap split where the bench
+/// observes the boundary (zeros where it cannot).
+struct SplitEval {
+  double Fidelity = 0.0;
+  double EvolveSec = 0.0;
+  double OverlapSec = 0.0;
+};
+
+SplitEval referenceFidelity(const FidelityEvaluator &Eval,
+                            const std::vector<ScheduledRotation> &Schedule) {
   const size_t Dim = size_t(1) << Eval.numQubits();
   CVector Amp, Scratch(Dim);
   Complex Acc = 0.0;
+  SplitEval R;
   for (size_t C = 0; C < Eval.numColumns(); ++C) {
     Amp.assign(Dim, Complex(0.0, 0.0));
     Amp[Eval.columns()[C]] = 1.0;
+    Timer Evolve;
     for (const ScheduledRotation &Step : Schedule)
       referencePauliExp(Amp, Scratch, Step.String, Step.Tau);
+    R.EvolveSec += Evolve.seconds();
+    Timer Overlap;
     Acc += innerProduct(Eval.targets()[C], Amp);
+    R.OverlapSec += Overlap.seconds();
   }
-  return std::abs(Acc) / static_cast<double>(Eval.numColumns());
+  R.Fidelity = std::abs(Acc) / static_cast<double>(Eval.numColumns());
+  return R;
 }
 
 /// Per-column replay through the fused StateVector kernels (no panel).
-double fusedSerialFidelity(const FidelityEvaluator &Eval,
-                           const std::vector<ScheduledRotation> &Schedule) {
+SplitEval fusedSerialFidelity(const FidelityEvaluator &Eval,
+                              const std::vector<ScheduledRotation> &Schedule) {
   Complex Acc = 0.0;
+  SplitEval R;
   for (size_t C = 0; C < Eval.numColumns(); ++C) {
     StateVector SV(Eval.numQubits(), Eval.columns()[C]);
+    Timer Evolve;
     for (const ScheduledRotation &Step : Schedule)
       SV.applyPauliExp(Step.String, Step.Tau);
+    R.EvolveSec += Evolve.seconds();
+    Timer Overlap;
     Acc += innerProduct(Eval.targets()[C], SV.amplitudes());
+    R.OverlapSec += Overlap.seconds();
   }
-  return std::abs(Acc) / static_cast<double>(Eval.numColumns());
+  R.Fidelity = std::abs(Acc) / static_cast<double>(Eval.numColumns());
+  return R;
 }
 
-/// Times \p Run with enough iterations to fill \p MinSeconds; returns
-/// milliseconds per evaluation and the (identical every time) fidelity.
+/// Packs \p Eval's targets block by block at the FP64 panel stride, once,
+/// mirroring the evaluator's cached TargetPanels so the fused timing below
+/// excludes the one-time packing cost exactly as production does.
+std::vector<TargetPanel> packTargets(const FidelityEvaluator &Eval) {
+  std::vector<TargetPanel> Packed;
+  const size_t N = Eval.numColumns();
+  constexpr size_t W = StatePanel::PreferredWidth;
+  constexpr size_t Lane = StatePanel::LaneMultiple;
+  for (size_t Begin = 0; Begin < N; Begin += W) {
+    const size_t Width = std::min(Begin + W, N) - Begin;
+    const size_t Stride = (Width + Lane - 1) / Lane * Lane;
+    Packed.emplace_back(Eval.targets().data() + Begin, Width, Stride);
+  }
+  return Packed;
+}
+
+/// Bench-local FP64 panel evaluation with an observable evolve/overlap
+/// boundary. Unfused (\p Packed == nullptr): sweep every rotation, then
+/// one strided overlapWith walk per column. Fused: sweep all but the last
+/// rotation, then the fused evolve+overlap tail against the pre-packed
+/// targets. Both reduce overlaps in ascending column order — the
+/// evaluator's chain — so the hex must match the reference path.
+SplitEval panelFidelity(const FidelityEvaluator &Eval,
+                        const std::vector<ScheduledRotation> &Schedule,
+                        const std::vector<TargetPanel> *Packed) {
+  Complex Acc = 0.0;
+  SplitEval R;
+  const size_t N = Eval.numColumns();
+  constexpr size_t W = StatePanel::PreferredWidth;
+  for (size_t Begin = 0, Block = 0; Begin < N; Begin += W, ++Block) {
+    const size_t End = std::min(Begin + W, N);
+    StatePanel Panel(Eval.numQubits(), Eval.columns().data() + Begin,
+                     End - Begin);
+    const size_t Swept = Schedule.size() - (Packed ? 1 : 0);
+    Timer Evolve;
+    for (size_t I = 0; I < Swept; ++I)
+      Panel.applyPauliExpAll(Schedule[I].String, Schedule[I].Tau);
+    R.EvolveSec += Evolve.seconds();
+    Timer Overlap;
+    if (Packed) {
+      std::vector<Complex> Out(End - Begin);
+      Panel.applyPauliExpAllFused(Schedule.back().String, Schedule.back().Tau,
+                                  (*Packed)[Block], Out.data());
+      for (size_t C = 0; C < End - Begin; ++C)
+        Acc += Out[C];
+    } else {
+      for (size_t C = 0; C < End - Begin; ++C)
+        Acc += Panel.overlapWith(Eval.targets()[Begin + C], C);
+    }
+    R.OverlapSec += Overlap.seconds();
+  }
+  R.Fidelity = std::abs(Acc) / static_cast<double>(N);
+  return R;
+}
+
+struct Row {
+  std::string Name;
+  std::string Kernel;
+  double EvolveMs;
+  double OverlapMs;
+  double Ms;
+  double Fidelity;
+  bool BitExact; // gate: hex-identical to reference vs fp32 tolerance
+};
+
+/// Times \p Run with enough iterations to fill \p MinSeconds and appends a
+/// row: total ms from the wall clock around the loop, the evolve/overlap
+/// split averaged over the same iterations (the evaluation itself is
+/// identical every time).
 template <typename Fn>
-double timeIt(double MinSeconds, double &FidelityOut, const Fn &Run) {
-  FidelityOut = Run(); // warm-up + correctness sample
+void timeRow(std::vector<Row> &Rows, double MinSeconds, std::string Name,
+             std::string Kernel, bool BitExact, const Fn &Run) {
+  SplitEval Sample = Run(); // warm-up + correctness sample
   Timer Once;
   (void)Run();
   double Single = Once.seconds();
   size_t Iters = std::max<size_t>(
       1, static_cast<size_t>(std::ceil(MinSeconds / std::max(Single, 1e-9))));
+  SplitEval Acc;
   Timer Clock;
-  for (size_t I = 0; I < Iters; ++I)
-    (void)Run();
-  return Clock.seconds() * 1e3 / static_cast<double>(Iters);
+  for (size_t I = 0; I < Iters; ++I) {
+    SplitEval E = Run();
+    Acc.EvolveSec += E.EvolveSec;
+    Acc.OverlapSec += E.OverlapSec;
+  }
+  const double Scale = 1e3 / static_cast<double>(Iters);
+  Rows.push_back({std::move(Name), std::move(Kernel), Acc.EvolveSec * Scale,
+                  Acc.OverlapSec * Scale, Clock.seconds() * Scale,
+                  Sample.Fidelity, BitExact});
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   CommandLine CL(Argc, Argv);
+  if (CL.getBool("list-tiers")) {
+    for (const kernels::Ops *O : kernels::availableOps())
+      std::cout << O->Name << "\n";
+    return 0;
+  }
   const unsigned Qubits =
       static_cast<unsigned>(CL.getInt("qubits", 10));
   const unsigned Reps = static_cast<unsigned>(CL.getInt("reps", 8));
@@ -135,14 +261,19 @@ int main(int Argc, char **Argv) {
   const double MinSeconds = CL.getDouble("min-seconds", 0.25);
   const double MinSpeedup = CL.getDouble("min-speedup", 3.0);
   const double MinSimdSpeedup = CL.getDouble("min-simd-speedup", 1.5);
+  const double MinFusedSpeedup = CL.getDouble("min-fused-speedup", 1.15);
   const double Fp32Tol = CL.getDouble("fp32-tol", 1e-3);
 
-  // The dispatched tier for this process: MARQSIM_FORCE_SCALAR pins every
-  // row (including "panel") to scalar, so a forced-scalar CI run produces
-  // a fully scalar table whose hex column must match the dispatched run's.
+  // The dispatched tier for this process: MARQSIM_KERNEL_TIER /
+  // MARQSIM_FORCE_SCALAR pin every dispatched row (including "panel"), so
+  // a pinned CI run produces a table whose hex column must match the
+  // free-dispatch run's. The per-tier rows pin explicitly and are immune
+  // to the environment: availableOps() reflects the CPU, not the pin.
   const bool EnvScalar = kernels::forcedScalarByEnv();
   const char *Dispatched = kernels::activeName();
-  std::cerr << "eval-kernels: dispatch=" << Dispatched
+  const std::vector<const kernels::Ops *> Tiers = kernels::availableOps();
+  std::cerr << "eval-kernels: dispatch=" << Dispatched << " detected="
+            << kernels::detectedName()
             << (EnvScalar ? " (MARQSIM_FORCE_SCALAR)" : "") << "\n";
 
   // A strongly-interacting spin chain: XX/YY butterflies plus ZZ/Z
@@ -157,72 +288,18 @@ int main(int Argc, char **Argv) {
             << " terms, " << Schedule.size() << " rotations\n";
 
   bool Ok = true;
-  std::cout << "columns,path,kernel,eval_ms,speedup,fidelity_hex\n";
-  for (size_t Columns : {size_t(1), size_t(8), size_t(16)}) {
-    FidelityEvaluator Eval(H, T, Columns, /*Seed=*/7);
+  std::cout
+      << "columns,path,kernel,evolve_ms,overlap_ms,eval_ms,speedup,"
+         "fidelity_hex\n";
 
-    struct Row {
-      const char *Name;
-      const char *Kernel;
-      double Ms;
-      double Fidelity;
-      bool BitExact; // gate: hex-identical to reference vs fp32 tolerance
-    };
-    std::vector<Row> Rows;
-    {
-      double F;
-      double Ms = timeIt(MinSeconds, F,
-                         [&] { return referenceFidelity(Eval, Schedule); });
-      Rows.push_back({"reference", "none", Ms, F, true});
-    }
-    {
-      double F;
-      double Ms = timeIt(MinSeconds, F,
-                         [&] { return fusedSerialFidelity(Eval, Schedule); });
-      Rows.push_back({"fused", Dispatched, Ms, F, true});
-    }
-    {
-      // Scalar yardstick of the SIMD gate: same SoA panel, scalar tier.
-      kernels::selectForTesting(/*ForceScalar=*/true);
-      double F;
-      double Ms =
-          timeIt(MinSeconds, F, [&] { return Eval.fidelity(Schedule, 1); });
-      kernels::selectAuto();
-      Rows.push_back({"panel-scalar", "scalar", Ms, F, true});
-    }
-    {
-      double F;
-      double Ms =
-          timeIt(MinSeconds, F, [&] { return Eval.fidelity(Schedule, 1); });
-      Rows.push_back({"panel", Dispatched, Ms, F, true});
-    }
-    {
-      double F;
-      double Ms =
-          timeIt(MinSeconds, F, [&] { return Eval.fidelity(Schedule, 4); });
-      Rows.push_back({"chunked", Dispatched, Ms, F, true});
-    }
-    {
-      double F;
-      double Ms = timeIt(MinSeconds, F, [&] {
-        return Eval.fidelity(Schedule, 1, EvalPrecision::FP32);
-      });
-      Rows.push_back({"panel-fp32", Dispatched, Ms, F, false});
-    }
-
+  auto printRows = [&](size_t Columns, const std::vector<Row> &Rows,
+                       double Fp32Ref) {
     const uint64_t RefBits = serial::doubleBits(Rows[0].Fidelity);
-    double PanelSpeedup = 0.0, PanelScalarMs = 0.0, PanelMs = 0.0;
     for (const Row &R : Rows) {
       const uint64_t Bits = serial::doubleBits(R.Fidelity);
-      const double Speedup = Rows[0].Ms / R.Ms;
-      if (std::string(R.Name) == "panel") {
-        PanelSpeedup = Speedup;
-        PanelMs = R.Ms;
-      }
-      if (std::string(R.Name) == "panel-scalar")
-        PanelScalarMs = R.Ms;
-      std::cout << Columns << "," << R.Name << "," << R.Kernel << "," << R.Ms
-                << "," << Speedup << "," << serial::hex16(Bits) << "\n";
+      std::cout << Columns << "," << R.Name << "," << R.Kernel << ","
+                << R.EvolveMs << "," << R.OverlapMs << "," << R.Ms << ","
+                << Rows[0].Ms / R.Ms << "," << serial::hex16(Bits) << "\n";
       if (R.BitExact && Bits != RefBits) {
         std::cerr << "FAIL: " << R.Name << " at " << Columns
                   << " columns diverges from the reference path ("
@@ -230,19 +307,55 @@ int main(int Argc, char **Argv) {
                   << ")\n";
         Ok = false;
       }
-      if (!R.BitExact &&
-          std::abs(R.Fidelity - Rows[0].Fidelity) > Fp32Tol) {
+      if (!R.BitExact && std::abs(R.Fidelity - Fp32Ref) > Fp32Tol) {
         std::cerr << "FAIL: " << R.Name << " at " << Columns
-                  << " columns strays " << std::abs(R.Fidelity - Rows[0].Fidelity)
+                  << " columns strays " << std::abs(R.Fidelity - Fp32Ref)
                   << " from the reference fidelity (tolerance " << Fp32Tol
                   << ")\n";
         Ok = false;
       }
     }
+  };
+
+  for (size_t Columns : {size_t(1), size_t(8), size_t(16)}) {
+    FidelityEvaluator Eval(H, T, Columns, /*Seed=*/7);
+
+    std::vector<Row> Rows;
+    timeRow(Rows, MinSeconds, "reference", "none", true,
+            [&] { return referenceFidelity(Eval, Schedule); });
+    timeRow(Rows, MinSeconds, "fused", Dispatched, true,
+            [&] { return fusedSerialFidelity(Eval, Schedule); });
+    for (const kernels::Ops *Tier : Tiers) {
+      // Production evaluator pinned to each runnable tier: the hex column
+      // is the cross-tier bit-identity gate.
+      kernels::selectTierForTesting(*Tier);
+      timeRow(Rows, MinSeconds, std::string("panel-") + Tier->Name,
+              Tier->Name, true,
+              [&] { return SplitEval{Eval.fidelity(Schedule, 1), 0.0, 0.0}; });
+      kernels::selectAuto();
+    }
+    timeRow(Rows, MinSeconds, "panel", Dispatched, true,
+            [&] { return SplitEval{Eval.fidelity(Schedule, 1), 0.0, 0.0}; });
+    timeRow(Rows, MinSeconds, "chunked", Dispatched, true,
+            [&] { return SplitEval{Eval.fidelity(Schedule, 4), 0.0, 0.0}; });
+    timeRow(Rows, MinSeconds, "panel-fp32", Dispatched, false, [&] {
+      return SplitEval{Eval.fidelity(Schedule, 1, EvalPrecision::FP32), 0.0,
+                       0.0};
+    });
+
+    printRows(Columns, Rows, Rows[0].Fidelity);
+
+    double PanelMs = 0.0, PanelScalarMs = 0.0;
+    for (const Row &R : Rows) {
+      if (R.Name == "panel")
+        PanelMs = R.Ms;
+      if (R.Name == "panel-scalar")
+        PanelScalarMs = R.Ms;
+    }
+    const double PanelSpeedup = Rows[0].Ms / PanelMs;
     if (MinSpeedup > 0.0 && Columns >= 8 && PanelSpeedup < MinSpeedup) {
-      std::cerr << "FAIL: panel speedup " << PanelSpeedup << " at "
-                << Columns << " columns is below the required " << MinSpeedup
-                << "x\n";
+      std::cerr << "FAIL: panel speedup " << PanelSpeedup << " at " << Columns
+                << " columns is below the required " << MinSpeedup << "x\n";
       Ok = false;
     }
     if (MinSimdSpeedup > 0.0 && Columns >= 8) {
@@ -258,6 +371,65 @@ int main(int Argc, char **Argv) {
       }
     }
   }
+
+  // --- Overlap-heavy table: the fused evolve+overlap tail vs the unfused
+  // sweep-then-overlapWith path, per runnable tier. Two rotations over 16
+  // columns: the per-column strided overlap walk dominates, which is the
+  // regime the fused kernel exists for.
+  {
+    const size_t Columns = 16;
+    std::vector<ScheduledRotation> Short(Schedule.begin(),
+                                         Schedule.begin() + 2);
+    FidelityEvaluator Eval(H, T, Columns, /*Seed=*/7);
+    const std::vector<TargetPanel> Packed = packTargets(Eval);
+
+    std::vector<Row> Rows;
+    timeRow(Rows, MinSeconds, "reference-ov", "none", true,
+            [&] { return referenceFidelity(Eval, Short); });
+    for (const kernels::Ops *Tier : Tiers) {
+      kernels::selectTierForTesting(*Tier);
+      timeRow(Rows, MinSeconds, std::string("unfused-") + Tier->Name,
+              Tier->Name, true,
+              [&] { return panelFidelity(Eval, Short, nullptr); });
+      timeRow(Rows, MinSeconds, std::string("fused-") + Tier->Name,
+              Tier->Name, true,
+              [&] { return panelFidelity(Eval, Short, &Packed); });
+      kernels::selectAuto();
+    }
+    printRows(Columns, Rows, Rows[0].Fidelity);
+
+    // Gate the fused reduction on the scalar tier and on the best tier
+    // the host runs (the ends of the precedence chain); report — never
+    // fail — tiers this host cannot run.
+    auto msOf = [&](const std::string &Name) {
+      for (const Row &R : Rows)
+        if (R.Name == Name)
+          return R.Ms;
+      return 0.0;
+    };
+    for (const char *Known : {"scalar", "neon", "avx2-fma", "avx512"}) {
+      if (!kernels::findTier(Known))
+        std::cerr << "eval-kernels: fused gate skipped for tier " << Known
+                  << " (not runnable on this host)\n";
+    }
+    if (MinFusedSpeedup > 0.0) {
+      for (const kernels::Ops *Tier : Tiers) {
+        const double Unfused = msOf(std::string("unfused-") + Tier->Name);
+        const double Fused = msOf(std::string("fused-") + Tier->Name);
+        const double Speedup = Unfused / Fused;
+        const bool Gated = Tier == Tiers.front() || Tier == Tiers.back();
+        std::cerr << "eval-kernels: fused speedup " << Speedup << "x on "
+                  << Tier->Name << (Gated ? "" : " (informational)") << "\n";
+        if (Gated && Speedup < MinFusedSpeedup) {
+          std::cerr << "FAIL: fused evolve+overlap speedup " << Speedup
+                    << "x on tier " << Tier->Name
+                    << " is below the required " << MinFusedSpeedup << "x\n";
+          Ok = false;
+        }
+      }
+    }
+  }
+
   if (Ok)
     std::cerr << "eval-kernels: all FP64 paths byte-identical to the "
                  "reference\n";

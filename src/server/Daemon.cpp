@@ -354,7 +354,10 @@ json::Value Daemon::statsJson() const {
   V.set("server", std::move(Server));
   V.set("cache", cacheStatsJson(Service.stats()));
   V.set("store", storeStatsJson(Service.storeStats(), Opts.StoreLimitBytes));
+  // "kernel" (flat tier string) predates the dispatch object; kept so
+  // marqsim-server-stats-v1 consumers parse unchanged.
   V.set("kernel", SimulationService::kernelName());
+  V.set("kernels", kernelDispatchJson());
   return V;
 }
 

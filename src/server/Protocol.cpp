@@ -99,10 +99,17 @@ json::Value storeStatsJson(const ArtifactStore::Stats &S, size_t LimitBytes) {
       .set("limit_bytes", static_cast<int64_t>(LimitBytes));
 }
 
-json::Value kernelsJson(EvalPrecision Precision) {
+json::Value kernelDispatchJson() {
+  // Additive keys only: "tier" predates "detected"/"avx512_os", so
+  // marqsim-stats-v1 consumers keep parsing unchanged.
   return json::Value::object()
       .set("tier", SimulationService::kernelName())
-      .set("precision", precisionName(Precision));
+      .set("detected", SimulationService::detectedKernelName())
+      .set("avx512_os", SimulationService::avx512OsEnabled());
+}
+
+json::Value kernelsJson(EvalPrecision Precision) {
+  return kernelDispatchJson().set("precision", precisionName(Precision));
 }
 
 json::Value runStatsJson(const TaskSpec &Spec, const TaskResult &Result,

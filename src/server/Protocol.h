@@ -107,7 +107,14 @@ json::Value cacheStatsJson(const CacheStats &S);
 /// memory budget (0 = unbounded).
 json::Value storeStatsJson(const ArtifactStore::Stats &S, size_t LimitBytes);
 
-/// The dispatched SIMD tier and the evaluation precision tier.
+/// The kernel dispatch decision alone: selected tier, best-detected tier
+/// (what dispatch would pick with no environment pin), and whether the OS
+/// exposes the AVX-512 register state. Shared by the per-run stats and
+/// the daemon's stats frame so the two surfaces can never disagree.
+json::Value kernelDispatchJson();
+
+/// The dispatched SIMD tier (kernelDispatchJson keys) plus the evaluation
+/// precision tier.
 json::Value kernelsJson(EvalPrecision Precision);
 
 /// The complete per-run stats object: fingerprint, batch aggregates and

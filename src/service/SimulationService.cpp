@@ -10,6 +10,7 @@
 #include "pauli/HamiltonianIO.h"
 #include "sim/Kernels.h"
 #include "sim/NoiseModel.h"
+#include "support/CpuFeatures.h"
 #include "stats/Stats.h"
 #include "store/Codecs.h"
 #include "support/Serial.h"
@@ -650,3 +651,9 @@ ArtifactStore::Stats SimulationService::storeStats() const {
 }
 
 const char *SimulationService::kernelName() { return kernels::activeName(); }
+
+const char *SimulationService::detectedKernelName() {
+  return kernels::detectedName();
+}
+
+bool SimulationService::avx512OsEnabled() { return cpuFeatures().AVX512OS; }

@@ -206,10 +206,21 @@ public:
   /// Store-level accounting: tier hits, evictions, byte charges.
   ArtifactStore::Stats storeStats() const;
 
-  /// The kernel tier the evaluation substrate dispatched to ("avx2-fma",
-  /// "neon", or "scalar") — the self-describing sibling of storeStats,
-  /// reported alongside the precision tier by the CLI's --stats.
+  /// The kernel tier the evaluation substrate dispatched to ("avx512",
+  /// "avx2-fma", "neon", or "scalar") — the self-describing sibling of
+  /// storeStats, reported alongside the precision tier by the CLI's
+  /// --stats.
   static const char *kernelName();
+
+  /// The best tier the CPU supports, ignoring MARQSIM_KERNEL_TIER /
+  /// MARQSIM_FORCE_SCALAR — reported next to kernelName so a pinned
+  /// process is visible in every stats surface.
+  static const char *detectedKernelName();
+
+  /// Whether the OS exposes the full AVX-512 register state (always false
+  /// off x86-64); distinguishes "CPU lacks AVX-512" from "OS state off"
+  /// in the dispatch report.
+  static bool avx512OsEnabled();
 
 private:
   struct Impl;

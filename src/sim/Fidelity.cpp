@@ -12,8 +12,19 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
+#include <mutex>
 
 using namespace marqsim;
+
+/// Packed target panels, built lazily the first time a block is evaluated
+/// fused at a given stride and reused across every subsequent schedule
+/// replay. Keyed by (block index, stride) — the FP64 and FP32 tiers pack
+/// at different strides and coexist in one cache.
+struct marqsim::detail::TargetPanelCache {
+  std::mutex M;
+  std::map<std::pair<size_t, size_t>, std::unique_ptr<TargetPanel>> Panels;
+};
 
 double marqsim::unitaryFidelity(const Matrix &UApp, const Matrix &UExact) {
   assert(UApp.rows() == UExact.rows() && UApp.cols() == UExact.cols() &&
@@ -28,7 +39,8 @@ double marqsim::unitaryFidelity(const Matrix &UApp, const Matrix &UExact) {
 
 FidelityEvaluator::FidelityEvaluator(const Hamiltonian &H, double T,
                                      size_t NumColumns, uint64_t Seed)
-    : NQubits(H.numQubits()) {
+    : NQubits(H.numQubits()),
+      PanelCache(std::make_shared<detail::TargetPanelCache>()) {
   const size_t Dim = size_t(1) << NQubits;
   if (NumColumns >= Dim) {
     Columns.resize(Dim);
@@ -60,15 +72,28 @@ FidelityEvaluator::FidelityEvaluator(unsigned NQubits,
                                      std::vector<uint64_t> Columns,
                                      std::vector<CVector> Targets)
     : NQubits(NQubits), Columns(std::move(Columns)),
-      Targets(std::move(Targets)) {
+      Targets(std::move(Targets)),
+      PanelCache(std::make_shared<detail::TargetPanelCache>()) {
   assert(this->Columns.size() == this->Targets.size() &&
          "one target per column");
 }
 
+const TargetPanel &FidelityEvaluator::targetPanelFor(size_t Block,
+                                                     size_t Begin,
+                                                     size_t Count,
+                                                     size_t Stride) const {
+  std::lock_guard<std::mutex> Lock(PanelCache->M);
+  std::unique_ptr<TargetPanel> &Slot = PanelCache->Panels[{Block, Stride}];
+  if (!Slot)
+    Slot = std::make_unique<TargetPanel>(Targets.data() + Begin, Count, Stride);
+  return *Slot;
+}
+
 template <typename PanelT, typename EvolveFn>
 std::vector<Complex>
-FidelityEvaluator::collectOverlaps(unsigned EvalJobs,
-                                   const EvolveFn &Evolve) const {
+FidelityEvaluator::collectOverlaps(unsigned EvalJobs, const EvolveFn &Evolve,
+                                   const ScheduledRotation *FusedTail) const {
+  using Real = typename PanelT::RealType;
   const size_t NumCols = Columns.size();
   // The block partition is a fixed function of the column count — never
   // of EvalJobs — so every worker count computes the same blocks and the
@@ -81,8 +106,30 @@ FidelityEvaluator::collectOverlaps(unsigned EvalJobs,
   parallelFor(Blocks, Jobs, [&](size_t Block) {
     const size_t Begin = Block * Width;
     const size_t End = std::min(Begin + Width, NumCols);
+    if (End - Begin == 1) {
+      // A width-1 tail block walks one interleaved statevector instead of
+      // a panel padded to a full vector of lanes — less wasted work, the
+      // same per-element arithmetic (bit-identical for FP64), and the
+      // home of the FP32 interleaved walk kernels. The fused tail, when
+      // split off, is applied here before the single overlap — for one
+      // column, rotate-then-overlap is literally the same operation
+      // sequence either way.
+      BasicStateVector<Real> Walk(NQubits, Columns[Begin]);
+      Evolve(Walk);
+      if (FusedTail)
+        Walk.applyPauliExpAll(FusedTail->String, FusedTail->Tau);
+      Overlaps[Begin] = Walk.overlapWithTarget(Targets[Begin]);
+      return;
+    }
     PanelT Panel(NQubits, Columns.data() + Begin, End - Begin);
     Evolve(Panel);
+    if (FusedTail) {
+      const TargetPanel &Packed =
+          targetPanelFor(Block, Begin, End - Begin, Panel.laneStride());
+      Panel.applyPauliExpAllFused(FusedTail->String, FusedTail->Tau, Packed,
+                                  Overlaps.data() + Begin);
+      return;
+    }
     for (size_t C = Begin; C < End; ++C)
       Overlaps[C] = Panel.overlapWith(Targets[C], C - Begin);
   });
@@ -90,9 +137,11 @@ FidelityEvaluator::collectOverlaps(unsigned EvalJobs,
 }
 
 template <typename PanelT, typename EvolveFn>
-double FidelityEvaluator::evaluatePanels(unsigned EvalJobs,
-                                         const EvolveFn &Evolve) const {
-  std::vector<Complex> Overlaps = collectOverlaps<PanelT>(EvalJobs, Evolve);
+double FidelityEvaluator::evaluatePanels(
+    unsigned EvalJobs, const EvolveFn &Evolve,
+    const ScheduledRotation *FusedTail) const {
+  std::vector<Complex> Overlaps =
+      collectOverlaps<PanelT>(EvalJobs, Evolve, FusedTail);
   // Per-column overlaps are pure functions of their column, so this
   // serial chain over ascending columns reproduces the single-state
   // evaluation loop bit for bit no matter how the blocks were scheduled.
@@ -108,21 +157,27 @@ double
 FidelityEvaluator::fidelity(const std::vector<ScheduledRotation> &Schedule,
                             unsigned EvalJobs,
                             EvalPrecision Precision) const {
-  const auto Replay = [&](auto &Panel) {
-    for (const ScheduledRotation &Step : Schedule)
-      Panel.applyPauliExpAll(Step.String, Step.Tau);
+  // The final rotation runs fused with the overlap accumulation; the
+  // replay lambda stops one step short of it.
+  const ScheduledRotation *Tail = Schedule.empty() ? nullptr : &Schedule.back();
+  const size_t ReplaySteps = Schedule.size() - (Tail ? 1 : 0);
+  const auto Replay = [&](auto &State) {
+    for (size_t I = 0; I < ReplaySteps; ++I)
+      State.applyPauliExpAll(Schedule[I].String, Schedule[I].Tau);
   };
   if (Precision == EvalPrecision::FP32)
-    return evaluatePanels<StatePanelF32>(EvalJobs, Replay);
-  return evaluatePanels<StatePanel>(EvalJobs, Replay);
+    return evaluatePanels<StatePanelF32>(EvalJobs, Replay, Tail);
+  return evaluatePanels<StatePanel>(EvalJobs, Replay, Tail);
 }
 
 double FidelityEvaluator::stateFidelity(
     const std::vector<ScheduledRotation> &Schedule, unsigned EvalJobs,
     EvalPrecision Precision) const {
-  const auto Replay = [&](auto &Panel) {
-    for (const ScheduledRotation &Step : Schedule)
-      Panel.applyPauliExpAll(Step.String, Step.Tau);
+  const ScheduledRotation *Tail = Schedule.empty() ? nullptr : &Schedule.back();
+  const size_t ReplaySteps = Schedule.size() - (Tail ? 1 : 0);
+  const auto Replay = [&](auto &State) {
+    for (size_t I = 0; I < ReplaySteps; ++I)
+      State.applyPauliExpAll(Schedule[I].String, Schedule[I].Tau);
   };
   const auto Reduce = [](const std::vector<Complex> &Overlaps) {
     double Acc = 0.0;
@@ -131,13 +186,13 @@ double FidelityEvaluator::stateFidelity(
     return Acc / static_cast<double>(Overlaps.size());
   };
   if (Precision == EvalPrecision::FP32)
-    return Reduce(collectOverlaps<StatePanelF32>(EvalJobs, Replay));
-  return Reduce(collectOverlaps<StatePanel>(EvalJobs, Replay));
+    return Reduce(collectOverlaps<StatePanelF32>(EvalJobs, Replay, Tail));
+  return Reduce(collectOverlaps<StatePanel>(EvalJobs, Replay, Tail));
 }
 
 double FidelityEvaluator::fidelityOfCircuit(const Circuit &C,
                                             unsigned EvalJobs) const {
   assert(C.numQubits() == NQubits && "circuit width mismatch");
   return evaluatePanels<StatePanel>(
-      EvalJobs, [&](StatePanel &Panel) { Panel.applyAll(C); });
+      EvalJobs, [&](auto &State) { State.applyAll(C); });
 }

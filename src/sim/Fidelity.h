@@ -28,6 +28,17 @@
 /// fixed-order reduction keep the result bit-identical to the serial
 /// evaluation for every EvalJobs value.
 ///
+/// Two kernel-level refinements keep the same bits while cutting memory
+/// traffic: a schedule's final rotation is fused with the overlap
+/// accumulation (StatePanel::applyPauliExpAllFused — one streaming pass
+/// instead of a rotation sweep plus one strided overlapWith re-read per
+/// column; targets are packed once per block and cached), and width-1
+/// tail blocks evolve a single interleaved BasicStateVector walk instead
+/// of a padded panel — which is also where the FP32 tier's interleaved
+/// walk kernels earn their keep. Both refinements preserve each column's
+/// ascending-basis overlap chain, so FP64 results are bit-identical to
+/// the unfused panel-only evaluation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MARQSIM_SIM_FIDELITY_H
@@ -40,7 +51,16 @@
 #include "sim/StateVector.h"
 #include "support/RNG.h"
 
+#include <memory>
+
 namespace marqsim {
+
+namespace detail {
+/// Lazily packed per-block TargetPanels (Fidelity.cpp). Held behind a
+/// shared_ptr so FidelityEvaluator stays movable/copyable — the targets
+/// are immutable, so sharing the cache across copies is safe.
+struct TargetPanelCache;
+} // namespace detail
 
 /// Exact |tr(A * B^dag)| / dim for two equal-size square matrices.
 double unitaryFidelity(const Matrix &UApp, const Matrix &UExact);
@@ -94,20 +114,33 @@ public:
 
 private:
   /// Shared evaluation harness: partitions the columns into fixed-width
-  /// panel blocks, lets \p Evolve drive each block's panel (of type
-  /// \p PanelT — the precision tier), and returns the per-column overlaps
-  /// in column order. Both metrics reduce this vector in fixed order.
+  /// panel blocks, lets \p Evolve drive each block's state (a PanelT for
+  /// multi-column blocks, a BasicStateVector walk of the same precision
+  /// for width-1 blocks), and returns the per-column overlaps in column
+  /// order. When \p FusedTail is non-null, \p Evolve must leave that
+  /// final rotation unapplied: panel blocks then run it fused with the
+  /// overlap accumulation against a cached TargetPanel, and walk blocks
+  /// apply it before their (single) overlap — both orders bit-identical
+  /// to evolving everything and overlapping afterwards. Both metrics
+  /// reduce the returned vector in fixed order.
   template <typename PanelT, typename EvolveFn>
-  std::vector<Complex> collectOverlaps(unsigned EvalJobs,
-                                       const EvolveFn &Evolve) const;
+  std::vector<Complex>
+  collectOverlaps(unsigned EvalJobs, const EvolveFn &Evolve,
+                  const ScheduledRotation *FusedTail = nullptr) const;
 
   /// collectOverlaps reduced to |sum|/C (the unitary-fidelity metric).
   template <typename PanelT, typename EvolveFn>
-  double evaluatePanels(unsigned EvalJobs, const EvolveFn &Evolve) const;
+  double evaluatePanels(unsigned EvalJobs, const EvolveFn &Evolve,
+                        const ScheduledRotation *FusedTail = nullptr) const;
+
+  /// The packed targets of one block at one stride, built on first use.
+  const TargetPanel &targetPanelFor(size_t Block, size_t Begin, size_t Count,
+                                    size_t Stride) const;
 
   unsigned NQubits;
   std::vector<uint64_t> Columns;  // basis indices
   std::vector<CVector> Targets;   // e^{iHt}|x> per column
+  std::shared_ptr<detail::TargetPanelCache> PanelCache;
 };
 
 } // namespace marqsim

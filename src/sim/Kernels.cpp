@@ -9,7 +9,9 @@
 // lane for lane in float (FP32). The statevector bodies are the original
 // fused loops of StateVector::applyPauliExp, moved here verbatim; the
 // panel bodies are the SoA restatement of StatePanel::applyPauliExpAll
-// with identical per-element expressions.
+// with identical per-element expressions; the fused overlap bodies chain
+// the rotation sweep with the ascending-basis accumulation loop of
+// StatePanel::overlapWith, one lane chain per column.
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +20,7 @@
 #include "support/CpuFeatures.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -28,11 +31,14 @@ using marqsim::detail::PauliPhasesF32;
 namespace {
 
 //===----------------------------------------------------------------------===//
-// Scalar statevector kernels (interleaved std::complex<double>)
+// Scalar statevector kernels (interleaved complex amplitudes)
 //===----------------------------------------------------------------------===//
 
-void scalarExpButterflyF64(Complex *Amp, size_t Dim, uint64_t XM, Complex CosT,
-                           Complex ISinT, const PauliPhases &Phases) {
+template <typename Real, typename Phases>
+void expButterfly(std::complex<Real> *Amp, size_t Dim, uint64_t XM,
+                  std::complex<Real> CosT, std::complex<Real> ISinT,
+                  const Phases &Ph) {
+  using C = std::complex<Real>;
   // Fused butterfly: each {X, X ^ XM} pair is visited once and updated in
   // place with the same per-element arithmetic as the two-pass scratch
   // formulation (cos * psi + i sin * P psi), so results are bit-identical.
@@ -41,24 +47,49 @@ void scalarExpButterflyF64(Complex *Amp, size_t Dim, uint64_t XM, Complex CosT,
     if (X & Pivot)
       continue;
     const uint64_t Y = X ^ XM;
-    const Complex A0 = Amp[X];
-    const Complex A1 = Amp[Y];
-    Amp[X] = CosT * A0 + ISinT * (Phases.at(Y) * A1);
-    Amp[Y] = CosT * A1 + ISinT * (Phases.at(X) * A0);
+    const C A0 = Amp[X];
+    const C A1 = Amp[Y];
+    Amp[X] = CosT * A0 + ISinT * (Ph.at(Y) * A1);
+    Amp[Y] = CosT * A1 + ISinT * (Ph.at(X) * A0);
   }
 }
 
-void scalarExpDiagonalF64(Complex *Amp, size_t Dim, Complex CosT,
-                          Complex ISinT, const PauliPhases &Phases) {
+template <typename Real, typename Phases>
+void expDiagonal(std::complex<Real> *Amp, size_t Dim,
+                 std::complex<Real> CosT, std::complex<Real> ISinT,
+                 const Phases &Ph) {
+  using C = std::complex<Real>;
   // Diagonal fast path: P|X> = (+/-1)|X>, so each element only needs its
   // own slot. The update keeps the literal two-product expression (rather
   // than one fused factor cos +/- i sin) because a single multiply flips
   // the sign of exact-zero amplitudes when cos(Theta) < 0; this form is
   // bit-identical to the reference kernel including zero signs.
   for (uint64_t X = 0; X < Dim; ++X) {
-    const Complex A = Amp[X];
-    Amp[X] = CosT * A + ISinT * (Phases.at(X) * A);
+    const C A = Amp[X];
+    Amp[X] = CosT * A + ISinT * (Ph.at(X) * A);
   }
+}
+
+void scalarExpButterflyF64(Complex *Amp, size_t Dim, uint64_t XM, Complex CosT,
+                           Complex ISinT, const PauliPhases &Phases) {
+  expButterfly<double>(Amp, Dim, XM, CosT, ISinT, Phases);
+}
+
+void scalarExpDiagonalF64(Complex *Amp, size_t Dim, Complex CosT,
+                          Complex ISinT, const PauliPhases &Phases) {
+  expDiagonal<double>(Amp, Dim, CosT, ISinT, Phases);
+}
+
+void scalarExpButterflyF32(kernels::ComplexF *Amp, size_t Dim, uint64_t XM,
+                           kernels::ComplexF CosT, kernels::ComplexF ISinT,
+                           const PauliPhasesF32 &Phases) {
+  expButterfly<float>(Amp, Dim, XM, CosT, ISinT, Phases);
+}
+
+void scalarExpDiagonalF32(kernels::ComplexF *Amp, size_t Dim,
+                          kernels::ComplexF CosT, kernels::ComplexF ISinT,
+                          const PauliPhasesF32 &Phases) {
+  expDiagonal<float>(Amp, Dim, CosT, ISinT, Phases);
 }
 
 //===----------------------------------------------------------------------===//
@@ -114,6 +145,48 @@ void panelExpDiagonal(Real *Re, Real *Im, size_t Dim, size_t Stride,
   }
 }
 
+// The overlap accumulation: lane L of AccRe/AccIm runs column L's chain
+// S += conj(Target[X]) * at(Col, X) in ascending basis order. With the
+// target's imaginary plane pre-negated (TImNeg = -imag, an exact sign
+// flip), conj(T) * A expands to exactly
+//   re: TRe*ar - TImNeg*ai ; im: TRe*ai + TImNeg*ar
+// with each multiply, the subtract/add, and the accumulate add rounded
+// individually — operation for operation the std::complex chain of
+// StatePanel::overlapWith. FP32 amplitudes widen to double first (exact),
+// matching at()'s widening.
+template <typename Real>
+void panelOverlapAccum(const Real *Re, const Real *Im, size_t Dim,
+                       size_t Stride, const double *TRe, const double *TImNeg,
+                       double *AccRe, double *AccIm) {
+  for (uint64_t X = 0; X < Dim; ++X) {
+    const Real *ReX = Re + X * Stride, *ImX = Im + X * Stride;
+    const double *WR = TRe + X * Stride, *WI = TImNeg + X * Stride;
+    for (size_t L = 0; L < Stride; ++L) {
+      const double Ar = static_cast<double>(ReX[L]);
+      const double Ai = static_cast<double>(ImX[L]);
+      AccRe[L] += WR[L] * Ar - WI[L] * Ai;
+      AccIm[L] += WR[L] * Ai + WI[L] * Ar;
+    }
+  }
+}
+
+template <typename Real, typename Phases>
+void panelExpOverlap(Real *Re, Real *Im, size_t Dim, size_t Stride,
+                     uint64_t XM, std::complex<Real> CosT,
+                     std::complex<Real> ISinT, const Phases &Ph,
+                     const double *TRe, const double *TImNeg, double *AccRe,
+                     double *AccIm) {
+  // Rotation sweep first, then one streaming accumulation pass: the
+  // butterfly visits rows in pair order, so accumulating inside it would
+  // reorder the per-column chains. Two passes inside one kernel call is
+  // still one panel re-read instead of one strided re-read per column.
+  if (XM == 0)
+    panelExpDiagonal<Real>(Re, Im, Dim, Stride, CosT, ISinT, Ph);
+  else
+    panelExpButterfly<Real>(Re, Im, Dim, Stride, XM, CosT, ISinT, Ph);
+  panelOverlapAccum<Real>(Re, Im, Dim, Stride, TRe, TImNeg, AccRe, AccIm);
+}
+
 void scalarPanelExpButterflyF64(double *Re, double *Im, size_t Dim,
                                 size_t Stride, uint64_t XM, Complex CosT,
                                 Complex ISinT, const PauliPhases &Ph) {
@@ -139,6 +212,25 @@ void scalarPanelExpDiagonalF32(float *Re, float *Im, size_t Dim, size_t Stride,
   panelExpDiagonal<float>(Re, Im, Dim, Stride, CosT, ISinT, Ph);
 }
 
+void scalarPanelExpOverlapF64(double *Re, double *Im, size_t Dim,
+                              size_t Stride, uint64_t XM, Complex CosT,
+                              Complex ISinT, const PauliPhases &Ph,
+                              const double *TRe, const double *TImNeg,
+                              double *AccRe, double *AccIm) {
+  panelExpOverlap<double>(Re, Im, Dim, Stride, XM, CosT, ISinT, Ph, TRe,
+                          TImNeg, AccRe, AccIm);
+}
+
+void scalarPanelExpOverlapF32(float *Re, float *Im, size_t Dim, size_t Stride,
+                              uint64_t XM, kernels::ComplexF CosT,
+                              kernels::ComplexF ISinT,
+                              const PauliPhasesF32 &Ph, const double *TRe,
+                              const double *TImNeg, double *AccRe,
+                              double *AccIm) {
+  panelExpOverlap<float>(Re, Im, Dim, Stride, XM, CosT, ISinT, Ph, TRe,
+                         TImNeg, AccRe, AccIm);
+}
+
 const kernels::Ops ScalarOps = {
     "scalar",
     scalarExpButterflyF64,
@@ -147,20 +239,53 @@ const kernels::Ops ScalarOps = {
     scalarPanelExpDiagonalF64,
     scalarPanelExpButterflyF32,
     scalarPanelExpDiagonalF32,
+    scalarExpButterflyF32,
+    scalarExpDiagonalF32,
+    scalarPanelExpOverlapF64,
+    scalarPanelExpOverlapF32,
 };
 
 //===----------------------------------------------------------------------===//
 // Dispatch
 //===----------------------------------------------------------------------===//
 
-const kernels::Ops *selectOps(bool ForceScalar) {
-  if (!ForceScalar) {
-    if (const kernels::Ops *V = kernels::detail::avx2Ops())
-      return V;
-    if (const kernels::Ops *V = kernels::detail::neonOps())
-      return V;
-  }
+const kernels::Ops *bestOpsForHost() {
+  if (const kernels::Ops *V = kernels::detail::avx512Ops())
+    return V;
+  if (const kernels::Ops *V = kernels::detail::avx2Ops())
+    return V;
+  if (const kernels::Ops *V = kernels::detail::neonOps())
+    return V;
   return &ScalarOps;
+}
+
+[[noreturn]] void failUnknownTier(const std::string &Requested) {
+  const CpuFeatures &F = cpuFeatures();
+  std::string Have;
+  for (const kernels::Ops *T : kernels::availableOps()) {
+    if (!Have.empty())
+      Have += ", ";
+    Have += T->Name;
+  }
+  std::fprintf(stderr,
+               "marqsim: MARQSIM_KERNEL_TIER=%s is not runnable on this host "
+               "(available tiers: %s; detected features: avx2=%d fma=%d "
+               "avx512f=%d avx512dq=%d avx512-os=%d neon=%d)\n",
+               Requested.c_str(), Have.c_str(), F.AVX2, F.FMA, F.AVX512F,
+               F.AVX512DQ, F.AVX512OS, F.NEON);
+  std::exit(1);
+}
+
+/// The default policy: the environment pin when present (fail fast on a
+/// tier this host cannot run), else the best tier the CPU supports.
+const kernels::Ops *selectFromPolicy() {
+  const std::string Pinned = kernels::tierOverrideFromEnv();
+  if (!Pinned.empty()) {
+    if (const kernels::Ops *T = kernels::findTier(Pinned))
+      return T;
+    failUnknownTier(Pinned);
+  }
+  return bestOpsForHost();
 }
 
 // The cached selection. Null until the first active() call (or an explicit
@@ -175,25 +300,57 @@ bool kernels::forcedScalarByEnv() {
   return E && *E && std::string(E) != "0";
 }
 
+std::string kernels::tierOverrideFromEnv() {
+  if (const char *E = std::getenv("MARQSIM_KERNEL_TIER"); E && *E)
+    return E;
+  return forcedScalarByEnv() ? "scalar" : "";
+}
+
+std::vector<const kernels::Ops *> kernels::availableOps() {
+  std::vector<const Ops *> Tiers;
+  if (const Ops *V = detail::avx512Ops())
+    Tiers.push_back(V);
+  if (const Ops *V = detail::avx2Ops())
+    Tiers.push_back(V);
+  if (const Ops *V = detail::neonOps())
+    Tiers.push_back(V);
+  Tiers.push_back(&ScalarOps);
+  return Tiers;
+}
+
+const kernels::Ops *kernels::findTier(const std::string &Name) {
+  for (const Ops *T : availableOps())
+    if (Name == T->Name)
+      return T;
+  return nullptr;
+}
+
 const kernels::Ops &kernels::active() {
   const Ops *K = Active.load(std::memory_order_acquire);
   if (K)
     return *K;
   // First use: apply the default policy. Racing threads compute the same
   // answer, so a benign double-store is fine.
-  K = selectOps(forcedScalarByEnv());
+  K = selectFromPolicy();
   Active.store(K, std::memory_order_release);
   return *K;
 }
 
 const char *kernels::activeName() { return active().Name; }
 
+const char *kernels::detectedName() { return bestOpsForHost()->Name; }
+
 const kernels::Ops &kernels::scalarOps() { return ScalarOps; }
 
 void kernels::selectForTesting(bool ForceScalar) {
-  Active.store(selectOps(ForceScalar), std::memory_order_release);
+  Active.store(ForceScalar ? &ScalarOps : bestOpsForHost(),
+               std::memory_order_release);
+}
+
+void kernels::selectTierForTesting(const Ops &Tier) {
+  Active.store(&Tier, std::memory_order_release);
 }
 
 void kernels::selectAuto() {
-  Active.store(selectOps(forcedScalarByEnv()), std::memory_order_release);
+  Active.store(selectFromPolicy(), std::memory_order_release);
 }

@@ -8,12 +8,17 @@
 /// The runtime-dispatched SIMD layer under StateVector and StatePanel.
 ///
 /// Every hot evaluation loop — the fused Pauli-exponential butterfly, the
-/// Z-diagonal fast path, and the panel applyPauliExpAll sweeps — resolves
-/// through one table of kernel entry points (Ops). The table is selected
-/// once per process from the CPU probe (support/CpuFeatures.h): AVX2+FMA
-/// hosts get 256-bit kernels, AArch64 gets NEON, everything else — and any
-/// process started with MARQSIM_FORCE_SCALAR=1 — gets the scalar reference
-/// implementations, which are always compiled in.
+/// Z-diagonal fast path, the panel applyPauliExpAll sweeps, and the fused
+/// final-rotation + target-overlap sweep — resolves through one table of
+/// kernel entry points (Ops). The table is selected once per process from
+/// the CPU probe (support/CpuFeatures.h), best tier first: AVX-512F/DQ
+/// hosts whose OS enables the ZMM state get 512-bit kernels ("avx512"),
+/// AVX2+FMA hosts get 256-bit kernels ("avx2-fma"), AArch64 gets NEON,
+/// and everything else the scalar reference implementations, which are
+/// always compiled in. MARQSIM_KERNEL_TIER pins a specific tier by name
+/// (the legacy MARQSIM_FORCE_SCALAR=1 is an alias for "scalar"); pinning
+/// a tier the host cannot run aborts the process with a message naming
+/// the detected features, never a silent fallback.
 ///
 /// Determinism contract: the FP64 vector kernels perform, lane for lane,
 /// exactly the per-element arithmetic of the scalar reference — the same
@@ -23,17 +28,21 @@
 /// SIMD translation units use discrete mul/add/sub intrinsics only).
 /// Amplitude updates are elementwise-independent maps, so lane order never
 /// matters, and every dispatch choice emits bit-identical amplitudes; the
-/// frozen fidelity goldens hold on every ISA. The FP32 panel kernels keep
-/// the same scalar-vs-SIMD bit-identity among themselves but are only
+/// frozen fidelity goldens hold on every ISA. The fused overlap kernels
+/// accumulate each column's overlap as its own lane chain in ascending
+/// basis order — the exact chain StatePanel::overlapWith runs — so fusing
+/// never changes a single bit either. The FP32 kernels keep the same
+/// scalar-vs-SIMD bit-identity among themselves but are only
 /// tolerance-comparable to FP64 (sim/Precision.h).
 ///
 /// Panel-plane layout contract (BasicStatePanel): split real/imag planes,
 /// row-major by basis index — element (X, column) of a plane lives at
-/// [X * Stride + column] — with Stride a multiple of 8 elements and both
-/// plane bases 64-byte aligned. Rows therefore start on cache lines and a
-/// column sweep is a run of contiguous full-width vector lanes; kernels
-/// process the zero-filled padding lanes along with the live ones (lanes
-/// never interact, so padding stays inert).
+/// [X * Stride + column] — with Stride a multiple of one 64-byte vector
+/// (8 doubles / 16 floats) and both plane bases 64-byte aligned. Rows
+/// therefore start on cache lines and a column sweep is a run of
+/// contiguous full-width vector lanes; kernels process the zero-filled
+/// padding lanes along with the live ones (lanes never interact, so
+/// padding stays inert).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +54,8 @@
 
 #include <complex>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace marqsim {
 
@@ -97,7 +108,7 @@ using ComplexF = std::complex<float>;
 /// sign-of-zero effects) are reproduced verbatim.
 struct Ops {
   /// Tier name as reported by --stats and the bench CSVs:
-  /// "avx2-fma", "neon", or "scalar".
+  /// "avx512", "avx2-fma", "neon", or "scalar".
   const char *Name;
 
   /// exp(i Theta P) on one interleaved std::complex<double> statevector,
@@ -132,17 +143,81 @@ struct Ops {
   void (*PanelExpDiagonalF32)(float *Re, float *Im, size_t Dim,
                               size_t Stride, ComplexF CosT, ComplexF ISinT,
                               const detail::PauliPhasesF32 &Ph);
+
+  /// exp(i Theta P) on one interleaved std::complex<float> statevector —
+  /// the FP32 walk tier behind BasicStateVector<float> (xMask != 0).
+  void (*ExpButterflyF32)(ComplexF *Amp, size_t Dim, uint64_t XM,
+                          ComplexF CosT, ComplexF ISinT,
+                          const detail::PauliPhasesF32 &Ph);
+
+  /// The interleaved FP32 Z-diagonal fast path (xMask == 0).
+  void (*ExpDiagonalF32)(ComplexF *Amp, size_t Dim, ComplexF CosT,
+                         ComplexF ISinT, const detail::PauliPhasesF32 &Ph);
+
+  /// Fused final-rotation + overlap sweep over an FP64 panel: applies
+  /// exp(i Theta P) to the planes exactly like PanelExp{Butterfly,
+  /// Diagonal}F64 (XM == 0 selects the diagonal path), then accumulates
+  /// per-lane overlaps against a packed conjugated target panel in one
+  /// streaming pass instead of one strided re-read per column.
+  ///
+  /// TRe / TImNeg hold the targets at the same [X * Stride + column]
+  /// layout with the imaginary plane already negated (exact, sign flip
+  /// only), so each lane's update is AccRe += TRe*ar - TImNeg*ai and
+  /// AccIm += TRe*ai + TImNeg*ar — operation for operation the chain
+  /// S += conj(Target[X]) * at(Col, X) runs in overlapWith. AccRe/AccIm
+  /// are Stride doubles each, zeroed by the caller; lane L's final value
+  /// is column L's overlap, accumulated in ascending basis order, so
+  /// fused and unfused evaluation are bit-identical.
+  void (*PanelExpOverlapF64)(double *Re, double *Im, size_t Dim,
+                             size_t Stride, uint64_t XM, Complex CosT,
+                             Complex ISinT, const detail::PauliPhases &Ph,
+                             const double *TRe, const double *TImNeg,
+                             double *AccRe, double *AccIm);
+
+  /// The FP32 panel's fused final-rotation + overlap sweep: amplitudes
+  /// rotate in float, then widen to double (exact) before the overlap
+  /// multiply-accumulate — the same widening StatePanel::at performs, so
+  /// fused FP32 overlaps equal the unfused FP32 overlaps bit for bit.
+  /// Targets and accumulators stay double.
+  void (*PanelExpOverlapF32)(float *Re, float *Im, size_t Dim,
+                             size_t Stride, uint64_t XM, ComplexF CosT,
+                             ComplexF ISinT,
+                             const detail::PauliPhasesF32 &Ph,
+                             const double *TRe, const double *TImNeg,
+                             double *AccRe, double *AccIm);
 };
 
 /// The dispatched table: selected on first use from the CPU probe and the
-/// MARQSIM_FORCE_SCALAR environment variable, then cached. Thread-safe.
+/// MARQSIM_KERNEL_TIER / MARQSIM_FORCE_SCALAR environment overrides, then
+/// cached. Thread-safe. Aborts the process (exit 1, message on stderr)
+/// when the environment pins a tier this host cannot run.
 const Ops &active();
 
-/// Name of the dispatched tier ("avx2-fma" / "neon" / "scalar").
+/// Name of the dispatched tier ("avx512" / "avx2-fma" / "neon" /
+/// "scalar").
 const char *activeName();
+
+/// Name of the best tier the CPU supports, ignoring every environment
+/// override — what dispatch *would* pick on a clean environment. Stats
+/// report detected vs selected so a pinned process is visible.
+const char *detectedName();
 
 /// The always-available scalar reference tier.
 const Ops &scalarOps();
+
+/// Every tier this host can run, best first; scalar is always last. The
+/// list depends only on the CPU probe (never on the environment), so
+/// test sweeps and bench tables are stable across pinned runs.
+std::vector<const Ops *> availableOps();
+
+/// Tier lookup by name. Returns null when the name is unknown or the
+/// tier is not runnable on this host.
+const Ops *findTier(const std::string &Name);
+
+/// The environment's tier pin: MARQSIM_KERNEL_TIER verbatim, or "scalar"
+/// when only the legacy MARQSIM_FORCE_SCALAR=1 alias is set; empty when
+/// neither is set.
+std::string tierOverrideFromEnv();
 
 /// True when MARQSIM_FORCE_SCALAR is set (non-empty, not "0") in the
 /// process environment.
@@ -153,13 +228,19 @@ bool forcedScalarByEnv();
 /// code never calls this; use selectAuto() to restore the default policy.
 void selectForTesting(bool ForceScalar);
 
+/// Test/bench hook: pin dispatch to an explicit tier (one of
+/// availableOps()). Restore with selectAuto().
+void selectTierForTesting(const Ops &Tier);
+
 /// Restores the default dispatch policy (CPU probe + environment).
 void selectAuto();
 
 namespace detail {
 /// Per-ISA tables; null when the binary was built without the ISA or the
-/// host CPU lacks it. Defined in KernelsAVX2.cpp / KernelsNEON.cpp so the
-/// stubs exist on every platform.
+/// host CPU (or, for AVX-512, the OS XSAVE state) lacks it. Defined in
+/// KernelsAVX512.cpp / KernelsAVX2.cpp / KernelsNEON.cpp so the stubs
+/// exist on every platform.
+const Ops *avx512Ops();
 const Ops *avx2Ops();
 const Ops *neonOps();
 } // namespace detail

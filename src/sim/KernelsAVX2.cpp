@@ -124,6 +124,83 @@ void avx2ExpDiagonalF64(Complex *AmpC, size_t Dim, Complex CosT, Complex ISinT,
 }
 
 //===----------------------------------------------------------------------===//
+// Interleaved FP32 statevector kernels (4 complexes per __m256)
+//===----------------------------------------------------------------------===//
+
+inline __m256 cmulDup(__m256 WrDup, __m256 WiDup, __m256 A) {
+  const __m256 T1 = _mm256_mul_ps(WrDup, A);
+  const __m256 ASwap = _mm256_permute_ps(A, 0xB1); // [ai, ar] per complex
+  const __m256 T2 = _mm256_mul_ps(WiDup, ASwap);
+  return _mm256_addsub_ps(T1, T2);
+}
+
+inline __m256 cmulVec(__m256 Ph, __m256 A) {
+  return cmulDup(_mm256_moveldup_ps(Ph), _mm256_movehdup_ps(Ph), A);
+}
+
+// Loads the phases of four consecutive basis indices as one vector.
+inline __m256 loadPhases(const PauliPhasesF32 &Ph, uint64_t X) {
+  const kernels::ComplexF P0 = Ph.at(X);
+  const kernels::ComplexF P1 = Ph.at(X + 1);
+  const kernels::ComplexF P2 = Ph.at(X + 2);
+  const kernels::ComplexF P3 = Ph.at(X + 3);
+  return _mm256_set_ps(P3.imag(), P3.real(), P2.imag(), P2.real(), P1.imag(),
+                       P1.real(), P0.imag(), P0.real());
+}
+
+void avx2ExpButterflyF32(kernels::ComplexF *AmpC, size_t Dim, uint64_t XM,
+                         kernels::ComplexF CosT, kernels::ComplexF ISinT,
+                         const PauliPhasesF32 &Ph) {
+  const uint64_t Pivot = XM & (~XM + 1); // lowest set bit of XM
+  if (Pivot < 4) {
+    // A float vector holds four complexes; shorter pivot runs cannot load
+    // contiguously, so defer to the (lane-identical) scalar reference.
+    kernels::scalarOps().ExpButterflyF32(AmpC, Dim, XM, CosT, ISinT, Ph);
+    return;
+  }
+  float *Amp = reinterpret_cast<float *>(AmpC);
+  const __m256 CDup = _mm256_set1_ps(CosT.real());
+  const __m256 SDup = _mm256_set1_ps(ISinT.imag());
+  const __m256 Zero = _mm256_setzero_ps();
+  for (uint64_t Base = 0; Base < Dim; Base += 2 * Pivot) {
+    for (uint64_t Off = 0; Off < Pivot; Off += 4) {
+      const uint64_t X = Base + Off;
+      const uint64_t Y = X ^ XM;
+      float *PX = Amp + 2 * X;
+      float *PY = Amp + 2 * Y;
+      const __m256 A0 = _mm256_load_ps(PX);
+      const __m256 A1 = _mm256_load_ps(PY);
+      const __m256 T0 = cmulDup(CDup, Zero, A0);
+      const __m256 U0 = cmulDup(Zero, SDup, cmulVec(loadPhases(Ph, Y), A1));
+      const __m256 T1 = cmulDup(CDup, Zero, A1);
+      const __m256 U1 = cmulDup(Zero, SDup, cmulVec(loadPhases(Ph, X), A0));
+      _mm256_store_ps(PX, _mm256_add_ps(T0, U0));
+      _mm256_store_ps(PY, _mm256_add_ps(T1, U1));
+    }
+  }
+}
+
+void avx2ExpDiagonalF32(kernels::ComplexF *AmpC, size_t Dim,
+                        kernels::ComplexF CosT, kernels::ComplexF ISinT,
+                        const PauliPhasesF32 &Ph) {
+  if (Dim < 4) {
+    kernels::scalarOps().ExpDiagonalF32(AmpC, Dim, CosT, ISinT, Ph);
+    return;
+  }
+  float *Amp = reinterpret_cast<float *>(AmpC);
+  const __m256 CDup = _mm256_set1_ps(CosT.real());
+  const __m256 SDup = _mm256_set1_ps(ISinT.imag());
+  const __m256 Zero = _mm256_setzero_ps();
+  for (uint64_t X = 0; X < Dim; X += 4) {
+    float *P = Amp + 2 * X;
+    const __m256 A = _mm256_load_ps(P);
+    const __m256 T = cmulDup(CDup, Zero, A);
+    const __m256 U = cmulDup(Zero, SDup, cmulVec(loadPhases(Ph, X), A));
+    _mm256_store_ps(P, _mm256_add_ps(T, U));
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Panel kernels (split planes; a row is Stride contiguous lanes)
 //===----------------------------------------------------------------------===//
 
@@ -275,6 +352,85 @@ void avx2PanelExpDiagonalF32(float *Re, float *Im, size_t Dim, size_t Stride,
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Fused final-rotation + overlap kernels
+//===----------------------------------------------------------------------===//
+
+// The streaming accumulation pass shared by both fused kernels: row X's
+// contribution lands on every lane's chain before row X+1's, exactly the
+// ascending-basis order of StatePanel::overlapWith. Each mulRe/mulIm is
+// the discretely-rounded expansion of conj(Target) * Amp with the target
+// imaginary plane pre-negated.
+void avx2PanelOverlapAccumF64(const double *Re, const double *Im, size_t Dim,
+                              size_t Stride, const double *TRe,
+                              const double *TImNeg, double *AccRe,
+                              double *AccIm) {
+  for (uint64_t X = 0; X < Dim; ++X) {
+    const double *ReX = Re + X * Stride, *ImX = Im + X * Stride;
+    const double *WrX = TRe + X * Stride, *WiX = TImNeg + X * Stride;
+    for (size_t L = 0; L < Stride; L += 4) {
+      const __m256d Ar = _mm256_load_pd(ReX + L);
+      const __m256d Ai = _mm256_load_pd(ImX + L);
+      const __m256d Wr = _mm256_load_pd(WrX + L);
+      const __m256d Wi = _mm256_load_pd(WiX + L);
+      const __m256d SumR =
+          _mm256_add_pd(_mm256_load_pd(AccRe + L), mulRe(Wr, Wi, Ar, Ai));
+      const __m256d SumI =
+          _mm256_add_pd(_mm256_load_pd(AccIm + L), mulIm(Wr, Wi, Ar, Ai));
+      _mm256_store_pd(AccRe + L, SumR);
+      _mm256_store_pd(AccIm + L, SumI);
+    }
+  }
+}
+
+// FP32 amplitudes widen to double (exact) before the double
+// multiply-accumulate, matching StatePanel::at's widening.
+void avx2PanelOverlapAccumF32(const float *Re, const float *Im, size_t Dim,
+                              size_t Stride, const double *TRe,
+                              const double *TImNeg, double *AccRe,
+                              double *AccIm) {
+  for (uint64_t X = 0; X < Dim; ++X) {
+    const float *ReX = Re + X * Stride, *ImX = Im + X * Stride;
+    const double *WrX = TRe + X * Stride, *WiX = TImNeg + X * Stride;
+    for (size_t L = 0; L < Stride; L += 4) {
+      const __m256d Ar = _mm256_cvtps_pd(_mm_load_ps(ReX + L));
+      const __m256d Ai = _mm256_cvtps_pd(_mm_load_ps(ImX + L));
+      const __m256d Wr = _mm256_load_pd(WrX + L);
+      const __m256d Wi = _mm256_load_pd(WiX + L);
+      const __m256d SumR =
+          _mm256_add_pd(_mm256_load_pd(AccRe + L), mulRe(Wr, Wi, Ar, Ai));
+      const __m256d SumI =
+          _mm256_add_pd(_mm256_load_pd(AccIm + L), mulIm(Wr, Wi, Ar, Ai));
+      _mm256_store_pd(AccRe + L, SumR);
+      _mm256_store_pd(AccIm + L, SumI);
+    }
+  }
+}
+
+void avx2PanelExpOverlapF64(double *Re, double *Im, size_t Dim, size_t Stride,
+                            uint64_t XM, Complex CosT, Complex ISinT,
+                            const PauliPhases &Ph, const double *TRe,
+                            const double *TImNeg, double *AccRe,
+                            double *AccIm) {
+  if (XM == 0)
+    avx2PanelExpDiagonalF64(Re, Im, Dim, Stride, CosT, ISinT, Ph);
+  else
+    avx2PanelExpButterflyF64(Re, Im, Dim, Stride, XM, CosT, ISinT, Ph);
+  avx2PanelOverlapAccumF64(Re, Im, Dim, Stride, TRe, TImNeg, AccRe, AccIm);
+}
+
+void avx2PanelExpOverlapF32(float *Re, float *Im, size_t Dim, size_t Stride,
+                            uint64_t XM, kernels::ComplexF CosT,
+                            kernels::ComplexF ISinT, const PauliPhasesF32 &Ph,
+                            const double *TRe, const double *TImNeg,
+                            double *AccRe, double *AccIm) {
+  if (XM == 0)
+    avx2PanelExpDiagonalF32(Re, Im, Dim, Stride, CosT, ISinT, Ph);
+  else
+    avx2PanelExpButterflyF32(Re, Im, Dim, Stride, XM, CosT, ISinT, Ph);
+  avx2PanelOverlapAccumF32(Re, Im, Dim, Stride, TRe, TImNeg, AccRe, AccIm);
+}
+
 const kernels::Ops AVX2Ops = {
     "avx2-fma",
     avx2ExpButterflyF64,
@@ -283,6 +439,10 @@ const kernels::Ops AVX2Ops = {
     avx2PanelExpDiagonalF64,
     avx2PanelExpButterflyF32,
     avx2PanelExpDiagonalF32,
+    avx2ExpButterflyF32,
+    avx2ExpDiagonalF32,
+    avx2PanelExpOverlapF64,
+    avx2PanelExpOverlapF32,
 };
 
 } // namespace

@@ -255,6 +255,101 @@ void neonPanelExpDiagonalF32(float *Re, float *Im, size_t Dim, size_t Stride,
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Interleaved FP32 statevector kernels
+//===----------------------------------------------------------------------===//
+
+// The interleaved FP32 walk currently defers to the scalar reference on
+// this tier: a 128-bit vector holds only two float complexes, so short
+// pivot runs dominate and an AdvSIMD version is remaining headroom rather
+// than a measured win. Dispatch semantics (and bit-identity with scalar)
+// are preserved trivially.
+void neonExpButterflyF32(kernels::ComplexF *Amp, size_t Dim, uint64_t XM,
+                         kernels::ComplexF CosT, kernels::ComplexF ISinT,
+                         const PauliPhasesF32 &Ph) {
+  kernels::scalarOps().ExpButterflyF32(Amp, Dim, XM, CosT, ISinT, Ph);
+}
+
+void neonExpDiagonalF32(kernels::ComplexF *Amp, size_t Dim,
+                        kernels::ComplexF CosT, kernels::ComplexF ISinT,
+                        const PauliPhasesF32 &Ph) {
+  kernels::scalarOps().ExpDiagonalF32(Amp, Dim, CosT, ISinT, Ph);
+}
+
+//===----------------------------------------------------------------------===//
+// Fused final-rotation + overlap kernels
+//===----------------------------------------------------------------------===//
+
+// Streaming accumulation pass: row X lands on every lane's chain before
+// row X+1, the ascending-basis order of StatePanel::overlapWith. Targets
+// carry a pre-negated imaginary plane, so each lane is the discretely
+// rounded conj(Target) * Amp expansion.
+void neonPanelOverlapAccumF64(const double *Re, const double *Im, size_t Dim,
+                              size_t Stride, const double *TRe,
+                              const double *TImNeg, double *AccRe,
+                              double *AccIm) {
+  for (uint64_t X = 0; X < Dim; ++X) {
+    const double *ReX = Re + X * Stride, *ImX = Im + X * Stride;
+    const double *WrX = TRe + X * Stride, *WiX = TImNeg + X * Stride;
+    for (size_t L = 0; L < Stride; L += 2) {
+      const float64x2_t Ar = vld1q_f64(ReX + L);
+      const float64x2_t Ai = vld1q_f64(ImX + L);
+      const float64x2_t Wr = vld1q_f64(WrX + L);
+      const float64x2_t Wi = vld1q_f64(WiX + L);
+      vst1q_f64(AccRe + L,
+                vaddq_f64(vld1q_f64(AccRe + L), mulRe(Wr, Wi, Ar, Ai)));
+      vst1q_f64(AccIm + L,
+                vaddq_f64(vld1q_f64(AccIm + L), mulIm(Wr, Wi, Ar, Ai)));
+    }
+  }
+}
+
+// FP32 amplitudes widen to double (exact) before the double
+// multiply-accumulate, matching StatePanel::at's widening.
+void neonPanelOverlapAccumF32(const float *Re, const float *Im, size_t Dim,
+                              size_t Stride, const double *TRe,
+                              const double *TImNeg, double *AccRe,
+                              double *AccIm) {
+  for (uint64_t X = 0; X < Dim; ++X) {
+    const float *ReX = Re + X * Stride, *ImX = Im + X * Stride;
+    const double *WrX = TRe + X * Stride, *WiX = TImNeg + X * Stride;
+    for (size_t L = 0; L < Stride; L += 2) {
+      const float64x2_t Ar = vcvt_f64_f32(vld1_f32(ReX + L));
+      const float64x2_t Ai = vcvt_f64_f32(vld1_f32(ImX + L));
+      const float64x2_t Wr = vld1q_f64(WrX + L);
+      const float64x2_t Wi = vld1q_f64(WiX + L);
+      vst1q_f64(AccRe + L,
+                vaddq_f64(vld1q_f64(AccRe + L), mulRe(Wr, Wi, Ar, Ai)));
+      vst1q_f64(AccIm + L,
+                vaddq_f64(vld1q_f64(AccIm + L), mulIm(Wr, Wi, Ar, Ai)));
+    }
+  }
+}
+
+void neonPanelExpOverlapF64(double *Re, double *Im, size_t Dim, size_t Stride,
+                            uint64_t XM, Complex CosT, Complex ISinT,
+                            const PauliPhases &Ph, const double *TRe,
+                            const double *TImNeg, double *AccRe,
+                            double *AccIm) {
+  if (XM == 0)
+    neonPanelExpDiagonalF64(Re, Im, Dim, Stride, CosT, ISinT, Ph);
+  else
+    neonPanelExpButterflyF64(Re, Im, Dim, Stride, XM, CosT, ISinT, Ph);
+  neonPanelOverlapAccumF64(Re, Im, Dim, Stride, TRe, TImNeg, AccRe, AccIm);
+}
+
+void neonPanelExpOverlapF32(float *Re, float *Im, size_t Dim, size_t Stride,
+                            uint64_t XM, kernels::ComplexF CosT,
+                            kernels::ComplexF ISinT, const PauliPhasesF32 &Ph,
+                            const double *TRe, const double *TImNeg,
+                            double *AccRe, double *AccIm) {
+  if (XM == 0)
+    neonPanelExpDiagonalF32(Re, Im, Dim, Stride, CosT, ISinT, Ph);
+  else
+    neonPanelExpButterflyF32(Re, Im, Dim, Stride, XM, CosT, ISinT, Ph);
+  neonPanelOverlapAccumF32(Re, Im, Dim, Stride, TRe, TImNeg, AccRe, AccIm);
+}
+
 const kernels::Ops NEONOps = {
     "neon",
     neonExpButterflyF64,
@@ -263,6 +358,10 @@ const kernels::Ops NEONOps = {
     neonPanelExpDiagonalF64,
     neonPanelExpButterflyF32,
     neonPanelExpDiagonalF32,
+    neonExpButterflyF32,
+    neonExpDiagonalF32,
+    neonPanelExpOverlapF64,
+    neonPanelExpOverlapF32,
 };
 
 } // namespace

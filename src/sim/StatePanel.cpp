@@ -13,6 +13,20 @@
 
 using namespace marqsim;
 
+TargetPanel::TargetPanel(const CVector *Targets, size_t Count, size_t Stride)
+    : Dim(Count ? Targets[0].size() : 0), Cols(Count), Stride(Stride),
+      TRe(Dim * Stride, 0.0), TImNeg(Dim * Stride, 0.0) {
+  assert(Count > 0 && Stride >= Count && "bad target panel shape");
+  for (size_t Col = 0; Col < Cols; ++Col) {
+    assert(Targets[Col].size() == Dim && "target size mismatch");
+    for (uint64_t X = 0; X < Dim; ++X) {
+      const Complex &T = Targets[Col][X];
+      TRe[size_t(X) * Stride + Col] = T.real();
+      TImNeg[size_t(X) * Stride + Col] = -T.imag(); // exact sign flip
+    }
+  }
+}
+
 template <typename Real>
 BasicStatePanel<Real>::BasicStatePanel(unsigned NumQubits,
                                        const uint64_t *Basis,
@@ -139,6 +153,56 @@ void BasicStatePanel<Real>::applyAll(const Circuit &C) {
   assert(C.numQubits() <= NQubits && "circuit wider than panel");
   for (const Gate &G : C.gates())
     applyAll(G);
+}
+
+template <typename Real>
+void BasicStatePanel<Real>::applyPauliExpAllFused(const PauliString &P,
+                                                  double Theta,
+                                                  const TargetPanel &Targets,
+                                                  Complex *Out) {
+  assert(Targets.laneStride() == Stride && Targets.dim() == Dim &&
+         Targets.numColumns() == Cols && "target panel shape mismatch");
+  using C = std::complex<Real>;
+  const C CosT(Real(std::cos(Theta)), Real(0));
+  const C ISinT(Real(0), Real(std::sin(Theta)));
+  const double *WR = Targets.realPlane();
+  const double *WI = Targets.negImagPlane();
+  if (P.isIdentity()) {
+    // The kernels have no identity path; rotate via the global-phase loop
+    // and accumulate here with the same per-lane ascending-basis chain
+    // the fused kernels run (each op individually rounded), so this path
+    // is bit-identical to applyPauliExpAll + overlapWith too.
+    applyPauliExpAll(P, Theta);
+    for (size_t Col = 0; Col < Cols; ++Col) {
+      double AccRe = 0.0, AccIm = 0.0;
+      for (uint64_t X = 0; X < Dim; ++X) {
+        const size_t I = size_t(X) * Stride + Col;
+        const double Ar = static_cast<double>(Re[I]);
+        const double Ai = static_cast<double>(Im[I]);
+        AccRe += WR[I] * Ar - WI[I] * Ai;
+        AccIm += WR[I] * Ai + WI[I] * Ar;
+      }
+      Out[Col] = Complex(AccRe, AccIm);
+    }
+    return;
+  }
+  const uint64_t XM = P.xMask();
+  const detail::PauliPhases Phases(P);
+  const kernels::Ops &K = kernels::active();
+  // Lane L of the accumulator planes carries column L's overlap chain;
+  // padding lanes accumulate zeros against zero targets and are dropped.
+  std::vector<double, AlignedAllocator<double, 64>> AccRe(Stride, 0.0);
+  std::vector<double, AlignedAllocator<double, 64>> AccIm(Stride, 0.0);
+  if constexpr (std::is_same_v<Real, double>) {
+    K.PanelExpOverlapF64(Re.data(), Im.data(), Dim, Stride, XM, CosT, ISinT,
+                         Phases, WR, WI, AccRe.data(), AccIm.data());
+  } else {
+    const detail::PauliPhasesF32 PhasesF(Phases);
+    K.PanelExpOverlapF32(Re.data(), Im.data(), Dim, Stride, XM, CosT, ISinT,
+                         PhasesF, WR, WI, AccRe.data(), AccIm.data());
+  }
+  for (size_t Col = 0; Col < Cols; ++Col)
+    Out[Col] = Complex(AccRe[Col], AccIm[Col]);
 }
 
 template <typename Real>

@@ -13,8 +13,9 @@
 /// times and re-reads the schedule C times. The panel stores the C
 /// statevectors as split real/imag planes, row-major by basis index:
 /// element (X, column) of a plane lives at [X * Stride + column], with
-/// Stride rounded up to a multiple of 8 lanes and both planes allocated
-/// 64-byte aligned. A rotation's sweep over one basis row is therefore a
+/// Stride rounded up to one full 64-byte vector (8 doubles / 16 floats)
+/// and both planes allocated 64-byte aligned. A rotation's sweep over one
+/// basis row is therefore a
 /// run of contiguous, aligned, full-width vector lanes — the layout the
 /// dispatched SIMD kernels (sim/Kernels.h) consume directly, with the
 /// padding lanes held at zero and processed inertly alongside the live
@@ -45,6 +46,34 @@
 
 namespace marqsim {
 
+/// A block of fidelity targets packed into the panel-plane layout for the
+/// fused evolve+overlap kernels: double real plane plus a pre-negated
+/// imaginary plane (TImNeg = -imag, an exact sign flip), element
+/// (X, column) at [X * Stride + column], padding lanes zero, both planes
+/// 64-byte aligned. With the negated plane, conj(Target) * Amp expands to
+/// the discretely-rounded lane arithmetic the kernels run — see
+/// kernels::Ops::PanelExpOverlapF64. Targets are packed once and reused
+/// across schedule replays; planes stay double for both precision tiers.
+class TargetPanel {
+public:
+  /// Packs \p Count target statevectors (each of the same dimension) at
+  /// row stride \p Stride, which must match the evolving panel's
+  /// laneStride() and be a multiple of the panel's LaneMultiple.
+  TargetPanel(const CVector *Targets, size_t Count, size_t Stride);
+
+  size_t dim() const { return Dim; }
+  size_t numColumns() const { return Cols; }
+  size_t laneStride() const { return Stride; }
+  const double *realPlane() const { return TRe.data(); }
+  const double *negImagPlane() const { return TImNeg.data(); }
+
+private:
+  size_t Dim;
+  size_t Cols;
+  size_t Stride;
+  std::vector<double, AlignedAllocator<double, 64>> TRe, TImNeg;
+};
+
 /// A cache-blocked panel of statevectors (one per requested basis column)
 /// evolved together over split real/imag planes. n <= 26 as for
 /// StateVector; callers bound the width (see PreferredWidth) to keep the
@@ -60,9 +89,10 @@ public:
   /// identically for every EvalJobs value.
   static constexpr size_t PreferredWidth = 8;
 
-  /// Lane stride rounding: rows start every LaneMultiple elements so
-  /// full-width vector loads stay aligned (8 doubles = one cache line).
-  static constexpr size_t LaneMultiple = 8;
+  /// Lane stride rounding: rows start every LaneMultiple elements — one
+  /// full 64-byte vector (8 doubles / 16 floats) — so 512-bit loads stay
+  /// aligned for every instantiation and rows begin on cache lines.
+  static constexpr size_t LaneMultiple = 64 / sizeof(Real);
 
   /// Initializes column k to the basis state |Basis[k]>.
   BasicStatePanel(unsigned NumQubits, const uint64_t *Basis,
@@ -107,6 +137,19 @@ public:
   /// order — the same chain as innerProduct over a standalone
   /// statevector (bit-identical for the double instantiation).
   Complex overlapWith(const CVector &Target, size_t Col) const;
+
+  /// The fused tail of fidelity evaluation: applies exp(i * Theta * P) to
+  /// every column exactly like applyPauliExpAll, then accumulates
+  /// Out[Col] = <Target col | column Col> against the packed \p Targets in
+  /// the same pass through memory instead of one strided overlapWith
+  /// re-read per column. Each column's overlap runs its own ascending-
+  /// basis lane chain — the exact chain overlapWith runs — so the fused
+  /// path is bit-identical to applyPauliExpAll followed by overlapWith,
+  /// for both precision tiers and every kernel dispatch. \p Targets must
+  /// be packed at this panel's laneStride(). \p Out receives
+  /// numColumns() overlaps.
+  void applyPauliExpAllFused(const PauliString &P, double Theta,
+                             const TargetPanel &Targets, Complex *Out);
 
 private:
   unsigned NQubits;

@@ -23,8 +23,17 @@
 /// sim/Kernels.h for the phase-selection helper (shared with StatePanel)
 /// and SimTest's reference-kernel equivalence tests for the pinning. The
 /// loops themselves live behind the runtime-dispatched kernel table of
-/// sim/Kernels.h, which picks AVX2/NEON variants that are bit-identical
-/// to the scalar reference.
+/// sim/Kernels.h, which picks AVX-512/AVX2/NEON variants that are
+/// bit-identical to the scalar reference.
+///
+/// The class is a template over the amplitude precision. The double
+/// instantiation (the StateVector alias) is the bit-exact default every
+/// golden value is frozen against. The float instantiation
+/// (StateVectorF32) is the opt-in walk tier behind --precision=fp32:
+/// per-rotation constants are computed in double and narrowed once,
+/// amplitudes evolve in float through the interleaved FP32 kernels, and
+/// overlaps/norms still accumulate in double. Its results are
+/// tolerance-defined against FP64, never bit-exact (sim/Precision.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +43,7 @@
 #include "circuit/Circuit.h"
 #include "linalg/Matrix.h"
 #include "pauli/PauliString.h"
+#include "support/AlignedAlloc.h"
 
 #include <cstdint>
 
@@ -48,20 +58,29 @@ bool singleQubitMatrix(const Gate &G, Complex M[2][2]);
 } // namespace detail
 
 /// An n-qubit pure state (n <= 26 to keep memory bounded).
-class StateVector {
+template <typename Real> class BasicStateVector {
 public:
+  using RealType = Real;
+
+  /// Amplitude storage: cache-line aligned so the dispatched kernels'
+  /// full-width vector loads are always aligned. For the double
+  /// instantiation this is exactly CVector.
+  using AmpVector =
+      std::vector<std::complex<Real>, AlignedAllocator<std::complex<Real>, 64>>;
+
   /// Initializes to the basis state |Basis> over \p NumQubits qubits.
-  explicit StateVector(unsigned NumQubits, uint64_t Basis = 0);
+  explicit BasicStateVector(unsigned NumQubits, uint64_t Basis = 0);
 
   /// Wraps an existing amplitude vector (size must be a power of two).
-  StateVector(unsigned NumQubits, CVector Amplitudes);
+  BasicStateVector(unsigned NumQubits, AmpVector Amplitudes);
 
   unsigned numQubits() const { return NQubits; }
   size_t dim() const { return Amp.size(); }
-  const CVector &amplitudes() const { return Amp; }
-  CVector &amplitudes() { return Amp; }
+  const AmpVector &amplitudes() const { return Amp; }
+  AmpVector &amplitudes() { return Amp; }
 
-  /// Applies one gate.
+  /// Applies one gate. Matrix entries are derived in double and narrowed
+  /// once per gate (a no-op for the double instantiation).
   void apply(const Gate &G);
 
   /// Applies all gates of a circuit in order.
@@ -75,18 +94,44 @@ public:
   /// One fused pass: each butterfly pair is loaded and stored exactly once.
   void applyPauliExp(const PauliString &P, double Theta);
 
-  /// <this | Other>.
-  Complex overlap(const StateVector &Other) const;
+  /// <this | Other>, accumulated in double in ascending basis order for
+  /// every instantiation (FP32 amplitudes widen exactly before the
+  /// multiply).
+  Complex overlap(const BasicStateVector &Other) const;
 
-  /// Euclidean norm (1 for a valid state).
+  /// <Target | this> against a double-precision target, accumulated in
+  /// double in ascending basis order — for the double instantiation this
+  /// is bit-identical to innerProduct(Target, amplitudes()) and to
+  /// StatePanel::overlapWith on a same-state column.
+  Complex overlapWithTarget(const CVector &Target) const;
+
+  /// Euclidean norm (1 for a valid state), accumulated in double.
   double norm() const;
+
+  /// Panel-compatible spellings, so one generic evolve lambda can drive
+  /// both a StatePanel block and a single-state walk (the width-1 block
+  /// path of fidelity evaluation).
+  void applyPauliExpAll(const PauliString &P, double Theta) {
+    applyPauliExp(P, Theta);
+  }
+  void applyAll(const Gate &G) { apply(G); }
+  void applyAll(const Circuit &C) { apply(C); }
 
 private:
   void applySingleQubit(unsigned Q, const Complex M[2][2]);
 
   unsigned NQubits;
-  CVector Amp;
+  AmpVector Amp;
 };
+
+extern template class BasicStateVector<double>;
+extern template class BasicStateVector<float>;
+
+/// The bit-exact FP64 simulator every default path and golden runs on.
+using StateVector = BasicStateVector<double>;
+
+/// The opt-in FP32 walk tier (tolerance-defined; see Precision.h).
+using StateVectorF32 = BasicStateVector<float>;
 
 /// Builds the full 2^n x 2^n unitary of a circuit by applying it to panels
 /// of basis columns (intended for tests and small systems).

@@ -9,10 +9,14 @@
 /// by the evaluation-kernel dispatcher (sim/Kernels.h) to pick the widest
 /// implementation the hardware supports.
 ///
-/// On x86-64 the probe goes through cpuid (__builtin_cpu_supports); on
-/// AArch64 through the HWCAP auxiliary vector. The result is immutable
-/// after the first call — dispatch decisions made from it are stable for
-/// the lifetime of the process.
+/// On x86-64 the probe goes through cpuid (__builtin_cpu_supports plus a
+/// raw leaf-7 query for the AVX-512 bits) and through XGETBV for the OS
+/// XSAVE state: AVX-512 dispatch requires not just the CPUID feature bits
+/// but an OS that saves/restores the ZMM and opmask register state, so
+/// both are probed and reported separately. On AArch64 the probe reads the
+/// HWCAP auxiliary vector. The result is immutable after the first call —
+/// dispatch decisions made from it are stable for the lifetime of the
+/// process.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +36,22 @@ struct CpuFeatures {
   /// contraction would change rounding and break the bit-identity
   /// contract with the scalar reference).
   bool FMA = false;
+
+  /// x86-64 AVX-512 Foundation (CPUID leaf 7 EBX bit 16): 512-bit FP
+  /// vectors and opmask registers.
+  bool AVX512F = false;
+
+  /// x86-64 AVX-512DQ (CPUID leaf 7 EBX bit 17). The "avx512" tier is
+  /// compiled with -mavx512f -mavx512dq and dispatch requires both bits.
+  bool AVX512DQ = false;
+
+  /// True when the OS has enabled the full AVX-512 register state: CPUID
+  /// leaf 1 ECX bit 27 (OSXSAVE) set and XGETBV(XCR0) reporting the SSE,
+  /// AVX, opmask, ZMM_Hi256, and Hi16_ZMM state components (mask 0xE6)
+  /// all enabled. Without this the ZMM registers are not preserved across
+  /// context switches and the avx512 tier must not be selected even when
+  /// the CPUID feature bits are present.
+  bool AVX512OS = false;
 
   /// AArch64 Advanced SIMD (NEON with 2-lane double support).
   bool NEON = false;

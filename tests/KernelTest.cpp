@@ -5,17 +5,23 @@
 //===----------------------------------------------------------------------===//
 //
 // Pins the determinism contract of sim/Kernels.h: every FP64 kernel the
-// dispatcher can select (scalar, AVX2+FMA, NEON) produces bit-identical
-// amplitudes for the same inputs — on interleaved statevectors and on SoA
-// panel planes, across panel widths, for butterfly and Z-diagonal paths,
-// from basis and from random starting states. The FP32 panel tier is held
-// to the same scalar-vs-SIMD bit-identity among its own implementations,
-// and to a tolerance band against FP64. On hosts whose best tier *is*
-// scalar the cross-tier comparisons still run (trivially); the contract
-// they pin is then enforced by the AVX2/NEON CI hosts.
+// dispatcher can select (scalar, AVX2+FMA, AVX-512, NEON) produces
+// bit-identical amplitudes for the same inputs — on interleaved
+// statevectors and on SoA panel planes, across panel widths, for
+// butterfly and Z-diagonal paths, from basis and from random starting
+// states, and at the short pivot runs (1, 2, 4) where the wide tiers
+// delegate down the precedence chain. The fused evolve+overlap tail must
+// reproduce the unfused sweep-then-overlapWith path bit for bit, and the
+// FP32 tier (panels and the interleaved walk) is held to the same
+// scalar-vs-SIMD bit-identity among its own implementations, plus a
+// tolerance band against FP64. On hosts whose best tier *is* scalar the
+// cross-tier comparisons still run (trivially); the contract they pin is
+// then enforced by the AVX2/AVX-512/NEON CI hosts.
 //
 //===----------------------------------------------------------------------===//
 
+#include "hamgen/Models.h"
+#include "sim/Fidelity.h"
 #include "sim/Kernels.h"
 #include "sim/StatePanel.h"
 #include "sim/StateVector.h"
@@ -138,12 +144,71 @@ std::vector<uint64_t> randomBasis(unsigned N, size_t Cols, RNG &Rng) {
 
 TEST(KernelDispatchTest, ActiveTierIsKnown) {
   const std::string Name = kernels::activeName();
-  EXPECT_TRUE(Name == "scalar" || Name == "avx2-fma" || Name == "neon")
+  EXPECT_TRUE(Name == "scalar" || Name == "avx2-fma" || Name == "avx512" ||
+              Name == "neon")
       << "unexpected kernel tier: " << Name;
-  if (kernels::forcedScalarByEnv()) {
+  if (kernels::forcedScalarByEnv() &&
+      kernels::tierOverrideFromEnv() == "scalar") {
     EXPECT_EQ(Name, "scalar");
   }
   EXPECT_STREQ(kernels::scalarOps().Name, "scalar");
+}
+
+TEST(KernelDispatchTest, AvailableOpsBestFirstScalarLast) {
+  const auto Tiers = kernels::availableOps();
+  ASSERT_FALSE(Tiers.empty());
+  EXPECT_STREQ(Tiers.back()->Name, "scalar");
+  // availableOps reflects the CPU, not the environment pin, so the best
+  // entry is what detectedName reports.
+  EXPECT_STREQ(Tiers.front()->Name, kernels::detectedName());
+  for (const kernels::Ops *Tier : Tiers)
+    EXPECT_EQ(kernels::findTier(Tier->Name), Tier);
+  EXPECT_EQ(kernels::findTier("not-a-tier"), nullptr);
+}
+
+TEST(KernelDispatchTest, KernelTierEnvironmentPinsNamedTier) {
+  DispatchRestorer Restore;
+  const char *Prev = std::getenv("MARQSIM_KERNEL_TIER");
+  const std::string Saved = Prev ? Prev : "";
+  for (const kernels::Ops *Tier : kernels::availableOps()) {
+    ASSERT_EQ(setenv("MARQSIM_KERNEL_TIER", Tier->Name, 1), 0);
+    EXPECT_EQ(kernels::tierOverrideFromEnv(), Tier->Name);
+    kernels::selectAuto();
+    EXPECT_STREQ(kernels::activeName(), Tier->Name);
+  }
+  if (Prev)
+    ASSERT_EQ(setenv("MARQSIM_KERNEL_TIER", Saved.c_str(), 1), 0);
+  else
+    ASSERT_EQ(unsetenv("MARQSIM_KERNEL_TIER"), 0);
+}
+
+TEST(KernelDispatchDeathTest, UnavailableTierPinFailsFast) {
+  // Death tests fork; "threadsafe" re-executes the binary so ThreadPool
+  // threads spawned by other suites can't deadlock the child.
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const char *Unavailable = nullptr;
+  for (const char *Cand : {"neon", "avx2-fma", "avx512"})
+    if (!kernels::findTier(Cand)) {
+      Unavailable = Cand;
+      break;
+    }
+  ASSERT_NE(Unavailable, nullptr)
+      << "host claims to run every tier — impossible ISA mix";
+  EXPECT_EXIT(
+      {
+        setenv("MARQSIM_KERNEL_TIER", Unavailable, 1);
+        kernels::selectAuto();
+        (void)kernels::active();
+      },
+      ::testing::ExitedWithCode(1), "not runnable on this host");
+  // Unknown names fail the same way, naming the runnable tiers.
+  EXPECT_EXIT(
+      {
+        setenv("MARQSIM_KERNEL_TIER", "turbo9000", 1);
+        kernels::selectAuto();
+        (void)kernels::active();
+      },
+      ::testing::ExitedWithCode(1), "not runnable on this host");
 }
 
 TEST(KernelDispatchTest, ForceScalarEnvironmentHonored) {
@@ -297,6 +362,239 @@ TEST(PrecisionTest, Fp32PhaseNarrowingIsExact) {
                 floatBits(static_cast<float>(Ph.at(X).imag())));
     }
   }
+}
+
+// Short pivot runs: a butterfly's contiguous run length equals its pivot
+// (the lowest X bit), and every wide tier delegates runs narrower than
+// its vector width down the precedence chain (AVX-512 F64 needs runs of
+// 4, AVX2 F64 runs of 2, and so on). Sweep single-X strings at every
+// qubit position on tiny registers — run lengths 1, 2, 4, 8 — across
+// every tier this host can run, for the FP64 and FP32 interleaved walks.
+TEST(KernelBitIdentityTest, ShortPivotRunsMatchScalarAcrossTiers) {
+  DispatchRestorer Restore;
+  RNG Rng(1234);
+  for (const kernels::Ops *Tier : kernels::availableOps()) {
+    for (unsigned N : {1u, 2u, 3u, 4u}) {
+      for (unsigned Q = 0; Q < N; ++Q) {
+        for (unsigned Variant = 0; Variant < 3; ++Variant) {
+          PauliString P;
+          P.setOp(Q, Variant == 1 ? PauliOpKind::Y : PauliOpKind::X);
+          if (Variant == 2 && N > 1) // phase-carrying high bit
+            P.setOp((Q + 1) % N, PauliOpKind::Z);
+          const double Theta = Rng.gaussian() * 0.6;
+
+          CVector Start = randomState(N, Rng);
+          CVector A = Start, B = Start;
+          applyThrough(kernels::scalarOps(), A, P, Theta);
+          applyThrough(*Tier, B, P, Theta);
+          ASSERT_TRUE(bitIdentical(A, B))
+              << "tier " << Tier->Name << ", " << N << " qubits, X at " << Q;
+
+          StateVectorF32::AmpVector FStart(size_t(1) << N);
+          for (auto &Amp : FStart)
+            Amp = std::complex<float>(static_cast<float>(Rng.gaussian()),
+                                      static_cast<float>(Rng.gaussian()));
+          kernels::selectTierForTesting(kernels::scalarOps());
+          StateVectorF32 FA(N, FStart);
+          FA.applyPauliExp(P, Theta);
+          kernels::selectTierForTesting(*Tier);
+          StateVectorF32 FB(N, FStart);
+          FB.applyPauliExp(P, Theta);
+          kernels::selectAuto();
+          for (size_t I = 0; I < FA.amplitudes().size(); ++I) {
+            ASSERT_EQ(floatBits(FA.amplitudes()[I].real()),
+                      floatBits(FB.amplitudes()[I].real()))
+                << "tier " << Tier->Name << ", fp32 amp " << I;
+            ASSERT_EQ(floatBits(FA.amplitudes()[I].imag()),
+                      floatBits(FB.amplitudes()[I].imag()))
+                << "tier " << Tier->Name << ", fp32 amp " << I;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Panels under every runnable tier (not just best-vs-scalar): the planes
+// must agree bitwise, including at one- and two-qubit dims.
+TEST(KernelBitIdentityTest, PanelKernelsMatchScalarAcrossAllTiers) {
+  DispatchRestorer Restore;
+  RNG Rng(8787);
+  for (unsigned N : {1u, 2u, 5u}) {
+    const auto Sched = mixedSchedule(N, Rng);
+    const auto Basis = randomBasis(N, 5, Rng);
+    kernels::selectTierForTesting(kernels::scalarOps());
+    StatePanel Scalar(N, Basis);
+    for (const auto &[P, Theta] : Sched)
+      Scalar.applyPauliExpAll(P, Theta);
+    for (const kernels::Ops *Tier : kernels::availableOps()) {
+      kernels::selectTierForTesting(*Tier);
+      StatePanel Simd(N, Basis);
+      for (const auto &[P, Theta] : Sched)
+        Simd.applyPauliExpAll(P, Theta);
+      ASSERT_TRUE(panelsBitIdentical(Scalar, Simd))
+          << "tier " << Tier->Name << ", " << N << " qubits";
+    }
+    kernels::selectAuto();
+  }
+}
+
+// The fused evolve+overlap tail vs the unfused sweep-then-overlapWith
+// path: panel planes and every per-column overlap must agree bit for bit,
+// for butterfly, diagonal, and identity tails, under every runnable tier.
+TEST(KernelBitIdentityTest, FusedOverlapMatchesUnfusedBitwise) {
+  DispatchRestorer Restore;
+  const unsigned N = 5;
+  RNG Rng(60606);
+  std::vector<PauliString> Tails(3);
+  Tails[0].setOp(2, PauliOpKind::X); // butterfly tail
+  Tails[0].setOp(0, PauliOpKind::Z);
+  Tails[1].setOp(1, PauliOpKind::Z); // diagonal tail
+  // Tails[2] stays the identity (global-phase tail).
+  for (size_t Cols : {size_t(1), size_t(3), size_t(8)}) {
+    const auto Basis = randomBasis(N, Cols, Rng);
+    std::vector<CVector> Targets;
+    for (size_t C = 0; C < Cols; ++C)
+      Targets.push_back(randomState(N, Rng));
+    const auto Pre = mixedSchedule(N, Rng);
+    for (const kernels::Ops *Tier : kernels::availableOps()) {
+      kernels::selectTierForTesting(*Tier);
+      for (const PauliString &Tail : Tails) {
+        const double Theta = 0.31;
+        StatePanel A(N, Basis), B(N, Basis);
+        for (unsigned I = 0; I < 4; ++I) {
+          A.applyPauliExpAll(Pre[I].first, Pre[I].second);
+          B.applyPauliExpAll(Pre[I].first, Pre[I].second);
+        }
+        A.applyPauliExpAll(Tail, Theta);
+        std::vector<Complex> Unfused(Cols);
+        for (size_t C = 0; C < Cols; ++C)
+          Unfused[C] = A.overlapWith(Targets[C], C);
+        TargetPanel Packed(Targets.data(), Cols, B.laneStride());
+        std::vector<Complex> Fused(Cols);
+        B.applyPauliExpAllFused(Tail, Theta, Packed, Fused.data());
+        ASSERT_TRUE(panelsBitIdentical(A, B))
+            << "tier " << Tier->Name << ", " << Cols << " columns";
+        for (size_t C = 0; C < Cols; ++C) {
+          ASSERT_EQ(serial::doubleBits(Unfused[C].real()),
+                    serial::doubleBits(Fused[C].real()))
+              << "tier " << Tier->Name << ", column " << C;
+          ASSERT_EQ(serial::doubleBits(Unfused[C].imag()),
+                    serial::doubleBits(Fused[C].imag()))
+              << "tier " << Tier->Name << ", column " << C;
+        }
+      }
+    }
+    kernels::selectAuto();
+  }
+}
+
+// The FP32 fused tail holds the same contract among FP32 implementations:
+// fused == unfused (overlaps accumulate in double either way), and every
+// tier == scalar, bit for bit.
+TEST(KernelBitIdentityTest, Fp32FusedOverlapMatchesUnfusedBitwise) {
+  DispatchRestorer Restore;
+  const unsigned N = 5;
+  RNG Rng(70707);
+  const size_t Cols = 5;
+  const auto Basis = randomBasis(N, Cols, Rng);
+  std::vector<CVector> Targets;
+  for (size_t C = 0; C < Cols; ++C)
+    Targets.push_back(randomState(N, Rng));
+  const auto Pre = mixedSchedule(N, Rng);
+  PauliString Tail;
+  Tail.setOp(3, PauliOpKind::Y);
+  Tail.setOp(1, PauliOpKind::X);
+  auto evalFused = [&](const kernels::Ops &Tier, std::vector<Complex> &Out,
+                       bool Fuse) {
+    kernels::selectTierForTesting(Tier);
+    StatePanelF32 Panel(N, Basis);
+    for (unsigned I = 0; I < 6; ++I)
+      Panel.applyPauliExpAll(Pre[I].first, Pre[I].second);
+    Out.assign(Cols, Complex(0.0, 0.0));
+    if (Fuse) {
+      TargetPanel Packed(Targets.data(), Cols, Panel.laneStride());
+      Panel.applyPauliExpAllFused(Tail, 0.41, Packed, Out.data());
+    } else {
+      Panel.applyPauliExpAll(Tail, 0.41);
+      for (size_t C = 0; C < Cols; ++C)
+        Out[C] = Panel.overlapWith(Targets[C], C);
+    }
+    kernels::selectAuto();
+  };
+  std::vector<Complex> ScalarUnfused;
+  evalFused(kernels::scalarOps(), ScalarUnfused, /*Fuse=*/false);
+  for (const kernels::Ops *Tier : kernels::availableOps()) {
+    for (bool Fuse : {false, true}) {
+      std::vector<Complex> Out;
+      evalFused(*Tier, Out, Fuse);
+      for (size_t C = 0; C < Cols; ++C) {
+        ASSERT_EQ(serial::doubleBits(ScalarUnfused[C].real()),
+                  serial::doubleBits(Out[C].real()))
+            << "tier " << Tier->Name << ", fused=" << Fuse << ", column "
+            << C;
+        ASSERT_EQ(serial::doubleBits(ScalarUnfused[C].imag()),
+                  serial::doubleBits(Out[C].imag()))
+            << "tier " << Tier->Name << ", fused=" << Fuse << ", column "
+            << C;
+      }
+    }
+  }
+}
+
+// The FP32 interleaved walk (the width-1 fidelity block) is bit-identical
+// to a width-1 FP32 panel column: both mirror the same scalar arithmetic,
+// so the production mix of walk and panel blocks stays self-consistent.
+TEST(KernelBitIdentityTest, Fp32WalkMatchesWidthOnePanelColumn) {
+  const unsigned N = 6;
+  RNG Rng(141414);
+  const auto Sched = mixedSchedule(N, Rng);
+  const uint64_t Basis = 23;
+  StateVectorF32 Walk(N, Basis);
+  StatePanelF32 Panel(N, std::vector<uint64_t>{Basis});
+  for (const auto &[P, Theta] : Sched) {
+    Walk.applyPauliExp(P, Theta);
+    Panel.applyPauliExpAll(P, Theta);
+  }
+  for (uint64_t X = 0; X < Walk.amplitudes().size(); ++X) {
+    ASSERT_EQ(floatBits(Walk.amplitudes()[X].real()),
+              floatBits(static_cast<float>(Panel.at(0, X).real())))
+        << "amp " << X;
+    ASSERT_EQ(floatBits(Walk.amplitudes()[X].imag()),
+              floatBits(static_cast<float>(Panel.at(0, X).imag())))
+        << "amp " << X;
+  }
+  // And the walk's target overlap runs the panel's ascending double chain.
+  const CVector Target = randomState(N, Rng);
+  EXPECT_EQ(serial::doubleBits(Walk.overlapWithTarget(Target).real()),
+            serial::doubleBits(Panel.overlapWith(Target, 0).real()));
+  EXPECT_EQ(serial::doubleBits(Walk.overlapWithTarget(Target).imag()),
+            serial::doubleBits(Panel.overlapWith(Target, 0).imag()));
+}
+
+// End to end: a 17-column fidelity evaluation (two fused panel blocks
+// plus the width-1 walk tail) under live dispatch must reproduce a serial
+// single-state replay bit for bit, for every EvalJobs fan-out.
+TEST(KernelBitIdentityTest, FidelityWithFusedTailMatchesSerialReference) {
+  Hamiltonian H = makeHeisenbergXXZ(6, 1.0, 0.8, 0.6, 0.3);
+  const double T = 0.7;
+  std::vector<ScheduledRotation> Schedule;
+  for (const auto &Term : H.terms())
+    Schedule.emplace_back(Term.String, Term.Coeff * T);
+  FidelityEvaluator Eval(H, T, /*NumColumns=*/17, /*Seed=*/11);
+  ASSERT_EQ(Eval.numColumns(), 17u);
+  Complex Acc = 0.0;
+  for (size_t C = 0; C < Eval.numColumns(); ++C) {
+    StateVector SV(Eval.numQubits(), Eval.columns()[C]);
+    for (const ScheduledRotation &Step : Schedule)
+      SV.applyPauliExp(Step.String, Step.Tau);
+    Acc += innerProduct(Eval.targets()[C], SV.amplitudes());
+  }
+  const double Ref = std::abs(Acc) / 17.0;
+  EXPECT_EQ(serial::doubleBits(Ref),
+            serial::doubleBits(Eval.fidelity(Schedule, 1)));
+  EXPECT_EQ(serial::doubleBits(Ref),
+            serial::doubleBits(Eval.fidelity(Schedule, 4)));
 }
 
 // Satellite: amplitude storage is 64-byte aligned everywhere the kernels

@@ -469,6 +469,9 @@ int main(int Argc, char **Argv) {
               << " total=" << R.Counts.total()
               << " depth=" << R.Circ.depth() << "\n";
     std::cerr << "kernels: " << SimulationService::kernelName()
+              << " detected=" << SimulationService::detectedKernelName()
+              << " avx512-os="
+              << (SimulationService::avx512OsEnabled() ? "yes" : "no")
               << " precision=" << precisionName(Spec->Precision) << "\n";
     if (Spec->Noise.enabled())
       std::cerr << "noise: " << noiseChannelName(Spec->Noise.Kind)
