@@ -1,0 +1,273 @@
+//===- bench/bench_fleet_scaling.cpp - Cross-host fabric scaling --------------===//
+//
+// Part of the MarQSim reproduction, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures what the networked shard fabric buys: one fleet batch
+// dispatched over 1, 2, and 4 loopback marqsim-daemon workers, cold
+// (fresh worker stores — the coordinator pushes every artifact over the
+// wire) and warm (worker stores already hold the batch's artifacts —
+// every probe hits and no bytes move). Reports per configuration, as
+// CSV on stdout:
+//
+//   phase,workers,shots,shards,wall_s,ranges_dispatched,redispatched,
+//   fetch_hits,fetch_misses,artifact_bytes,eval_cpu_s,batch_hash
+//
+// plus one "worker" row per fleet member with its dispatch counters and
+// evaluation CPU-seconds, so load balance across the fleet is visible.
+//
+// The run is exit-gated on the fabric's contracts, not just wall-clock:
+//   * every batch hash across all six runs is identical (the fleet
+//     merge is bit-exact for any worker count and phase),
+//   * each cold run performs exactly ONE gate-cancellation MCFP solve
+//     fleet-wide (coordinator prewarm; zero worker solves), and
+//   * the warm 4-worker batch beats the warm 1-worker batch by at
+//     least --min-speedup (default 1.5x; pass 0 to skip). The gate is
+//     skipped automatically on hosts with fewer than 4 hardware
+//     threads — loopback workers share the host CPU, so no wall-clock
+//     scaling is physically available there.
+// Violations exit 1.
+//
+// Flags: --shots=N (32) --shards=K (8) --columns=C (2) --time=T (0.5)
+//        --epsilon=E (0.01) --seed=S (31337) --min-speedup=X (1.5)
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Daemon.h"
+#include "shard/ShardCoordinator.h"
+#include "support/CommandLine.h"
+#include "support/Timer.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace marqsim;
+
+namespace {
+
+/// A 10-qubit register: the evaluation state vector is 1024-dim, so a
+/// shot costs enough that dispatch overhead cannot hide the scaling.
+Hamiltonian benchHamiltonian() {
+  return Hamiltonian::parse({{1.0, "IIZYIIIXZI"},
+                             {0.8, "XXIIZZIIIY"},
+                             {0.6, "ZXZYIIXYII"},
+                             {0.5, "IIXXIIZZYI"},
+                             {0.4, "IZZXYIIIIZ"},
+                             {0.3, "YIIZXZIXII"},
+                             {0.2, "XYYZIIZIIX"}});
+}
+
+/// An in-process loopback worker: a resident daemon on an ephemeral
+/// port with its serve() loop on a thread, modelling one remote host.
+struct Worker {
+  SimulationService Service;
+  server::Daemon D;
+  std::thread Server;
+  bool Started = false;
+
+  Worker() : D(Service, {}) {
+    std::string Error;
+    Started = D.start(&Error);
+    if (!Started)
+      std::fprintf(stderr, "error: worker start failed: %s\n",
+                   Error.c_str());
+    else
+      Server = std::thread([this] { D.serve(); });
+  }
+  ~Worker() {
+    if (Server.joinable()) {
+      D.notifyShutdown();
+      Server.join();
+    }
+  }
+  std::string hostPort() const {
+    return "127.0.0.1:" + std::to_string(D.port());
+  }
+};
+
+std::string freshDir(const std::string &Name) {
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / Name).string();
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+struct RunRow {
+  double WallSeconds = 0.0;
+  uint64_t BatchHash = 0;
+  ShardReport Report;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine CL(Argc, Argv);
+  const int64_t Shots = CL.getInt("shots", 32);
+  const int64_t Shards = CL.getInt("shards", 8);
+  const int64_t Columns = CL.getInt("columns", 2);
+  const double MinSpeedup = CL.getDouble("min-speedup", 1.5);
+  if (Shots <= 0 || Shards <= 0 || Columns < 0) {
+    std::fprintf(stderr, "error: --shots/--shards must be positive\n");
+    return 1;
+  }
+
+  TaskSpec Spec;
+  Spec.Source = HamiltonianSource::fromHamiltonian(benchHamiltonian());
+  Spec.Mix = *ChannelMix::preset("gc");
+  Spec.Time = CL.getDouble("time", 0.5);
+  Spec.Epsilon = CL.getDouble("epsilon", 0.01);
+  Spec.Shots = static_cast<size_t>(Shots);
+  Spec.Seed = static_cast<uint64_t>(CL.getInt("seed", 31337));
+  Spec.Evaluate.FidelityColumns = static_cast<size_t>(Columns);
+  // One compile/eval thread per worker: each loopback daemon models one
+  // remote host contributing one core, so the fleet's scaling comes from
+  // worker count alone instead of shot-level threads inside one daemon
+  // (which would saturate the machine at W=1 and flatten the curve).
+  Spec.Jobs = static_cast<unsigned>(CL.getInt("jobs", 1));
+  Spec.EvalJobs = Spec.Jobs;
+
+  std::printf("phase,workers,shots,shards,wall_s,ranges_dispatched,"
+              "redispatched,fetch_hits,fetch_misses,artifact_bytes,"
+              "eval_cpu_s,batch_hash\n");
+
+  std::set<uint64_t> Hashes;
+  double WarmWall1 = 0.0, WarmWall4 = 0.0;
+  bool Ok = true;
+
+  for (unsigned W : {1u, 2u, 4u}) {
+    // One fleet per worker count; the warm phase reuses its daemons and
+    // the coordinator-side service, so only dispatch and evaluation
+    // remain on the clock.
+    std::vector<std::unique_ptr<Worker>> Fleet;
+    std::vector<std::string> HostPorts;
+    for (unsigned I = 0; I < W; ++I) {
+      Fleet.push_back(std::make_unique<Worker>());
+      if (!Fleet.back()->Started)
+        return 1;
+      HostPorts.push_back(Fleet.back()->hostPort());
+    }
+    SimulationService Coordinator;
+
+    for (const char *Phase : {"cold", "warm"}) {
+      ShardOptions Options;
+      Options.ShardCount = static_cast<unsigned>(Shards);
+      Options.WorkDir = freshDir("fleet_bench_" + std::to_string(W) + "_" +
+                                 Phase);
+      Options.Workers = HostPorts;
+      Options.SharedService = &Coordinator;
+
+      RunRow Row;
+      std::string Error;
+      Timer Wall;
+      std::optional<TaskResult> Merged =
+          ShardCoordinator(Options).run(Spec, &Error, &Row.Report);
+      Row.WallSeconds = Wall.seconds();
+      if (!Merged) {
+        std::fprintf(stderr, "error: %s fleet of %u failed: %s\n", Phase, W,
+                     Error.c_str());
+        return 1;
+      }
+      Row.BatchHash = Merged->Batch.batchHash();
+      Hashes.insert(Row.BatchHash);
+
+      size_t Dispatched = 0, Redispatched = 0, Hits = 0, Misses = 0;
+      size_t Bytes = 0;
+      double EvalSeconds = 0.0;
+      for (const FleetWorkerStats &WS : Row.Report.Fleet.Workers) {
+        Dispatched += WS.RangesDispatched;
+        Redispatched += WS.RangesRedispatched;
+        Hits += WS.FetchHits;
+        Misses += WS.FetchMisses;
+        Bytes += WS.ArtifactBytesServed;
+        EvalSeconds += WS.EvalSeconds;
+      }
+      std::printf("%s,%u,%" PRId64 ",%" PRId64
+                  ",%.4f,%zu,%zu,%zu,%zu,%zu,%.4f,%016" PRIx64 "\n",
+                  Phase, W, Shots, Shards, Row.WallSeconds, Dispatched,
+                  Redispatched, Hits, Misses, Bytes, EvalSeconds,
+                  Row.BatchHash);
+      for (const FleetWorkerStats &WS : Row.Report.Fleet.Workers)
+        std::printf("worker,%s,%u,%s,%zu,%zu,%zu,%zu,%zu,%.4f,%s\n", Phase,
+                    W, WS.HostPort.c_str(), WS.RangesDispatched,
+                    WS.RangesRedispatched, WS.FetchHits, WS.FetchMisses,
+                    WS.ArtifactBytesServed, WS.EvalSeconds,
+                    WS.Alive ? "alive" : "dead");
+
+      const bool Cold = Phase[0] == 'c';
+      if (Cold) {
+        // The one-solve contract is exact and noise-free: the
+        // coordinator's prewarm is the only MCFP solve fleet-wide.
+        if (Row.Report.LocalStats.GCSolveMisses != 1 ||
+            Row.Report.WorkerStats.GCSolveMisses != 0) {
+          std::fprintf(stderr,
+                       "error: cold fleet of %u solved %zu+%zu times, "
+                       "want 1+0\n",
+                       W, Row.Report.LocalStats.GCSolveMisses,
+                       Row.Report.WorkerStats.GCSolveMisses);
+          Ok = false;
+        }
+        if (Misses == 0 || Bytes == 0) {
+          std::fprintf(stderr,
+                       "error: cold fleet of %u pushed no artifacts\n", W);
+          Ok = false;
+        }
+      } else {
+        if (Hits == 0 || Misses != 0) {
+          std::fprintf(stderr,
+                       "error: warm fleet of %u re-fetched artifacts "
+                       "(hits=%zu misses=%zu)\n",
+                       W, Hits, Misses);
+          Ok = false;
+        }
+        if (W == 1)
+          WarmWall1 = Row.WallSeconds;
+        if (W == 4)
+          WarmWall4 = Row.WallSeconds;
+      }
+      if (Redispatched != 0) {
+        std::fprintf(stderr,
+                     "error: loopback fleet of %u re-dispatched %zu "
+                     "ranges\n",
+                     W, Redispatched);
+        Ok = false;
+      }
+    }
+  }
+
+  if (Hashes.size() != 1) {
+    std::fprintf(stderr,
+                 "error: batch hash varied across worker counts/phases "
+                 "(%zu distinct)\n",
+                 Hashes.size());
+    Ok = false;
+  }
+  // A loopback fleet shares the host's cores, so the wall-clock gate is
+  // only meaningful when there are enough of them to scale into.
+  const unsigned Cores = std::thread::hardware_concurrency();
+  if (Cores < 4) {
+    std::fprintf(stderr,
+                 "note: %u hardware thread(s); skipping the %.2fx warm "
+                 "speedup gate (loopback workers share the host CPU)\n",
+                 Cores, MinSpeedup);
+  } else if (MinSpeedup > 0.0 && WarmWall4 > 0.0 &&
+             WarmWall1 < MinSpeedup * WarmWall4) {
+    std::fprintf(stderr,
+                 "error: warm 4-worker speedup %.2fx below the %.2fx "
+                 "gate (1w %.4fs, 4w %.4fs)\n",
+                 WarmWall1 / WarmWall4, MinSpeedup, WarmWall1, WarmWall4);
+    Ok = false;
+  }
+  if (Ok)
+    std::fprintf(stderr,
+                 "fleet scaling ok: warm 1w %.4fs -> 4w %.4fs (%.2fx)\n",
+                 WarmWall1, WarmWall4, WarmWall1 / WarmWall4);
+  return Ok ? 0 : 1;
+}

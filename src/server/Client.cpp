@@ -9,19 +9,32 @@
 #include "shard/ShardCoordinator.h"
 #include "shard/ShardManifest.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace marqsim {
 namespace server {
 
 std::optional<DaemonClient> DaemonClient::connectTo(const std::string &HostPort,
-                                                    std::string *Error) {
+                                                    std::string *Error,
+                                                    ConnectOptions Opts) {
   std::string Host;
   uint16_t Port = 0;
   if (!parseHostPort(HostPort, Host, Port, Error))
     return std::nullopt;
-  std::optional<Socket> Sock = Socket::connectTo(Host, Port, Error);
-  if (!Sock)
-    return std::nullopt;
-  return DaemonClient(std::move(*Sock));
+  const unsigned Attempts = std::max(1u, Opts.Attempts);
+  unsigned Delay = std::max(1u, Opts.DelayMs);
+  const unsigned MaxDelay = std::max(Opts.MaxDelayMs, Delay);
+  for (unsigned Attempt = 1;; ++Attempt) {
+    std::optional<Socket> Sock = Socket::connectTo(Host, Port, Error);
+    if (Sock)
+      return DaemonClient(std::move(*Sock));
+    if (Attempt >= Attempts)
+      return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
+    Delay = std::min(Delay * 2, MaxDelay);
+  }
 }
 
 std::optional<Frame>
@@ -192,6 +205,140 @@ bool DaemonClient::health(std::string *Error) {
 bool DaemonClient::shutdownServer(std::string *Error) {
   std::optional<Frame> F = roundTrip(encodeFrame("shutdown"), "ok", Error);
   return F.has_value();
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-host fabric
+//===----------------------------------------------------------------------===//
+
+std::optional<bool> DaemonClient::probeArtifact(const ArtifactKey &Key,
+                                                std::string *Error) {
+  json::Value Body = json::Value::object()
+                         .set("atype", artifactTypeName(Key.Type))
+                         .set("id", Key.Id)
+                         .set("probe", true);
+  std::optional<Frame> F =
+      roundTrip(encodeFrame("artifact-get", std::move(Body)), "artifact",
+                Error);
+  if (!F)
+    return std::nullopt;
+  const json::Value *Found = F->Body.find("found");
+  return Found && Found->asBool();
+}
+
+std::optional<std::string> DaemonClient::getArtifact(const ArtifactKey &Key,
+                                                     std::string *Error) {
+  json::Value Body = json::Value::object()
+                         .set("atype", artifactTypeName(Key.Type))
+                         .set("id", Key.Id);
+  std::optional<Frame> F =
+      roundTrip(encodeFrame("artifact-get", std::move(Body)), "artifact",
+                Error);
+  if (!F)
+    return std::nullopt;
+  const json::Value *BodyText = F->Body.find("body");
+  if (!BodyText || !BodyText->isString()) {
+    detail::fail(Error, "artifact frame missing body");
+    return std::nullopt;
+  }
+  return BodyText->asString();
+}
+
+std::optional<bool> DaemonClient::putArtifact(const json::Value &SpecJson,
+                                              const ArtifactKey &Key,
+                                              const std::string &Body,
+                                              std::string *Error) {
+  json::Value Frame = json::Value::object()
+                          .set("spec", SpecJson)
+                          .set("atype", artifactTypeName(Key.Type))
+                          .set("id", Key.Id)
+                          .set("body", Body);
+  std::optional<server::Frame> F =
+      roundTrip(encodeFrame("artifact-put", std::move(Frame)), "ok", Error);
+  if (!F)
+    return std::nullopt;
+  const json::Value *Stored = F->Body.find("stored");
+  return Stored && Stored->asBool();
+}
+
+std::optional<std::string>
+DaemonClient::runShardRange(const json::Value &SpecJson,
+                            const ShotRange &Range, uint64_t DeadlineMs,
+                            bool *TransportFailure, std::string *Error) {
+  if (TransportFailure)
+    *TransportFailure = false;
+  json::Value Body = json::Value::object();
+  Body.set("spec", SpecJson);
+  Body.set("begin", static_cast<int64_t>(Range.Begin));
+  Body.set("count", static_cast<int64_t>(Range.Count));
+  if (DeadlineMs)
+    Body.set("deadline_ms", static_cast<int64_t>(DeadlineMs));
+
+  // Hand-rolled instead of roundTrip: the coordinator must distinguish a
+  // dead worker (drop it, requeue the range for free) from a live worker
+  // reporting failure (charge the range an attempt), and roundTrip folds
+  // both into one failure path.
+  if (!Sock.sendAll(encodeFrame("shard-submit", std::move(Body)), Error)) {
+    if (TransportFailure)
+      *TransportFailure = true;
+    return std::nullopt;
+  }
+  std::string Line;
+  for (;;) {
+    Socket::ReadStatus Status =
+        Sock.readLine(Line, MaxResponseFrameBytes, Error);
+    if (Status != Socket::ReadStatus::Line) {
+      if (TransportFailure)
+        *TransportFailure = true;
+      detail::fail(Error, Status == Socket::ReadStatus::Timeout
+                              ? "worker timed out"
+                              : "worker connection lost");
+      return std::nullopt;
+    }
+    std::string Code, Message;
+    std::optional<Frame> F = decodeFrame(Line, &Code, &Message);
+    if (!F) {
+      // The line framing held but the stream is garbled; it cannot be
+      // resynchronized, so the worker is as good as dead.
+      if (TransportFailure)
+        *TransportFailure = true;
+      detail::fail(Error, "bad frame from worker: " + Message);
+      return std::nullopt;
+    }
+    if (F->Type == "error") {
+      const json::Value *C = F->Body.find("code");
+      const json::Value *M = F->Body.find("message");
+      detail::fail(Error,
+                   "worker error [" +
+                       (C && C->isString() ? C->asString()
+                                           : std::string("?")) +
+                       "]: " +
+                       (M && M->isString() ? M->asString()
+                                           : std::string()));
+      return std::nullopt;
+    }
+    if (F->Type == "accepted")
+      continue;
+    if (F->Type != "shard-result")
+      continue; // unrelated interleaved frames are consumed
+    const json::Value *State = F->Body.find("state");
+    if (!State || !State->isString() || State->asString() != "done") {
+      const json::Value *M = F->Body.find("error");
+      detail::fail(Error,
+                   "worker range " +
+                       (State && State->isString() ? State->asString()
+                                                   : std::string("failed")) +
+                       (M && M->isString() ? ": " + M->asString()
+                                           : std::string()));
+      return std::nullopt;
+    }
+    const json::Value *Manifest = F->Body.find("manifest");
+    if (!Manifest || !Manifest->isString()) {
+      detail::fail(Error, "shard-result frame missing manifest");
+      return std::nullopt;
+    }
+    return Manifest->asString();
+  }
 }
 
 } // namespace server

@@ -331,6 +331,171 @@ void Daemon::handleConnection(const std::shared_ptr<Connection> &Conn) {
       Conn->send(encodeFrame("ok", json::Value::object()
                                        .set("shutdown", true)));
       notifyShutdown();
+    } else if (F->Type == "shard-submit") {
+      Fabric.ShardSubmits.fetch_add(1, std::memory_order_relaxed);
+      const json::Value *SpecJson = F->Body.find("spec");
+      std::string Error;
+      std::optional<TaskSpec> Spec;
+      if (!SpecJson)
+        Error = "shard-submit frame missing 'spec'";
+      else
+        Spec = TaskSpec::fromJson(*SpecJson, &Error);
+      if (!Spec) {
+        Conn->send(errorFrame("bad-spec", Error));
+        continue;
+      }
+      const json::Value *Begin = F->Body.find("begin");
+      const json::Value *Count = F->Body.find("count");
+      if (!Begin || Begin->kind() != json::Value::Kind::Int ||
+          Begin->asInt() < 0 || !Count ||
+          Count->kind() != json::Value::Kind::Int || Count->asInt() <= 0) {
+        Conn->send(errorFrame(
+            "bad-frame",
+            "shard-submit needs integer 'begin' >= 0 and 'count' > 0"));
+        continue;
+      }
+      ShotRange Range{static_cast<size_t>(Begin->asInt()),
+                      static_cast<size_t>(Count->asInt())};
+      // Mirror the single-host worker path (ShardCoordinator::runShard):
+      // per-shot extras cannot travel through a manifest, so the worker
+      // never computes them. contentKey ignores these flags, so the
+      // manifest's SpecKey still matches the coordinator's spec.
+      Spec->Evaluate.ExportShotZero = false;
+      Spec->Evaluate.KeepResults = false;
+      Spec->Evaluate.DumpDot = false;
+
+      uint64_t DeadlineMs = 0;
+      if (const json::Value *D = F->Body.find("deadline_ms"))
+        if (D->kind() == json::Value::Kind::Int && D->asInt() > 0)
+          DeadlineMs = static_cast<uint64_t>(D->asInt());
+
+      SubmitReject Reject = SubmitReject::None;
+      uint64_t Id = Sched.submit(std::move(*Spec), ClientKey, &Reject,
+                                 &Error, nullptr, DeadlineMs, Range);
+      if (!Id) {
+        const char *RejectCode =
+            Reject == SubmitReject::QueueFull
+                ? "queue-full"
+                : Reject == SubmitReject::Draining ? "draining" : "bad-spec";
+        Conn->send(errorFrame(RejectCode, Error));
+        continue;
+      }
+      Conn->send(encodeFrame(
+          "accepted",
+          json::Value::object().set("id", static_cast<int64_t>(Id))));
+      // Block until the range is terminal: the fleet coordinator drives
+      // one range per connection at a time and waits for the manifest.
+      std::optional<RequestOutcome> Out = Sched.wait(Id);
+      json::Value Body = json::Value::object();
+      Body.set("id", static_cast<int64_t>(Id));
+      if (!Out) {
+        Body.set("state", "failed");
+        Body.set("error", "request evicted before its result was read");
+      } else if (Out->State != RequestState::Done) {
+        Body.set("state", stateName(Out->State));
+        Body.set("error", Out->Error);
+      } else {
+        Body.set("state", stateName(Out->State));
+        ShardManifest Manifest =
+            ShardManifest::fromTaskResult(*Out->Spec, Range, *Out->Result);
+        Body.set("manifest", Manifest.serialize());
+      }
+      Fabric.ShardResults.fetch_add(1, std::memory_order_relaxed);
+      Conn->send(encodeFrame("shard-result", std::move(Body)));
+    } else if (F->Type == "artifact-get") {
+      Fabric.ArtifactGets.fetch_add(1, std::memory_order_relaxed);
+      const json::Value *TypeName = F->Body.find("atype");
+      const json::Value *IdVal = F->Body.find("id");
+      std::optional<ArtifactType> Type;
+      if (TypeName && TypeName->isString())
+        Type = artifactTypeFromName(TypeName->asString());
+      if (!Type || !IdVal || !IdVal->isString() ||
+          IdVal->asString().empty()) {
+        Conn->send(errorFrame("bad-frame",
+                              "artifact-get needs a known 'atype' and a "
+                              "non-empty 'id'"));
+        continue;
+      }
+      bool Probe = false;
+      if (const json::Value *P = F->Body.find("probe"))
+        Probe = P->asBool();
+      ArtifactKey Key{*Type, IdVal->asString()};
+      // Never computes: a daemon serves only artifacts it has already
+      // materialized, so a client cannot farm out solves for free.
+      std::optional<std::string> BodyText = Service.exportArtifactBody(Key);
+      if (Probe) {
+        if (BodyText)
+          Fabric.ArtifactHits.fetch_add(1, std::memory_order_relaxed);
+        Conn->send(
+            encodeFrame("artifact",
+                        json::Value::object()
+                            .set("atype", artifactTypeName(*Type))
+                            .set("id", Key.Id)
+                            .set("found", static_cast<bool>(BodyText))));
+        continue;
+      }
+      if (!BodyText) {
+        Conn->send(errorFrame("not-found",
+                              "artifact '" + Key.Id +
+                                  "' is not materialized on this daemon"));
+        continue;
+      }
+      Fabric.ArtifactHits.fetch_add(1, std::memory_order_relaxed);
+      Fabric.ArtifactBytesOut.fetch_add(BodyText->size(),
+                                        std::memory_order_relaxed);
+      Conn->send(encodeFrame("artifact",
+                             json::Value::object()
+                                 .set("atype", artifactTypeName(*Type))
+                                 .set("id", Key.Id)
+                                 .set("found", true)
+                                 .set("body", *BodyText)));
+    } else if (F->Type == "artifact-put") {
+      Fabric.ArtifactPuts.fetch_add(1, std::memory_order_relaxed);
+      const json::Value *SpecJson = F->Body.find("spec");
+      std::string Error;
+      std::optional<TaskSpec> Spec;
+      if (!SpecJson)
+        Error = "artifact-put frame missing 'spec'";
+      else
+        Spec = TaskSpec::fromJson(*SpecJson, &Error);
+      if (!Spec) {
+        Conn->send(errorFrame("bad-spec", Error));
+        continue;
+      }
+      const json::Value *TypeName = F->Body.find("atype");
+      const json::Value *IdVal = F->Body.find("id");
+      const json::Value *BodyVal = F->Body.find("body");
+      std::optional<ArtifactType> Type;
+      if (TypeName && TypeName->isString())
+        Type = artifactTypeFromName(TypeName->asString());
+      if (!Type || !IdVal || !IdVal->isString() ||
+          IdVal->asString().empty() || !BodyVal || !BodyVal->isString()) {
+        Conn->send(errorFrame("bad-frame",
+                              "artifact-put needs a known 'atype', a "
+                              "non-empty 'id', and a string 'body'"));
+        continue;
+      }
+      ArtifactKey Key{*Type, IdVal->asString()};
+      const std::string &BodyText = BodyVal->asString();
+      std::optional<ArtifactImport> Import =
+          Service.importArtifact(*Spec, Key, BodyText, &Error);
+      if (!Import) {
+        // Unknown key for the spec or an undecodable body; either way
+        // nothing entered the cache.
+        Conn->send(errorFrame("bad-spec", Error));
+        continue;
+      }
+      if (*Import == ArtifactImport::Inserted) {
+        Fabric.ArtifactMisses.fetch_add(1, std::memory_order_relaxed);
+        Fabric.ArtifactBytesIn.fetch_add(BodyText.size(),
+                                         std::memory_order_relaxed);
+      } else {
+        Fabric.ArtifactHits.fetch_add(1, std::memory_order_relaxed);
+      }
+      Conn->send(encodeFrame(
+          "ok", json::Value::object()
+                    .set("id", Key.Id)
+                    .set("stored", *Import == ArtifactImport::Inserted)));
     } else {
       Conn->send(errorFrame("unknown-type",
                             "unknown frame type '" + F->Type + "'"));
@@ -358,6 +523,17 @@ json::Value Daemon::statsJson() const {
   // marqsim-server-stats-v1 consumers parse unchanged.
   V.set("kernel", SimulationService::kernelName());
   V.set("kernels", kernelDispatchJson());
+  FabricServerStats FS;
+  FS.ShardSubmits = Fabric.ShardSubmits.load(std::memory_order_relaxed);
+  FS.ShardResults = Fabric.ShardResults.load(std::memory_order_relaxed);
+  FS.ArtifactGets = Fabric.ArtifactGets.load(std::memory_order_relaxed);
+  FS.ArtifactPuts = Fabric.ArtifactPuts.load(std::memory_order_relaxed);
+  FS.ArtifactHits = Fabric.ArtifactHits.load(std::memory_order_relaxed);
+  FS.ArtifactMisses = Fabric.ArtifactMisses.load(std::memory_order_relaxed);
+  FS.ArtifactBytesIn = Fabric.ArtifactBytesIn.load(std::memory_order_relaxed);
+  FS.ArtifactBytesOut =
+      Fabric.ArtifactBytesOut.load(std::memory_order_relaxed);
+  V.set("fabric", fabricStatsJson(FS));
   return V;
 }
 

@@ -95,6 +95,20 @@ public:
 private:
   struct Connection;
 
+  /// Cross-host fabric accounting (serialized by Protocol.h's
+  /// fabricStatsJson into the stats frame's "fabric" section). Atomics:
+  /// every connection handler bumps these concurrently.
+  struct FabricCounters {
+    std::atomic<size_t> ShardSubmits{0};
+    std::atomic<size_t> ShardResults{0};
+    std::atomic<size_t> ArtifactGets{0};
+    std::atomic<size_t> ArtifactPuts{0};
+    std::atomic<size_t> ArtifactHits{0};
+    std::atomic<size_t> ArtifactMisses{0};
+    std::atomic<size_t> ArtifactBytesIn{0};
+    std::atomic<size_t> ArtifactBytesOut{0};
+  };
+
   void acceptLoop();
   void handleConnection(const std::shared_ptr<Connection> &Conn);
   void reapFinishedLocked();
@@ -112,6 +126,8 @@ private:
   mutable std::mutex ConnMutex;
   std::vector<std::shared_ptr<Connection>> Connections;
   uint64_t NextConnId = 1;
+
+  FabricCounters Fabric;
 };
 
 } // namespace server

@@ -169,5 +169,50 @@ json::Value runStatsJson(const TaskSpec &Spec, const TaskResult &Result,
   return V;
 }
 
+json::Value fleetStatsJson(const FleetStats &S) {
+  json::Value Workers = json::Value::array();
+  size_t Dispatched = 0, Redispatched = 0, Hits = 0, Misses = 0, Bytes = 0;
+  size_t Dead = 0;
+  for (const FleetWorkerStats &W : S.Workers) {
+    Dispatched += W.RangesDispatched;
+    Redispatched += W.RangesRedispatched;
+    Hits += W.FetchHits;
+    Misses += W.FetchMisses;
+    Bytes += W.ArtifactBytesServed;
+    if (!W.Alive)
+      ++Dead;
+    Workers.push(json::Value::object()
+                     .set("worker", W.HostPort)
+                     .set("alive", W.Alive)
+                     .set("ranges_dispatched", W.RangesDispatched)
+                     .set("ranges_redispatched", W.RangesRedispatched)
+                     .set("fetch_hits", W.FetchHits)
+                     .set("fetch_misses", W.FetchMisses)
+                     .set("artifact_bytes_served", W.ArtifactBytesServed)
+                     .set("eval_seconds", W.EvalSeconds));
+  }
+  return json::Value::object()
+      .set("workers", S.Workers.size())
+      .set("dead_workers", Dead)
+      .set("ranges_dispatched", Dispatched)
+      .set("ranges_redispatched", Redispatched)
+      .set("fetch_hits", Hits)
+      .set("fetch_misses", Misses)
+      .set("artifact_bytes_served", Bytes)
+      .set("per_worker", std::move(Workers));
+}
+
+json::Value fabricStatsJson(const FabricServerStats &S) {
+  return json::Value::object()
+      .set("shard_submits", S.ShardSubmits)
+      .set("shard_results", S.ShardResults)
+      .set("artifact_gets", S.ArtifactGets)
+      .set("artifact_puts", S.ArtifactPuts)
+      .set("artifact_hits", S.ArtifactHits)
+      .set("artifact_misses", S.ArtifactMisses)
+      .set("artifact_bytes_in", S.ArtifactBytesIn)
+      .set("artifact_bytes_out", S.ArtifactBytesOut);
+}
+
 } // namespace server
 } // namespace marqsim

@@ -11,19 +11,36 @@
 ///
 /// Request frames (client -> daemon):
 ///
-///   type      | body                                     | response
-///   ----------+------------------------------------------+----------------
-///   submit    | spec (TaskSpec::toJson), stream?,        | accepted, then
-///             | deadline_ms?                             | shot* + result
-///   status    | id                                       | status
-///   result    | id (blocks until the task is terminal)   | result
-///   cancel    | id                                       | ok
-///   health    | —                                        | health
-///   stats     | —                                        | stats
-///   shutdown  | —                                        | ok, then drain
+///   type         | body                                   | response
+///   -------------+----------------------------------------+----------------
+///   submit       | spec (TaskSpec::toJson), stream?,      | accepted, then
+///                | deadline_ms?                           | shot* + result
+///   status       | id                                     | status
+///   result       | id (blocks until the task is terminal) | result
+///   cancel       | id                                     | ok
+///   health       | —                                      | health
+///   stats        | —                                      | stats
+///   shutdown     | —                                      | ok, then drain
+///   shard-submit | spec, begin, count, deadline_ms?       | accepted, then
+///                |                                        | shard-result
+///   artifact-get | atype, id, probe?                      | artifact
+///   artifact-put | spec, atype, id, body                  | ok
 ///
 /// Response frames: accepted, status, shot (streamed per-chunk shot
-/// summaries + fidelity hexes), result, ok, health, stats, error.
+/// summaries + fidelity hexes), result, shard-result (manifest text for
+/// one dispatched range), artifact (probe answer or encoded body), ok,
+/// health, stats, error.
+///
+/// The last three request types are the cross-host execution fabric: a
+/// fleet coordinator (marqsim-cli --workers=host:port,...) pushes the
+/// deterministic artifacts of a task to each worker daemon
+/// (content-addressed on the ArtifactStore's existing keys — "atype" is
+/// artifactTypeName, "id" the content-hash id, "body" the codec text the
+/// disk tier would hold), then dispatches shot ranges as shard-submit
+/// frames and merges the returned manifests exactly as the single-host
+/// shard path does. An artifact-get for a key the daemon has not
+/// materialized answers error "not-found" (the daemon never computes on
+/// demand); a probe answers presence without the body.
 ///
 /// Determinism over the wire: a result frame carries the run as a
 /// serialized ShardManifest (the PR 3 bit-exact artifact format), so the
@@ -42,6 +59,7 @@
 #define MARQSIM_SERVER_PROTOCOL_H
 
 #include "service/SimulationService.h"
+#include "shard/ShardCoordinator.h"
 #include "support/Json.h"
 
 #include <cstdint>
@@ -124,6 +142,36 @@ json::Value kernelsJson(EvalPrecision Precision);
 json::Value runStatsJson(const TaskSpec &Spec, const TaskResult &Result,
                          const ArtifactStore::Stats *Store = nullptr,
                          size_t StoreLimitBytes = 0);
+
+/// Coordinator-side fleet accounting ("fleet" section of marqsim-stats-v1,
+/// additive): per-worker ranges dispatched/re-dispatched, artifact fetch
+/// hits/misses, bytes served, liveness, and eval CPU-seconds, plus the
+/// fleet-wide totals. Shared by `marqsim-cli --stats-json` and the
+/// human-readable --stats rendering so the surfaces cannot drift.
+json::Value fleetStatsJson(const FleetStats &S);
+
+/// Worker-daemon-side fabric accounting, embedded in the daemon's stats
+/// frame ("fabric" section of marqsim-server-stats-v1, additive).
+struct FabricServerStats {
+  /// shard-submit frames admitted and shard-result frames answered.
+  size_t ShardSubmits = 0;
+  size_t ShardResults = 0;
+
+  /// artifact-get / artifact-put frames served.
+  size_t ArtifactGets = 0;
+  size_t ArtifactPuts = 0;
+
+  /// Fetch accounting from this daemon's perspective: keys it already
+  /// held when asked (hits) vs bodies it had to receive (misses).
+  size_t ArtifactHits = 0;
+  size_t ArtifactMisses = 0;
+
+  /// Body bytes received via artifact-put and served via artifact-get.
+  size_t ArtifactBytesIn = 0;
+  size_t ArtifactBytesOut = 0;
+};
+
+json::Value fabricStatsJson(const FabricServerStats &S);
 
 } // namespace server
 } // namespace marqsim

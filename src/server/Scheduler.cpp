@@ -94,6 +94,8 @@ struct BatchScheduler::Request {
   std::string ClientKey;
   std::shared_ptr<const TaskSpec> Spec;
   ShotSink Sink;
+  /// Set for fleet shard-submit requests: execute only this global range.
+  std::optional<ShotRange> Range;
   Clock::time_point EnqueuedAt;
   /// Zero time_point means "no deadline".
   Clock::time_point Deadline{};
@@ -119,7 +121,8 @@ BatchScheduler::~BatchScheduler() { drain(); }
 
 uint64_t BatchScheduler::submit(TaskSpec Spec, const std::string &ClientKey,
                                 SubmitReject *Reject, std::string *Error,
-                                ShotSink Sink, uint64_t DeadlineMs) {
+                                ShotSink Sink, uint64_t DeadlineMs,
+                                std::optional<ShotRange> Range) {
   auto Fail = [&](SubmitReject Why, const std::string &Message) -> uint64_t {
     if (Reject)
       *Reject = Why;
@@ -131,6 +134,14 @@ uint64_t BatchScheduler::submit(TaskSpec Spec, const std::string &ClientKey,
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Counters.RejectedInvalid;
     return Fail(SubmitReject::Invalid, Validation);
+  }
+  if (Range && (Range->Count == 0 || Range->end() > Spec.Shots)) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.RejectedInvalid;
+    return Fail(SubmitReject::Invalid,
+                "shot range [" + std::to_string(Range->Begin) + ", " +
+                    std::to_string(Range->end()) + ") outside batch of " +
+                    std::to_string(Spec.Shots) + " shots");
   }
 
   std::unique_lock<std::mutex> Lock(Mutex);
@@ -149,7 +160,10 @@ uint64_t BatchScheduler::submit(TaskSpec Spec, const std::string &ClientKey,
   R->Id = NextId++;
   R->ClientKey = ClientKey;
   R->Spec = std::make_shared<const TaskSpec>(std::move(Spec));
-  R->Sink = std::move(Sink);
+  // Ranged requests never stream: the shard-result frame carries the
+  // whole manifest at once.
+  R->Sink = Range ? nullptr : std::move(Sink);
+  R->Range = Range;
   R->EnqueuedAt = Clock::now();
   if (DeadlineMs)
     R->Deadline = R->EnqueuedAt + std::chrono::milliseconds(DeadlineMs);
@@ -267,6 +281,12 @@ void BatchScheduler::execute(const std::shared_ptr<Request> &R) {
       // MCFP solve here. It is also the early-out for specs whose
       // transition matrix fails Theorem 4.1 validation.
       Terminal = RequestState::Failed;
+    } else if (R->Range) {
+      std::optional<TaskResult> Run = Service.run(Spec, *R->Range, &Error);
+      if (Run) {
+        Result = std::make_shared<TaskResult>(std::move(*Run));
+        Terminal = RequestState::Done;
+      }
     } else if (!R->Sink) {
       std::optional<TaskResult> Run = Service.run(Spec, &Error);
       if (Run) {

@@ -144,11 +144,16 @@ public:
 
   /// Admits one request. \p ClientKey buckets the fair-share round-robin
   /// (the daemon passes a per-connection key). \p DeadlineMs > 0 bounds
-  /// the submit-to-completion time. Returns the request id (> 0), or 0
+  /// the submit-to-completion time. \p Range restricts execution to a
+  /// contiguous global shot sub-range (the fleet's shard-submit path);
+  /// ranged requests ignore \p Sink (no streaming) and keep the PR 3
+  /// global-index seeding, so concatenating a partition's results is
+  /// bit-identical to the full batch. Returns the request id (> 0), or 0
   /// with \p Reject/\p Error describing the refusal.
   uint64_t submit(TaskSpec Spec, const std::string &ClientKey,
                   SubmitReject *Reject = nullptr, std::string *Error = nullptr,
-                  ShotSink Sink = nullptr, uint64_t DeadlineMs = 0);
+                  ShotSink Sink = nullptr, uint64_t DeadlineMs = 0,
+                  std::optional<ShotRange> Range = std::nullopt);
 
   /// Current state of a request; std::nullopt when unknown (never
   /// admitted, or evicted by retention).

@@ -641,6 +641,210 @@ std::optional<TaskResult> SimulationService::run(const TaskSpec &Spec,
   return Result;
 }
 
+//===----------------------------------------------------------------------===//
+// Artifact transport (the cross-host fabric's content-addressed fetch)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Encoded alias-bundle body, or empty for bundles that must not travel
+/// (invalid matrices, which the store's own Encode refuses too).
+std::string encodeBundleBody(const GraphBundle &B) {
+  if (!B.Valid)
+    return std::string();
+  return store::encodeMatrixBody(store::AliasMagic,
+                                 B.Graph->transitionMatrix());
+}
+
+} // namespace
+
+std::optional<std::vector<TaskArtifact>>
+SimulationService::exportArtifacts(const TaskSpec &Spec, std::string *Error) {
+  std::string Validation;
+  if (!Spec.validate(&Validation)) {
+    detail::fail(Error, Validation);
+    return std::nullopt;
+  }
+  bool Canonical = Spec.Method == TaskMethod::Sampling;
+  std::optional<Hamiltonian> H =
+      resolveHamiltonian(Spec.Source, Error, Canonical);
+  if (!H)
+    return std::nullopt;
+  const uint64_t Fingerprint = H->fingerprint();
+
+  std::vector<TaskArtifact> Out;
+  if (Spec.Method == TaskMethod::Sampling) {
+    ChannelMix Mix = Spec.Mix;
+    Mix.normalize();
+    // Only flow-backed bundles are worth shipping: a pure-qDrift matrix
+    // rebuilds in O(n^2) on the worker with no solve to skip (mirroring
+    // the disk tier's persistence policy).
+    if (H->numTerms() >= 2 && (Mix.WGc > 0.0 || Mix.WRp > 0.0)) {
+      auto Bundle = M->bundle(*H, Fingerprint, Spec, Mix, nullptr);
+      if (!Bundle->Valid) {
+        detail::fail(Error,
+                     "transition matrix failed Theorem 4.1 validation");
+        return std::nullopt;
+      }
+      TaskArtifact A;
+      A.Key = store::aliasBundleKey(Fingerprint, Mix.WQd, Mix.WGc, Mix.WRp,
+                                    Spec.Flow, Spec.PerturbRounds,
+                                    Spec.PerturbSeed, Spec.UseCDF);
+      A.Body = encodeBundleBody(*Bundle);
+      if (!A.Body.empty())
+        Out.push_back(std::move(A));
+    }
+  }
+  if (Spec.Evaluate.FidelityColumns > 0) {
+    auto Eval = M->evaluator(*H, Fingerprint, Spec, nullptr);
+    TaskArtifact A;
+    A.Key = store::fidelityColumnsKey(Fingerprint, Spec.Time,
+                                      Spec.Evaluate.FidelityColumns,
+                                      Spec.Evaluate.ColumnSeed);
+    A.Body = store::encodeFidelityBody(*Eval);
+    Out.push_back(std::move(A));
+  }
+  return Out;
+}
+
+std::optional<std::string>
+SimulationService::exportArtifactBody(const ArtifactKey &Key) {
+  // The memory tier holds decoded values; the encoders are context-free,
+  // so the key's type alone picks the right cast.
+  if (std::shared_ptr<const void> V = M->Store.peekValue(Key.Id)) {
+    switch (Key.Type) {
+    case ArtifactType::ComponentMatrix:
+      return store::encodeMatrixBody(
+          store::MatrixMagic,
+          *std::static_pointer_cast<const TransitionMatrix>(V));
+    case ArtifactType::AliasBundle: {
+      std::string Body =
+          encodeBundleBody(*std::static_pointer_cast<const GraphBundle>(V));
+      if (Body.empty())
+        return std::nullopt;
+      return Body;
+    }
+    case ArtifactType::FidelityColumns:
+      return store::encodeFidelityBody(
+          *std::static_pointer_cast<const FidelityEvaluator>(V));
+    case ArtifactType::Superoperator:
+      return store::encodeSuperBody(
+          *std::static_pointer_cast<const Matrix>(V));
+    }
+  }
+  // The disk tier already holds the encoded body verbatim.
+  return M->Store.peekDiskBody(Key);
+}
+
+std::optional<ArtifactImport>
+SimulationService::importArtifact(const TaskSpec &Spec,
+                                  const ArtifactKey &Key,
+                                  const std::string &Body,
+                                  std::string *Error) {
+  std::string Validation;
+  if (!Spec.validate(&Validation)) {
+    detail::fail(Error, Validation);
+    return std::nullopt;
+  }
+  bool Canonical = Spec.Method == TaskMethod::Sampling;
+  std::optional<Hamiltonian> Resolved =
+      resolveHamiltonian(Spec.Source, Error, Canonical);
+  if (!Resolved)
+    return std::nullopt;
+  const Hamiltonian &H = *Resolved;
+  const uint64_t Fingerprint = H.fingerprint();
+
+  // The spec is the authorization: only keys the spec itself would
+  // resolve are accepted, with the spec supplying the decode context.
+  // Anything else — including a syntactically fine key with the wrong
+  // fingerprint — is rejected, so a client cannot seed mismatched
+  // artifacts under colliding ids.
+  ArtifactStore::PutOutcome Put = ArtifactStore::PutOutcome::Rejected;
+  bool Known = false;
+  if (Spec.Method == TaskMethod::Sampling) {
+    ChannelMix Mix = Spec.Mix;
+    Mix.normalize();
+    ArtifactKey BundleKey = store::aliasBundleKey(
+        Fingerprint, Mix.WQd, Mix.WGc, Mix.WRp, Spec.Flow,
+        Spec.PerturbRounds, Spec.PerturbSeed, Spec.UseCDF);
+    if (Key.Id == BundleKey.Id) {
+      Known = true;
+      ArtifactCodec<GraphBundle> Codec;
+      Codec.Size = bundleBytes;
+      Codec.Encode = encodeBundleBody;
+      Codec.Decode =
+          [&H, &Spec](const std::string &B) -> std::optional<GraphBundle> {
+        std::optional<TransitionMatrix> P =
+            store::decodeMatrixBody(store::AliasMagic, H.numTerms(), B);
+        if (!P)
+          return std::nullopt;
+        GraphBundle Bundle = makeBundle(H, std::move(*P), Spec);
+        // Never admit a matrix that fails Theorem 4.1: a poisoned cache
+        // entry would turn every later run of this spec into a failure.
+        if (!Bundle.Valid)
+          return std::nullopt;
+        return Bundle;
+      };
+      Put = M->Store.put(BundleKey, Codec, Body);
+    }
+    if (!Known) {
+      // Component solves are accepted too (symmetric with what a shared
+      // cache directory would hold), though the fleet push normally ships
+      // only the combined bundle.
+      ArtifactKey GC = store::componentKeyGC(Fingerprint, Spec.Flow);
+      ArtifactKey RP = store::componentKeyRP(
+          Fingerprint, Spec.Flow, Spec.PerturbRounds, Spec.PerturbSeed);
+      if (Key.Id == GC.Id || Key.Id == RP.Id) {
+        Known = true;
+        ArtifactCodec<TransitionMatrix> Codec;
+        Codec.Size = store::matrixBytes;
+        Codec.Encode = [](const TransitionMatrix &P) {
+          return store::encodeMatrixBody(store::MatrixMagic, P);
+        };
+        Codec.Decode = [N = H.numTerms()](const std::string &B) {
+          return store::decodeMatrixBody(store::MatrixMagic, N, B);
+        };
+        Put = M->Store.put(Key.Id == GC.Id ? GC : RP, Codec, Body);
+      }
+    }
+  }
+  if (!Known && Spec.Evaluate.FidelityColumns > 0) {
+    ArtifactKey FidKey = store::fidelityColumnsKey(
+        Fingerprint, Spec.Time, Spec.Evaluate.FidelityColumns,
+        Spec.Evaluate.ColumnSeed);
+    if (Key.Id == FidKey.Id) {
+      Known = true;
+      const size_t Dim = size_t(1) << H.numQubits();
+      ArtifactCodec<FidelityEvaluator> Codec;
+      Codec.Size = store::fidelityBytes;
+      Codec.Encode = store::encodeFidelityBody;
+      Codec.Decode = [NQubits = H.numQubits(),
+                      Columns = std::min(Spec.Evaluate.FidelityColumns,
+                                         Dim)](const std::string &B) {
+        return store::decodeFidelityBody(NQubits, Columns, B);
+      };
+      Put = M->Store.put(FidKey, Codec, Body);
+    }
+  }
+
+  if (!Known) {
+    detail::fail(Error, "artifact key '" + Key.Id +
+                            "' does not belong to this task");
+    return std::nullopt;
+  }
+  switch (Put) {
+  case ArtifactStore::PutOutcome::Inserted:
+    return ArtifactImport::Inserted;
+  case ArtifactStore::PutOutcome::AlreadyPresent:
+    return ArtifactImport::Present;
+  case ArtifactStore::PutOutcome::Rejected:
+    break;
+  }
+  detail::fail(Error, "artifact body for '" + Key.Id +
+                          "' failed to decode (corrupt or stale)");
+  return std::nullopt;
+}
+
 CacheStats SimulationService::stats() const {
   std::lock_guard<std::mutex> Lock(M->StatsMutex);
   return M->Total;

@@ -140,6 +140,21 @@ struct ServiceOptions {
   size_t CacheLimitBytes = 0;
 };
 
+/// One deterministic artifact in transport form: its content-hash key and
+/// the codec-encoded text body (exact IEEE-754 hex, the same bytes the
+/// disk tier frames with a checksum). This is what travels in the fleet
+/// protocol's artifact-put frames.
+struct TaskArtifact {
+  ArtifactKey Key;
+  std::string Body;
+};
+
+/// What importArtifact did with a received body.
+enum class ArtifactImport {
+  Inserted, ///< decoded, validated, and cached
+  Present,  ///< the store already had the key (a fetch hit)
+};
+
 /// The declarative, cached front-end over CompilerEngine. Thread-safe:
 /// concurrent run() calls share the caches without duplicating solves
 /// (a key being computed blocks other requesters for that key only).
@@ -199,6 +214,36 @@ public:
   /// the store once and have every worker hit disk instead of solving.
   /// Returns false on invalid specs or Theorem 4.1 validation failures.
   bool prewarm(const TaskSpec &Spec, std::string *Error = nullptr);
+
+  /// Resolves and encodes every transportable deterministic artifact of
+  /// \p Spec: the alias bundle of a flow-backed sampling mix (which
+  /// short-circuits the MCFP component solves on the receiving side) and
+  /// the fidelity target columns when Evaluate.FidelityColumns > 0.
+  /// Artifacts the spec does not need — or that are cheaper to rebuild
+  /// than to ship (pure-qDrift matrices) — are simply absent from the
+  /// list. Resolution goes through the normal caches, so a prewarmed
+  /// service exports without recomputing anything. Returns std::nullopt
+  /// on invalid specs or Theorem 4.1 validation failures.
+  std::optional<std::vector<TaskArtifact>>
+  exportArtifacts(const TaskSpec &Spec, std::string *Error = nullptr);
+
+  /// Encodes the already-resolved artifact of \p Key, or std::nullopt
+  /// when this service holds nothing for it (never computes — the serving
+  /// side of artifact-get answers "not-found" instead of doing work a
+  /// client could farm out for free). Checks the memory tier first, then
+  /// the disk tier's raw body.
+  std::optional<std::string> exportArtifactBody(const ArtifactKey &Key);
+
+  /// Decodes \p Body and injects it under \p Key — the receiving side of
+  /// artifact-put. \p Spec supplies the decode context (Hamiltonian
+  /// dimensions, column counts) and is also the authorization: a key that
+  /// is not one \p Spec would itself resolve is rejected, so a client
+  /// cannot seed the cache with mismatched contexts. Returns std::nullopt
+  /// with \p Error on unknown keys or undecodable bodies.
+  std::optional<ArtifactImport> importArtifact(const TaskSpec &Spec,
+                                               const ArtifactKey &Key,
+                                               const std::string &Body,
+                                               std::string *Error = nullptr);
 
   /// Cumulative cache accounting across every task this service ran.
   CacheStats stats() const;

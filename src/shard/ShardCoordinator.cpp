@@ -6,15 +6,21 @@
 
 #include "shard/ShardCoordinator.h"
 
+#include "server/Client.h"
 #include "stats/Stats.h"
 #include "support/Serial.h"
 #include "support/Subprocess.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <filesystem>
 #include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
 
 using namespace marqsim;
 
@@ -300,6 +306,13 @@ std::optional<TaskResult> ShardCoordinator::run(const TaskSpec &Spec,
   const uint64_t SpecKey = Spec.contentKey();
   Timer Clock;
 
+  if (!Options.Workers.empty()) {
+    std::optional<TaskResult> Merged = runFleet(Spec, *H, R, Error);
+    if (Merged)
+      Merged->Batch.Seconds = Clock.seconds();
+    return Merged;
+  }
+
   ServiceOptions LocalOptions;
   LocalOptions.CacheDir = Options.CacheDir;
   LocalOptions.CacheLimitBytes = Options.CacheLimitBytes;
@@ -451,4 +464,308 @@ std::optional<TaskResult> ShardCoordinator::run(const TaskSpec &Spec,
     // validation, merge) — the honest analogue of BatchResult::Seconds.
     Merged->Batch.Seconds = Clock.seconds();
   return Merged;
+}
+
+//===----------------------------------------------------------------------===//
+// Fleet dispatch
+//===----------------------------------------------------------------------===//
+
+std::optional<TaskResult> ShardCoordinator::runFleet(const TaskSpec &Spec,
+                                                     const Hamiltonian &H,
+                                                     ShardReport &R,
+                                                     std::string *Error) {
+  auto Fail = [&](const std::string &Message) {
+    detail::fail(Error, "fleet coordinator: " + Message);
+    return std::nullopt;
+  };
+  const uint64_t Fingerprint = H.fingerprint();
+  const uint64_t SpecKey = Spec.contentKey();
+  const size_t K = R.Plan.shardCount();
+  const unsigned MaxAttempts = std::max(1u, Options.MaxAttempts);
+
+  R.Fleet.Used = true;
+  R.Fleet.Workers.clear();
+  for (const std::string &HostPort : Options.Workers) {
+    FleetWorkerStats WS;
+    WS.HostPort = HostPort;
+    R.Fleet.Workers.push_back(std::move(WS));
+  }
+
+  std::optional<json::Value> SpecJson = Spec.toJson(Error);
+  if (!SpecJson)
+    return std::nullopt;
+
+  // The coordinator-side service is the fleet's artifact origin: this
+  // prewarm is the single MCFP solve (and column evolution) of the whole
+  // batch; every worker is then seeded over the wire from this store, no
+  // shared filesystem involved. It also front-loads the Theorem 4.1
+  // validation before any connection is opened.
+  std::unique_ptr<SimulationService> Owned;
+  SimulationService *LocalService = Options.SharedService;
+  if (!LocalService) {
+    ServiceOptions LocalOptions;
+    LocalOptions.CacheDir = Options.CacheDir;
+    LocalOptions.CacheLimitBytes = Options.CacheLimitBytes;
+    Owned = std::make_unique<SimulationService>(LocalOptions);
+    LocalService = Owned.get();
+  }
+  if (!LocalService->prewarm(Spec, Error))
+    return std::nullopt;
+  R.LocalStats = LocalService->stats();
+  std::optional<std::vector<TaskArtifact>> Artifacts =
+      LocalService->exportArtifacts(Spec, Error);
+  if (!Artifacts)
+    return std::nullopt;
+
+  // The same acceptance gate the single-host collect pass applies; every
+  // manifest — reused from disk or received over the wire — passes
+  // through it before it can merge.
+  auto RejectReason = [&](const ShardManifest &M, size_t I) -> std::string {
+    if (M.Fingerprint != Fingerprint)
+      return "fingerprint mismatch (different Hamiltonian)";
+    if (M.Seed != Spec.Seed || M.TotalShots != Spec.Shots)
+      return "seed or batch size mismatch (stale manifest)";
+    if (M.SpecKey != SpecKey)
+      return "task configuration mismatch (manifest from a run with "
+             "different parameters)";
+    if (M.Range.Begin != R.Plan.Ranges[I].Begin ||
+        M.Range.Count != R.Plan.Ranges[I].Count)
+      return "shot range disagrees with the shard plan";
+    if (M.HasFidelity != (Spec.Evaluate.FidelityColumns > 0))
+      return "fidelity presence disagrees with the task";
+    if (M.Shots.size() != M.Range.Count)
+      return "manifest shot count disagrees with its range";
+    return {};
+  };
+
+  std::vector<std::optional<ShardManifest>> Accepted(K);
+  std::error_code EC;
+  for (size_t I = 0; I < K; ++I) {
+    std::string Path = manifestPath(Options.WorkDir, I);
+    if (!std::filesystem::exists(Path))
+      continue;
+    std::string ReadError;
+    std::optional<ShardManifest> M = ShardManifest::readFile(Path, &ReadError);
+    if (M)
+      ReadError = RejectReason(*M, I);
+    if (M && ReadError.empty()) {
+      Accepted[I] = std::move(M);
+      ++R.Reused;
+      continue;
+    }
+    R.Notes.push_back("shard " + std::to_string(I) + ": rejected '" + Path +
+                      "': " + ReadError + "; dispatching the range");
+    std::filesystem::remove(Path, EC);
+  }
+
+  // Shared dispatch state. Pending holds shard indices awaiting (re-)
+  // dispatch; Open counts ranges not yet accepted, whether queued or in
+  // flight. A worker thread owns its FleetWorkerStats entry exclusively;
+  // everything else mutates under Mutex.
+  struct DispatchState {
+    std::mutex Mutex;
+    std::condition_variable CV;
+    std::deque<size_t> Pending;
+    size_t Open = 0;
+    size_t Live = 0;
+    bool Abort = false;
+    std::string AbortReason;
+  } State;
+  std::vector<unsigned> FailedAttempts(K, 0);
+  std::vector<char> EverDispatched(K, 0);
+  for (size_t I = 0; I < K; ++I)
+    if (!Accepted[I]) {
+      State.Pending.push_back(I);
+      ++State.Open;
+    }
+  State.Live = R.Fleet.Workers.size();
+
+  // Declares worker Wi dead and, when a range was in flight on it,
+  // requeues that range at the front — re-dispatch traffic preempts
+  // fresh dispatches so a killed worker's range completes promptly.
+  auto MarkDeadLocked = [&](size_t Wi, const std::string &Why,
+                            std::optional<size_t> InFlight) {
+    FleetWorkerStats &WS = R.Fleet.Workers[Wi];
+    WS.Alive = false;
+    --State.Live;
+    std::string Note = "worker " + WS.HostPort + ": " + Why;
+    if (InFlight) {
+      State.Pending.push_front(*InFlight);
+      Note += "; re-dispatching range [" +
+              std::to_string(R.Plan.Ranges[*InFlight].Begin) + ", " +
+              std::to_string(R.Plan.Ranges[*InFlight].end()) +
+              ") to the survivors";
+    }
+    R.Notes.push_back(std::move(Note));
+    if (State.Live == 0 && State.Open > 0 && !State.Abort) {
+      State.Abort = true;
+      State.AbortReason = "no live workers remain";
+    }
+    State.CV.notify_all();
+  };
+
+  auto WorkerLoop = [&](size_t Wi) {
+    FleetWorkerStats &WS = R.Fleet.Workers[Wi];
+    server::ConnectOptions CO;
+    CO.Attempts = std::max(1u, Options.ConnectAttempts);
+    CO.DelayMs = std::max(1u, Options.ConnectDelayMs);
+    std::string ConnError;
+    std::optional<server::DaemonClient> Client =
+        server::DaemonClient::connectTo(WS.HostPort, &ConnError, CO);
+    if (!Client) {
+      std::lock_guard<std::mutex> Lock(State.Mutex);
+      MarkDeadLocked(Wi, "connect failed: " + ConnError, std::nullopt);
+      return;
+    }
+    if (Options.FleetTimeoutMs)
+      Client->setRecvTimeout(Options.FleetTimeoutMs);
+
+    // Warm the worker: probe, then push only what it lacks. An artifact
+    // too large for a request frame is skipped — the worker recomputes
+    // it, which changes cost, never results (and never the one-MCFP-
+    // solve contract: flow artifacts are tiny, only fidelity columns
+    // can grow past the cap).
+    for (const TaskArtifact &A : *Artifacts) {
+      if (A.Body.size() + 4096 > server::MaxRequestFrameBytes) {
+        std::lock_guard<std::mutex> Lock(State.Mutex);
+        R.Notes.push_back("worker " + WS.HostPort + ": artifact '" +
+                          A.Key.Id + "' exceeds the request frame cap; the "
+                          "worker will recompute it");
+        continue;
+      }
+      std::string FetchError;
+      std::optional<bool> Present = Client->probeArtifact(A.Key, &FetchError);
+      if (!Present) {
+        std::lock_guard<std::mutex> Lock(State.Mutex);
+        MarkDeadLocked(Wi, "artifact probe failed: " + FetchError,
+                       std::nullopt);
+        return;
+      }
+      if (*Present) {
+        ++WS.FetchHits;
+        continue;
+      }
+      std::optional<bool> Stored =
+          Client->putArtifact(*SpecJson, A.Key, A.Body, &FetchError);
+      if (!Stored) {
+        std::lock_guard<std::mutex> Lock(State.Mutex);
+        MarkDeadLocked(Wi, "artifact push failed: " + FetchError,
+                       std::nullopt);
+        return;
+      }
+      ++WS.FetchMisses;
+      WS.ArtifactBytesServed += A.Body.size();
+    }
+
+    for (;;) {
+      size_t I;
+      bool Redispatch;
+      {
+        std::unique_lock<std::mutex> Lock(State.Mutex);
+        State.CV.wait(Lock, [&] {
+          return State.Abort || State.Open == 0 || !State.Pending.empty();
+        });
+        if (State.Abort || State.Open == 0)
+          return;
+        I = State.Pending.front();
+        State.Pending.pop_front();
+        Redispatch = EverDispatched[I] != 0;
+        EverDispatched[I] = 1;
+        if (Redispatch)
+          ++R.Retries;
+      }
+      ++WS.RangesDispatched;
+      if (Redispatch)
+        ++WS.RangesRedispatched;
+
+      bool Transport = false;
+      std::string RangeError;
+      std::optional<std::string> ManifestText = Client->runShardRange(
+          *SpecJson, R.Plan.Ranges[I], 0, &Transport, &RangeError);
+
+      std::optional<ShardManifest> M;
+      if (ManifestText) {
+        M = ShardManifest::parse(*ManifestText, &RangeError);
+        if (M) {
+          std::string Reject = RejectReason(*M, I);
+          if (!Reject.empty()) {
+            RangeError = Reject;
+            M.reset();
+          }
+        }
+      }
+
+      if (M) {
+        WS.EvalSeconds += M->EvalSeconds;
+        // Persist for crash resume, exactly like the single-host path;
+        // a write failure costs resumability, not correctness.
+        std::string WriteError;
+        if (!M->writeFile(manifestPath(Options.WorkDir, I), &WriteError)) {
+          std::lock_guard<std::mutex> Lock(State.Mutex);
+          R.Notes.push_back("shard " + std::to_string(I) +
+                            ": cannot persist manifest: " + WriteError);
+        }
+        std::lock_guard<std::mutex> Lock(State.Mutex);
+        Accepted[I] = std::move(M);
+        --State.Open;
+        State.CV.notify_all();
+        continue;
+      }
+
+      if (Transport) {
+        // Dead or hung worker: hand the range back for free (no attempt
+        // charge — a dead worker cannot burn the retry budget) and exit.
+        std::lock_guard<std::mutex> Lock(State.Mutex);
+        MarkDeadLocked(Wi, RangeError, I);
+        return;
+      }
+
+      // A live worker returned a failed, corrupt, or mismatched range:
+      // that *does* consume an attempt, bounding how long a lying worker
+      // can stall the batch.
+      std::lock_guard<std::mutex> Lock(State.Mutex);
+      R.Notes.push_back("shard " + std::to_string(I) + " on " + WS.HostPort +
+                        ": " + RangeError + "; re-dispatching the range");
+      if (++FailedAttempts[I] >= MaxAttempts) {
+        State.Abort = true;
+        State.AbortReason = "range [" +
+                            std::to_string(R.Plan.Ranges[I].Begin) + ", " +
+                            std::to_string(R.Plan.Ranges[I].end()) +
+                            ") still invalid after " +
+                            std::to_string(MaxAttempts) + " attempts";
+        State.CV.notify_all();
+        return;
+      }
+      State.Pending.push_back(I);
+      State.CV.notify_all();
+    }
+  };
+
+  if (State.Open > 0) {
+    std::vector<std::thread> Threads;
+    Threads.reserve(R.Fleet.Workers.size());
+    for (size_t Wi = 0; Wi < R.Fleet.Workers.size(); ++Wi)
+      Threads.emplace_back(WorkerLoop, Wi);
+    for (std::thread &T : Threads)
+      T.join();
+
+    if (State.Abort || State.Open > 0) {
+      std::string Message = State.AbortReason.empty()
+                                ? std::string("dispatch ended with ") +
+                                      std::to_string(State.Open) +
+                                      " range(s) incomplete"
+                                : State.AbortReason;
+      for (const std::string &Note : R.Notes)
+        Message += "\n  " + Note;
+      return Fail(Message);
+    }
+  }
+
+  std::vector<ShardManifest> Manifests;
+  Manifests.reserve(K);
+  for (std::optional<ShardManifest> &M : Accepted) {
+    R.WorkerStats += M->Stats;
+    Manifests.push_back(std::move(*M));
+  }
+  return merge(Spec, Fingerprint, std::move(Manifests), Error);
 }

@@ -72,6 +72,62 @@ struct ShardOptions {
   /// Launch rounds per range before giving up (>= 1). A range whose
   /// manifest fails validation is re-run in the next round.
   unsigned MaxAttempts = 2;
+
+  /// Remote marqsim-daemon workers ("host:port"). Non-empty selects fleet
+  /// mode: ranges travel as shard-submit frames over the JSON protocol,
+  /// the coordinator warms each worker through artifact-put frames (one
+  /// MCFP solve fleet-wide, no shared filesystem), and WorkerBinary is
+  /// ignored. A worker that dies or times out is dropped and its in-flight
+  /// range re-dispatched to the survivors.
+  std::vector<std::string> Workers;
+
+  /// Per-range result timeout in fleet mode; a worker that exceeds it is
+  /// treated as dead. 0 waits forever (the in-flight range then rides on
+  /// the TCP connection's fate).
+  unsigned FleetTimeoutMs = 0;
+
+  /// Connection retry budget per worker (fleet mode): attempts and the
+  /// initial backoff delay (doubled per retry, capped internally). Absorbs
+  /// daemons still binding their port when the batch starts.
+  unsigned ConnectAttempts = 10;
+  unsigned ConnectDelayMs = 100;
+
+  /// Fleet mode: resolve the prewarm and artifact exports through this
+  /// service instead of a coordinator-owned one (not owned; must outlive
+  /// the run). The CLI passes its own service so the post-merge shot-0
+  /// recompile hits the same in-memory store — keeping the whole
+  /// invocation at one MCFP solve even without any cache directory.
+  SimulationService *SharedService = nullptr;
+};
+
+/// Per-worker accounting of a fleet run.
+struct FleetWorkerStats {
+  std::string HostPort;
+
+  /// Ranges sent to this worker, and the subset that had already been
+  /// dispatched before (to anyone) and failed — the re-dispatch traffic.
+  size_t RangesDispatched = 0;
+  size_t RangesRedispatched = 0;
+
+  /// Artifact-fetch accounting for this worker: bodies it already held
+  /// (hits), bodies pushed over the wire (misses), and the pushed bytes.
+  size_t FetchHits = 0;
+  size_t FetchMisses = 0;
+  size_t ArtifactBytesServed = 0;
+
+  /// Evaluation CPU-seconds summed over this worker's accepted manifests.
+  double EvalSeconds = 0.0;
+
+  /// False once the coordinator declared the worker dead (connect
+  /// failure, transport error, or FleetTimeoutMs exceeded).
+  bool Alive = true;
+};
+
+/// Fleet-wide accounting, reported next to the run's cache stats.
+struct FleetStats {
+  /// True when fleet mode actually ran (ShardOptions::Workers non-empty).
+  bool Used = false;
+  std::vector<FleetWorkerStats> Workers;
 };
 
 /// What happened during a sharded run, beyond the merged result.
@@ -89,6 +145,10 @@ struct ShardReport {
 
   /// The coordinator's own service accounting (store pre-warm).
   CacheStats LocalStats;
+
+  /// Fleet-mode accounting (Used only when ShardOptions::Workers was
+  /// non-empty): per-worker dispatch and artifact-fetch counters.
+  FleetStats Fleet;
 
   /// Human-readable diagnostics: every rejected manifest and failed
   /// worker, with the reason.
@@ -151,6 +211,15 @@ public:
                                   unsigned Index);
 
 private:
+  /// The networked dispatch loop behind run() when Options.Workers is
+  /// non-empty: connect (with retry/backoff), warm each worker through
+  /// artifact-get/artifact-put, dispatch ranges as shard-submit frames
+  /// from a shared pending queue, validate every returned manifest, and
+  /// re-dispatch ranges of dead or lying workers to the survivors.
+  std::optional<TaskResult> runFleet(const TaskSpec &Spec,
+                                     const Hamiltonian &H, ShardReport &R,
+                                     std::string *Error);
+
   ShardOptions Options;
 };
 

@@ -32,6 +32,7 @@
 #include "core/TransitionBuilders.h"
 #include "support/Serial.h"
 
+#include <optional>
 #include <string>
 
 namespace marqsim {
@@ -63,6 +64,36 @@ inline const char *artifactExtension(ArtifactType Type) {
     return ".super";
   }
   return ".artifact";
+}
+
+/// Wire spelling of \p Type — the "type" member of the daemon protocol's
+/// artifact-get/artifact-put frames.
+inline const char *artifactTypeName(ArtifactType Type) {
+  switch (Type) {
+  case ArtifactType::ComponentMatrix:
+    return "component";
+  case ArtifactType::AliasBundle:
+    return "alias";
+  case ArtifactType::FidelityColumns:
+    return "fidelity";
+  case ArtifactType::Superoperator:
+    return "super";
+  }
+  return "component";
+}
+
+/// Inverse of artifactTypeName. std::nullopt for unknown spellings.
+inline std::optional<ArtifactType>
+artifactTypeFromName(const std::string &Name) {
+  if (Name == "component")
+    return ArtifactType::ComponentMatrix;
+  if (Name == "alias")
+    return ArtifactType::AliasBundle;
+  if (Name == "fidelity")
+    return ArtifactType::FidelityColumns;
+  if (Name == "super")
+    return ArtifactType::Superoperator;
+  return std::nullopt;
 }
 
 /// A typed content-hash key. Ids are unique across types (each key builder

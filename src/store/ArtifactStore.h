@@ -93,6 +93,13 @@ public:
     Computed,  ///< computed (and written back to the disk tier)
   };
 
+  /// What a put() did with an injected body.
+  enum class PutOutcome {
+    Inserted,       ///< decoded and inserted into the memory tier
+    AlreadyPresent, ///< the key was already resolved (body discarded)
+    Rejected,       ///< the body failed to decode (nothing changed)
+  };
+
   /// Cumulative accounting across every get().
   struct Stats {
     size_t MemoryHits = 0;
@@ -162,6 +169,57 @@ public:
     if (Out)
       *Out = How;
     return std::static_pointer_cast<const T>(E->Value);
+  }
+
+  /// Injects an already-encoded \p Body for \p Key — the receiving half of
+  /// the cross-host artifact fetch. The body is decoded through \p Codec
+  /// exactly as a disk-tier hit would be (same validation, same rejection
+  /// of stale dimensions or bad hex), inserted into the memory tier, and —
+  /// when a disk tier is configured — persisted so later processes warm
+  /// from it too. A key that is already resolved (or has an in-flight
+  /// computation, which put() waits out) reports AlreadyPresent and keeps
+  /// the existing value: content-addressed keys make the two bodies
+  /// interchangeable, and the resident value may already have references.
+  template <typename T>
+  PutOutcome put(const ArtifactKey &Key, const ArtifactCodec<T> &Codec,
+                 const std::string &Body) {
+    if (!Codec.Decode)
+      return PutOutcome::Rejected;
+    // Decode before touching the entry: a corrupt body must not poison
+    // the once_flag (the key stays computable by a later get()).
+    std::optional<T> Decoded = Codec.Decode(Body);
+    if (!Decoded)
+      return PutOutcome::Rejected;
+    std::shared_ptr<Entry> E = acquire(Key.Id);
+    bool Inserted = false;
+    std::call_once(E->Once, [&] {
+      auto Value = std::make_shared<const T>(std::move(*Decoded));
+      if (!Opts.CacheDir.empty())
+        storeBody(Key, Body);
+      size_t Bytes = Codec.Size ? Codec.Size(*Value) : 0;
+      E->Value = std::move(Value);
+      commit(Key.Id, Bytes);
+      Inserted = true;
+    });
+    return Inserted ? PutOutcome::Inserted : PutOutcome::AlreadyPresent;
+  }
+
+  /// Whether \p Id is resolved in the memory tier (charged, not merely
+  /// in flight). No LRU or stats effect — this is the probe half of the
+  /// artifact-fetch protocol, not a lookup.
+  bool hasValue(const std::string &Id) const;
+
+  /// The resolved value of \p Id, or nullptr. Type-erased: callers cast
+  /// per the key's type prefix exactly as get() does. No LRU or stats
+  /// effect.
+  std::shared_ptr<const void> peekValue(const std::string &Id) const;
+
+  /// Reads and checksum-verifies the disk body of \p Key without decoding
+  /// it — the serving half of the artifact fetch (a body read here is
+  /// exactly what put() accepts on the far side). nullopt when the disk
+  /// tier is off or the file is missing/corrupt.
+  std::optional<std::string> peekDiskBody(const ArtifactKey &Key) const {
+    return loadBody(Key);
   }
 
   Stats stats() const;

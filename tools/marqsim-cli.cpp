@@ -36,6 +36,22 @@
 //     --shard-dir=DIR     manifest/log directory for --shards (default: a
 //                         per-invocation directory under the system temp
 //                         dir; valid manifests found there are reused)
+//     --workers=H:P,...   cross-host fleet mode: dispatch the shard shot
+//                         ranges to resident marqsim-daemon workers over
+//                         the JSON protocol instead of re-exec'd local
+//                         processes (--shards defaults to the worker
+//                         count). The coordinator performs the single
+//                         MCFP solve and pushes the deterministic
+//                         artifacts to every worker as content-addressed
+//                         artifact-put frames, so no shared --cache-dir
+//                         or filesystem is needed; the merged output is
+//                         bit-identical to a single-process run, and a
+//                         worker that dies or times out mid-range is
+//                         dropped with its range re-dispatched to the
+//                         survivors
+//     --fleet-timeout-ms=T  per-range worker timeout in fleet mode; a
+//                         worker exceeding it is treated as dead
+//                         (default 0 = wait forever)
 //     --columns=K         fidelity-estimation columns (default 0 = off);
 //                         evaluated per shot on the batch workers
 //     --precision=P       fidelity panel tier: fp64 (default, bit-exact)
@@ -298,6 +314,7 @@ int main(int Argc, char **Argv) {
                  "  [--config=baseline|gc|gc-rp] [--qd=W --gc=W --rp=W]\n"
                  "  [--rounds=K] [--perturb-seed=S] [--seed=S] [--shots=N]\n"
                  "  [--jobs=J] [--eval-jobs=J] [--shards=K] [--shard-dir=DIR]\n"
+                 "  [--workers=HOST:PORT,...] [--fleet-timeout-ms=T]\n"
                  "  [--columns=K] [--precision=fp64|fp32]\n"
                  "  [--noise=MODEL] [--noise-prob=P] [--noise-2q-factor=F]\n"
                  "  [--noise-mode=stochastic|density]\n"
@@ -361,7 +378,7 @@ int main(int Argc, char **Argv) {
 
   bool WorkerMode =
       CL.has("shard-index") || CL.has("shard-count") || CL.has("shard-out");
-  bool CoordinatorMode = CL.has("shards");
+  bool CoordinatorMode = CL.has("shards") || CL.has("workers");
   if (WorkerMode && CoordinatorMode) {
     std::cerr << "error: --shards (coordinator) and --shard-index/--shard-"
                  "out (worker) are mutually exclusive\n";
@@ -389,13 +406,40 @@ int main(int Argc, char **Argv) {
   bool Sharded = false;
 
   if (CoordinatorMode) {
-    int64_t Shards = CL.getInt("shards", 1);
+    // Fleet mode: a comma-separated worker list; one shard per worker by
+    // default so every daemon gets a range.
+    std::vector<std::string> Workers;
+    if (CL.has("workers")) {
+      std::string List = CL.getString("workers");
+      for (size_t Pos = 0; Pos <= List.size();) {
+        size_t Comma = List.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = List.size();
+        std::string HostPort = List.substr(Pos, Comma - Pos);
+        if (!HostPort.empty())
+          Workers.push_back(std::move(HostPort));
+        Pos = Comma + 1;
+      }
+      if (Workers.empty()) {
+        std::cerr << "error: --workers needs at least one host:port\n";
+        return 1;
+      }
+    }
+    int64_t Shards = CL.getInt(
+        "shards", Workers.empty() ? 1 : static_cast<int64_t>(Workers.size()));
     if (Shards < 1) {
       std::cerr << "error: --shards must be at least 1\n";
       return 1;
     }
+    int64_t FleetTimeout = CL.getInt("fleet-timeout-ms", 0);
+    if (FleetTimeout < 0) {
+      std::cerr << "error: --fleet-timeout-ms must be non-negative\n";
+      return 1;
+    }
     ShardOptions Shard;
     Shard.ShardCount = static_cast<unsigned>(Shards);
+    Shard.Workers = std::move(Workers);
+    Shard.FleetTimeoutMs = static_cast<unsigned>(FleetTimeout);
     Shard.WorkDir = CL.getString("shard-dir");
     bool AutoWorkDir = Shard.WorkDir.empty();
     if (AutoWorkDir)
@@ -405,6 +449,11 @@ int main(int Argc, char **Argv) {
     Shard.CacheDir = Options.CacheDir;
     Shard.CacheLimitBytes = Options.CacheLimitBytes;
     Shard.WorkerBinary = currentExecutablePath(Argv[0]);
+    // Fleet mode shares this process's service: the prewarm there is the
+    // fleet's one MCFP solve, and the shot-0 recompile below then hits
+    // the same in-memory store instead of solving again.
+    if (!Shard.Workers.empty())
+      Shard.SharedService = &Service;
     ShardCoordinator Coordinator(Shard);
     Result = Coordinator.run(*Spec, &Error, &Report);
     Sharded = true;
@@ -504,9 +553,30 @@ int main(int Argc, char **Argv) {
     if (Sharded) {
       // Whole-run accounting: coordinator pre-warm + every worker + the
       // local shot-0 service. "gc-solves=1" is the one-solve contract.
-      CacheStats Total = Report.LocalStats;
-      Total += Report.WorkerStats;
+      // In fleet mode the coordinator's prewarm ran *inside* this
+      // process's service (SharedService), so Service.stats() already
+      // includes LocalStats — adding both would double-count the solve.
+      CacheStats Total = Report.WorkerStats;
+      if (!Report.Fleet.Used)
+        Total += Report.LocalStats;
       Total += Service.stats();
+      if (Report.Fleet.Used) {
+        size_t Dead = 0;
+        for (const FleetWorkerStats &W : Report.Fleet.Workers) {
+          if (!W.Alive)
+            ++Dead;
+          std::cerr << "fleet-worker: " << W.HostPort
+                    << (W.Alive ? "" : " (dead)")
+                    << " dispatched=" << W.RangesDispatched
+                    << " redispatched=" << W.RangesRedispatched
+                    << " fetch-hits=" << W.FetchHits
+                    << " fetch-misses=" << W.FetchMisses
+                    << " artifact-bytes=" << W.ArtifactBytesServed
+                    << " eval=" << formatDouble(W.EvalSeconds) << " s\n";
+        }
+        std::cerr << "fleet: workers=" << Report.Fleet.Workers.size()
+                  << " dead=" << Dead << "\n";
+      }
       std::cerr << "shard: shards=" << Report.Plan.shardCount()
                 << " retries=" << Report.Retries
                 << " reused=" << Report.Reused
@@ -530,11 +600,13 @@ int main(int Argc, char **Argv) {
     // sharded runs the per-process store tiers are omitted (each worker
     // had its own store, so this process's counters would mislead).
     ArtifactStore::Stats Store = Service.storeStats();
-    std::cout << server::runStatsJson(*Spec, *Result,
-                                      Sharded ? nullptr : &Store,
-                                      Options.CacheLimitBytes)
-                     .dump()
-              << "\n";
+    json::Value StatsJson = server::runStatsJson(
+        *Spec, *Result, Sharded ? nullptr : &Store, Options.CacheLimitBytes);
+    // Additive key: present only when fleet mode actually dispatched, so
+    // existing marqsim-stats-v1 consumers parse unchanged.
+    if (Report.Fleet.Used)
+      StatsJson.set("fleet", server::fleetStatsJson(Report.Fleet));
+    std::cout << StatsJson.dump() << "\n";
   }
   return 0;
 }

@@ -11,6 +11,13 @@
 // protocol (src/server/Protocol.h); `marqsim-cli --connect host:port` is
 // the reference client and reproduces local output byte for byte.
 //
+// The same binary is the worker of the cross-host execution fabric: a
+// fleet coordinator (`marqsim-cli --workers=host:port,...`) warms this
+// daemon through content-addressed artifact-put frames — so it never
+// performs its own MCFP solve — and dispatches shot ranges as
+// shard-submit frames. No extra flags are needed for the worker role; the
+// stats frame's "fabric" section accounts for the fleet traffic served.
+//
 //   marqsim-daemon [options]
 //     --host=H              bind address (default 127.0.0.1)
 //     --port=P              bind port (default 0 = ephemeral; the bound
